@@ -1,0 +1,59 @@
+"""Figures 11 & 18 — top destination ports per world region.
+
+Paper shape: port 23 dominates every region except OC/AF; 37215 and
+52869 (Satori) are concentrated in Africa; 3306 in AF+NA; 6001 in OC;
+7001 in NA; 8080 is the leading web port; SA/OC/INT carry only a small
+share of the overall traffic.
+"""
+
+from __future__ import annotations
+
+from _common import emit
+from repro.analysis.ports import (
+    bean_matrix,
+    port_activity_by_group,
+    top_ports_per_group,
+)
+from repro.reporting.beanplot import render_bean_rows
+
+
+def test_fig11_ports_by_region(study, benchmark):
+    def collect():
+        result = study.infer("All", days=1)
+        views = study.views("All", days=1)
+        captured = study.telescope.captured_traffic(views, result)
+        continents = study.world.index.continents_of(captured.dst_blocks())
+        group_of_block = {
+            int(block): str(continent)
+            for block, continent in zip(captured.dst_blocks(), continents)
+            if continent != "??"
+        }
+        activity = port_activity_by_group(captured, group_of_block)
+        ports = top_ports_per_group(activity, per_group=10)[:16]
+        return activity, ports
+
+    activity, ports = benchmark.pedantic(collect, rounds=1, iterations=1)
+    groups, matrix = bean_matrix(activity, ports, relative_to="group")
+    overall_groups, overall_matrix = bean_matrix(
+        activity, ports, relative_to="overall"
+    )
+    emit(
+        "fig11_ports_region",
+        "Figure 11 — top-16 ports per region (share within region)\n"
+        + render_bean_rows(ports, groups, matrix)
+        + "\n\nFigure 18 — same, relative to overall traffic\n"
+        + render_bean_rows(ports, overall_groups, overall_matrix),
+    )
+    # Port 23 leads overall and in the big regions.
+    assert ports[0] == 23
+    for region in ("NA", "EU", "AS"):
+        assert activity[region].rank_of(23) == 1
+    # Satori's ports concentrate in Africa.
+    assert activity["AF"].share_of(37215) > activity["EU"].share_of(37215)
+    assert activity["AF"].share_of(52869) > activity["NA"].share_of(52869)
+    # Regional specialties: 6001 in OC, 7001 in NA.
+    assert activity["OC"].share_of(6001) > activity["EU"].share_of(6001)
+    assert activity["NA"].share_of(7001) > activity["EU"].share_of(7001)
+    # 8080 is the most popular web port overall.
+    web_rank = {port: ports.index(port) for port in (8080, 80, 443) if port in ports}
+    assert web_rank[8080] == min(web_rank.values())

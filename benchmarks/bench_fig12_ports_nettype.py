@@ -1,0 +1,68 @@
+"""Figures 12, 19, 20 — top destination ports per network type
+(globally, then restricted to EU and NA).
+
+Paper shape: port 23 is again the most popular in every class; port 80
+is relatively more popular inside data-center and education space than
+inside ISP space; 5038 concentrates in data centers; 3389 is stronger
+in ISP/enterprise space.
+"""
+
+from __future__ import annotations
+
+from _common import emit
+from repro.analysis.ports import bean_matrix, port_activity_by_group, top_ports_per_group
+from repro.reporting.beanplot import render_bean_rows
+
+
+def _activity_for(study, captured, continent_filter=None):
+    blocks = captured.dst_blocks()
+    types = study.world.index.as_types_of(blocks)
+    continents = study.world.index.continents_of(blocks)
+    group_of_block = {}
+    for block, as_type, continent in zip(blocks, types, continents):
+        if as_type is None:
+            continue
+        if continent_filter is not None and continent != continent_filter:
+            continue
+        group_of_block[int(block)] = as_type.value
+    return port_activity_by_group(captured, group_of_block)
+
+
+def test_fig12_ports_by_type(study, benchmark):
+    def collect():
+        week = study.world.config.num_days
+        result = study.infer("All", days=week)
+        views = study.views("All", days=week)
+        captured = study.telescope.captured_traffic(views, result)
+        return {
+            "global": _activity_for(study, captured),
+            "EU": _activity_for(study, captured, "EU"),
+            "NA": _activity_for(study, captured, "NA"),
+        }
+
+    activities = benchmark.pedantic(collect, rounds=1, iterations=1)
+    sections = []
+    for scope, label in (
+        ("global", "Figure 12 — per network type (global)"),
+        ("EU", "Figure 19 — per network type, EU destinations"),
+        ("NA", "Figure 20 — per network type, NA destinations"),
+    ):
+        activity = activities[scope]
+        ports = top_ports_per_group(activity, per_group=8)[:12]
+        groups, matrix = bean_matrix(activity, ports)
+        sections.append(label + "\n" + render_bean_rows(ports, groups, matrix))
+    emit("fig12_ports_nettype", "\n\n".join(sections))
+
+    activity = activities["global"]
+    # Port 23 tops every network class (small classes may show
+    # sampling noise, hence the tiny slack for data centers).
+    for group in activity:
+        assert activity[group].rank_of(23) <= 2, group
+    assert activity["ISP"].rank_of(23) == 1
+    # Port 80 relatively stronger in DC/education than in ISP space.
+    assert activity["Data Center"].share_of(80) > activity["ISP"].share_of(80)
+    assert activity["Education"].share_of(80) > activity["ISP"].share_of(80)
+    # 5038 concentrates in data centers.
+    assert activity["Data Center"].share_of(5038) > activity["ISP"].share_of(5038)
+    # 3389 is stronger in ISP/enterprise space than in data centers.
+    assert activity["ISP"].share_of(3389) > activity["Data Center"].share_of(3389)

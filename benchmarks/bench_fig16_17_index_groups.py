@@ -1,0 +1,82 @@
+"""Figures 16 & 17 — prefix-index ECDFs by network type and continent.
+
+Paper shape: data-center space has a visibly smaller share of
+meta-telescope /24s than the other classes; by continent, Europe (and
+Africa) have the smallest shares — both consequences of address
+scarcity at allocation time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import emit
+from repro.analysis.nettypes import dark_share_by_type
+from repro.analysis.prefix_index import index_values_by_group
+from repro.reporting.ecdf import Ecdf, render_ecdf_rows
+from repro.reporting.tables import format_table
+
+
+def test_fig16_17_index_by_group(study, benchmark):
+    world = study.world
+
+    def collect():
+        blocks = study.union_final_blocks()
+        routing = study.telescope.routing_for_days(
+            list(range(world.config.num_days))
+        )
+        type_of_asn = {
+            a.asn: a.as_type.value for a in world.registry
+        }
+        continent_of_asn = {
+            a.asn: a.continent.value for a in world.registry
+        }
+        lengths = tuple(range(8, 21))
+        by_type = index_values_by_group(blocks, routing, type_of_asn, lengths)
+        by_continent = index_values_by_group(
+            blocks, routing, continent_of_asn, lengths
+        )
+        shares = dark_share_by_type(
+            blocks, world.index.blocks, world.datasets.pfx2as,
+            world.datasets.ipinfo,
+        )
+        return by_type, by_continent, shares
+
+    by_type, by_continent, shares = benchmark.pedantic(
+        collect, rounds=1, iterations=1
+    )
+    grid = np.array([0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0])
+    type_ecdfs = {group: Ecdf(v) for group, v in sorted(by_type.items())}
+    continent_ecdfs = {
+        group: Ecdf(v) for group, v in sorted(by_continent.items())
+    }
+    emit(
+        "fig16_17_index_groups",
+        format_table(
+            ["dark share <=", *type_ecdfs],
+            render_ecdf_rows(type_ecdfs, grid),
+            title="Figure 16 — prefix-index ECDF per network type",
+        )
+        + "\n\n"
+        + format_table(
+            ["dark share <=", *continent_ecdfs],
+            render_ecdf_rows(continent_ecdfs, grid),
+            title="Figure 17 — prefix-index ECDF per continent",
+        )
+        + "\n\nShare of announced space inferred dark per type: "
+        + str({k: round(v, 3) for k, v in shares.items()}),
+    )
+    # Data centers hold the smallest dark share.
+    assert shares["Data Center"] == min(shares.values())
+    # Per-prefix view agrees: DC's median index is the lowest.
+    medians = {
+        group: float(np.median(values)) for group, values in by_type.items()
+    }
+    assert medians["Data Center"] == min(medians.values())
+    # Europe's index is below North America's (address scarcity).
+    continent_means = {
+        group: float(np.mean(values))
+        for group, values in by_continent.items()
+        if len(values) >= 5
+    }
+    assert continent_means["EU"] < continent_means["NA"]

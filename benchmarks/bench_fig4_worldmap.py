@@ -1,0 +1,48 @@
+"""Figures 4 & 13-15 — world maps of meta-telescope prefixes per country.
+
+Paper shape: the US holds by far the most meta-telescope /24s, China is
+second; coverage spans almost every registry country, including small
+ones no operational telescope covers; poorly-covered regions (central
+Africa, North Korea) show only a handful of blocks.
+"""
+
+from __future__ import annotations
+
+from _common import emit
+from repro.analysis.geo_dist import country_counts
+from repro.reporting.worldmap import render_country_bars
+
+
+def test_fig4_world_distribution(study, benchmark):
+    def collect():
+        per_vantage = {}
+        for vantage in ("CE1", "NA1", "All"):
+            result = study.infer(vantage, days=1)
+            per_vantage[vantage] = country_counts(
+                result.prefixes, study.world.datasets.geodb
+            )
+        return per_vantage
+
+    per_vantage = benchmark.pedantic(collect, rounds=1, iterations=1)
+    sections = []
+    for vantage, counts in per_vantage.items():
+        sections.append(
+            f"--- {vantage} (Figure {'4' if vantage == 'All' else '13/14'}) ---\n"
+            + render_country_bars(counts, top=20)
+        )
+    emit("fig4_worldmap", "\n\n".join(sections))
+
+    all_counts = per_vantage["All"]
+    ranked = sorted(all_counts, key=lambda c: -all_counts[c])
+    # US first, China in the top three.
+    assert ranked[0] == "US"
+    assert "CN" in ranked[:3]
+    # Broad coverage including small countries.
+    assert len(all_counts) > 30
+    # Poorly covered regions stay small.
+    for code in ("KP", "TD"):
+        assert all_counts.get(code, 0) < all_counts["US"] / 50
+    # Every vantage point sees the US dominate (legacy space).
+    for vantage in ("CE1", "NA1"):
+        counts = per_vantage[vantage]
+        assert sorted(counts, key=lambda c: -counts[c])[0] == "US"

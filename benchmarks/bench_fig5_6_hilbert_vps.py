@@ -1,0 +1,71 @@
+"""Figures 5 & 6 — Hilbert maps of large blocks per vantage point.
+
+Paper shape: a mostly-dark legacy allocation (the /9-inside-a-/8
+example, scaled to /13-inside-/12 here) appears as a dense dark region;
+individual vantage points see complementary parts of it, and combining
+all vantage points yields the most complete picture of a known
+telescope's space (Figure 6c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import emit
+from repro.analysis.hilbert_viz import hilbert_grid, render_hilbert_ascii
+from repro.net.ipv4 import Prefix
+
+
+def _legacy_base(study) -> Prefix:
+    """The big US-Education legacy allocation (the paper's /9 analog)."""
+    for autonomous_system in study.world.registry:
+        if autonomous_system.name.startswith("Legacy-US-0"):
+            return autonomous_system.announced[0]
+    raise AssertionError("legacy allocation missing")
+
+
+def test_fig5_6_hilbert_per_vantage(study, benchmark):
+    world = study.world
+    legacy = _legacy_base(study)
+    tus1 = world.telescopes["TUS1"]
+    telescope_base = Prefix.from_ip(int(tus1.blocks[0]) << 8, 12)
+
+    def collect():
+        views = {}
+        for vantage in ("CE1", "NA1", "All"):
+            result = study.infer(vantage, days=world.config.num_days)
+            views[vantage] = result.prefixes
+        return views
+
+    views = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    sections = []
+    coverage = {}
+    for figure, base, reference in (
+        ("Figure 5 (legacy allocation)", legacy, None),
+        ("Figure 6 (known telescope)", telescope_base, tus1.blocks),
+    ):
+        for vantage in ("CE1", "NA1", "All"):
+            hilbert = hilbert_grid(base, views[vantage], reference_blocks=reference)
+            coverage[(figure, vantage)] = hilbert.dark_pixels()
+            sections.append(
+                f"--- {figure} — {vantage}: {hilbert.dark_pixels()} dark /24s ---\n"
+                + render_hilbert_ascii(hilbert, max_side=32)
+            )
+    emit("fig5_6_hilbert_vps", "\n\n".join(sections))
+
+    legacy_figure = "Figure 5 (legacy allocation)"
+    telescope_figure = "Figure 6 (known telescope)"
+    # The legacy block is visibly dark from every vantage point.
+    for vantage in ("CE1", "NA1", "All"):
+        assert coverage[(legacy_figure, vantage)] > 0
+    # Combining vantage points recovers at least as much of the
+    # telescope as the best single site (Figure 6c).
+    best_single = max(
+        coverage[(telescope_figure, "CE1")], coverage[(telescope_figure, "NA1")]
+    )
+    assert coverage[(telescope_figure, "All")] >= best_single * 0.8
+    # TUS1 is a NA-visible telescope: NA1 sees it, CE1 does not.
+    assert coverage[(telescope_figure, "NA1")] > 0
+    inside_ce1 = np.isin(views["CE1"], tus1.blocks).sum()
+    assert inside_ce1 == 0

@@ -1,0 +1,56 @@
+"""Figure 7 — ECDF of the prefix index per announced-prefix length.
+
+Paper shape: a surprisingly large share of big announcements contains
+meta-telescope space — several percent of the largest blocks have more
+than 5 % dark /24s, and some /16s exceed 40 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import emit
+from repro.analysis.prefix_index import prefix_index_distribution, share_exceeding
+from repro.reporting.ecdf import Ecdf, render_ecdf_rows
+from repro.reporting.tables import format_table
+
+
+def test_fig7_prefix_index_ecdf(study, benchmark):
+    def collect():
+        blocks = study.union_final_blocks()
+        routing = study.telescope.routing_for_days(
+            list(range(study.world.config.num_days))
+        )
+        return prefix_index_distribution(blocks, routing)
+
+    per_length = benchmark.pedantic(collect, rounds=1, iterations=1)
+    populated = {
+        length: entries for length, entries in per_length.items() if entries
+    }
+    ecdfs = {
+        f"/{length}": Ecdf(np.array([e.index for e in entries]))
+        for length, entries in sorted(populated.items())
+    }
+    grid = np.array([0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8])
+    emit(
+        "fig7_prefix_index",
+        format_table(
+            ["dark share <=", *ecdfs],
+            render_ecdf_rows(ecdfs, grid),
+            title="Figure 7 — ECDF of per-prefix meta-telescope share",
+        ),
+    )
+    # Several prefix lengths are announced and analysable.
+    assert len(populated) >= 4
+    # A substantial share of large announcements holds >5 % dark space.
+    large_lengths = [length for length in populated if length <= 12]
+    assert large_lengths, "need large announcements"
+    share_over_5pct = max(
+        share_exceeding(populated[length], 0.05) for length in large_lengths
+    )
+    assert share_over_5pct > 0.05
+    # Some prefixes are mostly meta-telescope space.
+    all_indices = [
+        entry.index for entries in populated.values() for entry in entries
+    ]
+    assert max(all_indices) > 0.4

@@ -1,0 +1,76 @@
+"""Performance benchmarks of the core hot paths.
+
+Unlike the table/figure benches (one-shot analyses), these time the
+operations an operator runs continuously: per-/24 aggregation of a
+day's flows, the pooled seven-step inference, packet-sampled thinning,
+and tolerance calibration.  Regressions here directly translate to
+slower daily re-inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import PipelineConfig, run_pipeline
+from repro.core.spoofing_tolerance import tolerances_for_views
+from repro.vantage.sampling import VantageDayView, compute_block_aggregates
+
+
+def test_perf_block_aggregation(study, benchmark):
+    """Aggregate the biggest IXP's daily flows into /24 statistics."""
+    flows = study.observatory.day(0).ixp_views["NA1"].flows
+
+    def aggregate():
+        return compute_block_aggregates(flows)
+
+    agg = benchmark(aggregate)
+    assert len(agg.blocks) > 1000
+
+
+def test_perf_pipeline_single_day(study, benchmark):
+    """The full pooled inference over all 14 IXPs, one day."""
+    views = [
+        VantageDayView(
+            vantage=view.vantage,
+            day=view.day,
+            flows=view.flows,
+            sampling_factor=view.sampling_factor,
+        )
+        for view in study.views("All", days=1)
+    ]  # fresh copies: no cached aggregates, the realistic cold path
+    routing = study.telescope.routing_for_days([0])
+    config = PipelineConfig(
+        volume_threshold_pkts_day=study.world.config.volume_threshold_pkts_day
+    )
+
+    def infer():
+        for view in views:
+            view._aggregates = None  # noqa: SLF001 - force recompute
+        return run_pipeline(views, routing, config)
+
+    result = benchmark.pedantic(infer, rounds=3, iterations=1)
+    assert result.num_dark() > 0
+
+
+def test_perf_thinning(study, benchmark):
+    """Packet-sampled decimation of a large flow table."""
+    flows = study.observatory.day(0).ixp_views["NA1"].flows
+    rng = np.random.default_rng(0)
+
+    def thin():
+        return flows.thin(0.1, rng)
+
+    thinned = benchmark(thin)
+    assert 0 < thinned.total_packets() < flows.total_packets()
+
+
+def test_perf_tolerance_calibration(study, benchmark):
+    """Window-tolerance computation across all vantage points."""
+    views = study.views("All", days=1)
+    baseline = study.world.unrouted_baseline_blocks
+
+    def calibrate():
+        return tolerances_for_views(views, baseline)
+
+    tolerances = benchmark(calibrate)
+    assert len(tolerances) == 14

@@ -1,0 +1,65 @@
+"""Extension — prefix-set stability across days (paper Section 9 claim).
+
+"The set of meta-telescope prefixes is quite stable for a couple of
+days": adjacent daily sets should overlap substantially, with slow
+decay over the week, and the paper's recommendation (trust prefixes
+seen on several days) should retain the bulk of each day's set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import emit
+from repro.analysis.stability import stability_report
+from repro.core.combine import stable_dark_blocks
+from repro.reporting.tables import format_table
+
+
+def test_prefix_set_stability(study, benchmark):
+    week = study.world.config.num_days
+
+    def collect():
+        daily = {
+            day: study.telescope.infer(
+                study.views_by_day("All")[day],
+                use_spoofing_tolerance=True,
+                refine=False,
+            ).pipeline.dark_blocks
+            for day in range(week)
+        }
+        return daily, stability_report(daily)
+
+    daily, report = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [
+        [
+            day,
+            len(daily[day]),
+            f"{report.retention[i]:.3f}",
+            f"{report.survival[i]:.3f}",
+        ]
+        for i, day in enumerate(report.days)
+    ]
+    stable3 = stable_dark_blocks(daily, min_days=3)
+    emit(
+        "stability",
+        format_table(
+            ["Day", "#Dark", "Retention vs prev", "Survival of day-0 set"],
+            rows,
+            title="Prefix-set stability across the week (All IXPs)",
+        )
+        + f"\nmean adjacent Jaccard: {report.adjacent_similarity():.3f}; "
+        f"prefixes dark on >= 3 days: {len(stable3):,}",
+    )
+    # "Quite stable for a couple of days": adjacent sets overlap far
+    # beyond chance (a random pair of 30 k-subsets of the 43 k-dark
+    # universe would share ~70 % by chance of the smaller set but the
+    # per-day sampling noise — the paper's own 2x variability — caps
+    # retention well below 1).
+    assert report.adjacent_similarity() > 0.35
+    assert report.retention[1:].min() > 0.5
+    # ... and decays slowly over the week.
+    assert report.survival[-1] > 0.4
+    assert (np.diff(report.survival[2:]) <= 0.15).all()
+    # The stability recommendation keeps a usable set.
+    assert len(stable3) > 0.4 * len(daily[0])

@@ -1,0 +1,64 @@
+"""Table 4 — meta-telescope coverage of the operational telescopes.
+
+Paper shape: TUS1 is invisible at CE1 (zero coverage there) but well
+covered using all vantage points, and far better with 7 days than with
+1; TEU2 is never inferred on day one (its traffic trips the volume
+filter during the April-24 event) yet is almost fully recovered over
+the week; TEU1 is partially covered (most of it is lent to end users).
+"""
+
+from __future__ import annotations
+
+from _common import emit
+from repro.core.evaluation import telescope_coverage
+from repro.reporting.tables import format_table
+
+
+def test_table4_telescope_coverage(study, benchmark):
+    week = study.world.config.num_days
+
+    def infer_all():
+        return {
+            ("CE1", 1): study.infer("CE1", days=1, refine=False),
+            ("CE1", week): study.infer("CE1", days=week, refine=False),
+            ("All", 1): study.infer("All", days=1, refine=False),
+            ("All", week): study.infer("All", days=week, refine=False),
+        }
+
+    results = benchmark.pedantic(infer_all, rounds=1, iterations=1)
+    rows = []
+    coverage = {}
+    for code, telescope in study.world.telescopes.items():
+        row = [code, telescope.size()]
+        for days in (1, week):
+            for vantage in ("CE1", "All"):
+                day = 0 if days == 1 else None
+                cell = telescope_coverage(
+                    results[(vantage, days)].pipeline.dark_blocks,
+                    telescope,
+                    day=day,
+                ).inferred_inside
+                coverage[(code, vantage, days)] = cell
+                row.append(cell)
+        rows.append(row)
+    emit(
+        "table4_coverage",
+        format_table(
+            ["Code", "Size", "CE1 1d", "All 1d", "CE1 7d", "All 7d"],
+            rows,
+            title="Table 4 — inferred meta-telescope prefixes inside telescopes",
+        ),
+    )
+    # TUS1 is not visible at CE1 at all.
+    assert coverage[("TUS1", "CE1", 1)] == 0
+    assert coverage[("TUS1", "CE1", week)] == 0
+    # All vantage points recover a substantial share, growing with days.
+    assert coverage[("TUS1", "All", 1)] > 0.1 * study.world.telescopes["TUS1"].size()
+    assert coverage[("TUS1", "All", week)] > coverage[("TUS1", "All", 1)]
+    # TEU2: zero on the event day, recovered over the week.
+    assert coverage[("TEU2", "CE1", 1)] == 0
+    assert coverage[("TEU2", "All", 1)] == 0
+    assert coverage[("TEU2", "All", week)] >= 7
+    assert coverage[("TEU2", "CE1", week)] >= 4
+    # TEU1 is partially covered (lending keeps most of it active).
+    assert 0 < coverage[("TEU1", "All", week)] < study.world.telescopes["TEU1"].size()

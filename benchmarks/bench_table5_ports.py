@@ -1,0 +1,87 @@
+"""Table 5 — top-10 TCP ports at the operational telescopes.
+
+Paper shape: ports 22, 80 and 443 appear in every telescope's top
+list; telnet (23) leads where it is not blocked; 6379 (Redis) ranks
+high at TUS1 and TEU2 but is absent from TEU1 (a regional campaign);
+TEU1 misses 23/445 entirely (ingress-blocked).  The inferred
+meta-telescope's top ports overlap the telescopes' top ports.
+"""
+
+from __future__ import annotations
+
+from _common import emit
+from repro.analysis.comparison import compare_port_statistics
+from repro.analysis.ports import top_ports
+from repro.reporting.tables import format_table
+from repro.traffic.flows import FlowTable
+
+
+def test_table5_top_ports(study, benchmark):
+    week = study.world.config.num_days
+
+    def collect():
+        ranking = {}
+        weekly_by_code = {}
+        for code in study.world.telescopes:
+            weekly = FlowTable.concat(
+                [
+                    study.observatory.day(day).telescope_views[code].flows
+                    for day in range(week)
+                ]
+            )
+            weekly_by_code[code] = weekly
+            ranking[code] = top_ports(weekly, count=10)
+        result = study.infer("All", days=1)
+        views = study.views("All", days=1)
+        captured = study.telescope.captured_traffic(views, result)
+        ranking["meta-telescope"] = top_ports(captured, count=10)
+        comparisons = {
+            code: compare_port_statistics(captured, weekly, top_k=10)
+            for code, weekly in weekly_by_code.items()
+        }
+        return ranking, comparisons
+
+    ranking, comparisons = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [
+        [f"#{i + 1}"]
+        + [
+            ranking[code][i] if i < len(ranking[code]) else "-"
+            for code in ("TUS1", "TEU1", "TEU2", "meta-telescope")
+        ]
+        for i in range(10)
+    ]
+    emit(
+        "table5_ports",
+        format_table(
+            ["Rank", "TUS1", "TEU1", "TEU2", "Meta-telescope"],
+            rows,
+            title="Table 5 — top 10 TCP destination ports (week)",
+        )
+        + "\n\nmeta-telescope vs telescope port statistics "
+        "(paper: 'perfect overlap for the top ports'):\n"
+        + format_table(
+            ["Telescope", "top-10 overlap", "Spearman rho", "L1 distance"],
+            [
+                (code, c.overlap, c.spearman_rho, c.l1_distance)
+                for code, c in comparisons.items()
+            ],
+        ),
+    )
+    # Ports 22/80/443 in every telescope's top-10.
+    for code in ("TUS1", "TEU1", "TEU2"):
+        assert {22, 80, 443} <= set(ranking[code])
+    # Telnet leads where not blocked; TEU1 never sees 23 or 445.
+    assert ranking["TUS1"][0] == 23
+    assert ranking["TEU2"][0] == 23
+    assert 23 not in ranking["TEU1"]
+    assert 445 not in ranking["TEU1"]
+    # The regional Redis campaign: high at TUS1/TEU2, absent at TEU1.
+    assert 6379 in ranking["TUS1"]
+    assert 6379 in ranking["TEU2"]
+    assert 6379 not in ranking["TEU1"]
+    # The meta-telescope's core ports match the telescopes'.
+    assert {23, 22, 80, 443, 8080} <= set(ranking["meta-telescope"])
+    # Quantified: strong rank agreement with the unblocked telescopes.
+    assert comparisons["TUS1"].overlap >= 7
+    assert comparisons["TUS1"].spearman_rho > 0.5
+    assert comparisons["TEU2"].overlap >= 6

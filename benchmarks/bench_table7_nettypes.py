@@ -1,0 +1,50 @@
+"""Table 7 — meta-telescope /24s by continent and network type.
+
+Paper shape: North America holds the largest share (legacy space),
+Asia second; ISPs host the most prefixes overall, education space is
+prominent in North America (legacy university allocations), data
+centers hold the least; every continent x type cell is populated.
+"""
+
+from __future__ import annotations
+
+from _common import emit
+from repro.analysis.nettypes import TABLE7_CONTINENTS, TABLE7_TYPES, type_continent_matrix
+from repro.reporting.tables import format_table
+
+
+def test_table7_type_continent(study, benchmark):
+    def collect():
+        blocks = study.union_final_blocks()
+        return type_continent_matrix(
+            blocks,
+            study.world.datasets.geodb,
+            study.world.datasets.pfx2as,
+            study.world.datasets.ipinfo,
+        )
+
+    matrix = benchmark.pedantic(collect, rounds=1, iterations=1)
+    header = ["Region", "Total", *(t.value for t in TABLE7_TYPES)]
+    rows = [
+        [region, matrix[region]["Total"], *(matrix[region][t.value] for t in TABLE7_TYPES)]
+        for region in ("All", *TABLE7_CONTINENTS)
+    ]
+    emit(
+        "table7_nettypes",
+        format_table(
+            header, rows,
+            title="Table 7 — meta-telescope /24s by continent and type (union)",
+        ),
+    )
+    all_row = matrix["All"]
+    # ISPs host the most meta-telescope space; data centers the least.
+    assert all_row["ISP"] == max(all_row[t.value] for t in TABLE7_TYPES)
+    assert all_row["Data Center"] == min(all_row[t.value] for t in TABLE7_TYPES)
+    # North America leads, Asia follows.
+    continent_totals = {c: matrix[c]["Total"] for c in TABLE7_CONTINENTS}
+    ranked = sorted(continent_totals, key=lambda c: -continent_totals[c])
+    assert ranked[0] == "NA"
+    assert "AS" in ranked[:2]
+    # Education is especially prominent inside North America.
+    na = matrix["NA"]
+    assert na["Education"] > all_row["Education"] * 0.5

@@ -1,0 +1,13 @@
+"""Session fixtures for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import PaperStudy
+
+
+@pytest.fixture(scope="session")
+def study() -> PaperStudy:
+    """The shared benchmark-scale study (built once per session)."""
+    return PaperStudy()

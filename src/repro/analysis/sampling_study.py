@@ -1,0 +1,74 @@
+"""Effect of flow sampling on the inference (paper Section 7.3, Figure 10).
+
+The paper cannot lower its IXPs' sampling rates, so it *raises* them:
+sub-sampling the existing flow data by factors 1..200 and re-running
+the inference.  Expected shape: the number of inferred prefixes first
+*rises* (spoofed pollution thins out faster than scan coverage
+degrades), then collapses to zero once scans become invisible; the
+false-positive share rises monotonically throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metatelescope import MetaTelescope
+from repro.vantage.sampling import VantageDayView
+from repro.world.ground_truth import BlockIndex
+
+
+@dataclass(frozen=True, slots=True)
+class SamplingPoint:
+    """One x-position of Figure 10."""
+
+    factor: int
+    inferred: int
+    false_positive_share: float
+    sampled_packets: int
+    sampled_flows: int
+
+
+def sampling_sweep(
+    views: list[VantageDayView],
+    telescope: MetaTelescope,
+    index: BlockIndex,
+    factors: tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100, 180),
+    seed: int = 0,
+) -> list[SamplingPoint]:
+    """Re-run the inference on progressively sub-sampled views."""
+    from repro.core.evaluation import confusion_against_truth  # noqa: PLC0415
+
+    points = []
+    for factor in factors:
+        rng = np.random.default_rng((seed, factor))
+        if factor == 1:
+            decimated = views
+        else:
+            decimated = [view.decimated(factor, rng) for view in views]
+        packets = sum(view.flows.total_packets() for view in decimated)
+        flows = sum(len(view.flows) for view in decimated)
+        if packets == 0:
+            points.append(
+                SamplingPoint(
+                    factor=factor,
+                    inferred=0,
+                    false_positive_share=0.0,
+                    sampled_packets=0,
+                    sampled_flows=0,
+                )
+            )
+            continue
+        result = telescope.infer(decimated, refine=False)
+        confusion = confusion_against_truth(result.pipeline.dark_blocks, index)
+        points.append(
+            SamplingPoint(
+                factor=factor,
+                inferred=result.pipeline.num_dark(),
+                false_positive_share=confusion.false_positive_rate_of_inferred(),
+                sampled_packets=packets,
+                sampled_flows=flows,
+            )
+        )
+    return points

@@ -1,0 +1,18 @@
+"""BGP substrate: AS registry, AS-level topology, and RIB emulation."""
+
+from repro.bgp.asinfo import ASRegistry, ASType, AutonomousSystem, Organization
+from repro.bgp.rib import Announcement, RibSnapshot, RouteViewsCollector, RoutingTable
+from repro.bgp.topology import AsTopology, Relationship
+
+__all__ = [
+    "ASRegistry",
+    "ASType",
+    "AutonomousSystem",
+    "Organization",
+    "Announcement",
+    "RibSnapshot",
+    "RouteViewsCollector",
+    "RoutingTable",
+    "AsTopology",
+    "Relationship",
+]

@@ -1,0 +1,162 @@
+"""AS-level topology: provider/customer and peering relationships.
+
+The topology serves three purposes in the reproduction:
+
+* it decides which (src AS, dst AS) traffic pairs are *visible* at a
+  given IXP vantage point (traffic crosses the IXP only if the two
+  members exchange it there or one transits for the other);
+* it provides CAIDA-style *customer cones* for the spoofing-mitigation
+  extension discussed in the paper's Section 9;
+* it gives each world a stable tier structure (tier-1 backbone,
+  mid-tier regionals, stub edges).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+import networkx as nx
+
+
+class Relationship(str, Enum):
+    """Inter-AS business relationship (CAIDA serial-1 style)."""
+
+    PROVIDER_CUSTOMER = "p2c"
+    PEER_PEER = "p2p"
+
+
+class AsTopology:
+    """Directed AS relationship graph.
+
+    Provider->customer edges point downhill; peer links are stored as a
+    symmetric edge pair tagged :attr:`Relationship.PEER_PEER`.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._cone_cache: dict[int, frozenset[int]] = {}
+
+    def add_as(self, asn: int) -> None:
+        """Ensure ``asn`` exists as a node."""
+        self._graph.add_node(asn)
+
+    def add_provider_customer(self, provider: int, customer: int) -> None:
+        """Record that ``provider`` sells transit to ``customer``."""
+        if provider == customer:
+            raise ValueError("an AS cannot be its own provider")
+        self._graph.add_edge(
+            provider, customer, relationship=Relationship.PROVIDER_CUSTOMER
+        )
+        self._cone_cache.clear()
+
+    def add_peering(self, left: int, right: int) -> None:
+        """Record a settlement-free peering between two ASes."""
+        if left == right:
+            raise ValueError("an AS cannot peer with itself")
+        self._graph.add_edge(left, right, relationship=Relationship.PEER_PEER)
+        self._graph.add_edge(right, left, relationship=Relationship.PEER_PEER)
+        self._cone_cache.clear()
+
+    def asns(self) -> list[int]:
+        """All ASNs in the graph, ascending."""
+        return sorted(self._graph.nodes)
+
+    def providers_of(self, asn: int) -> set[int]:
+        """Direct transit providers of ``asn``."""
+        return {
+            upstream
+            for upstream, _, data in self._graph.in_edges(asn, data=True)
+            if data["relationship"] is Relationship.PROVIDER_CUSTOMER
+        }
+
+    def customers_of(self, asn: int) -> set[int]:
+        """Direct customers of ``asn``."""
+        return {
+            downstream
+            for _, downstream, data in self._graph.out_edges(asn, data=True)
+            if data["relationship"] is Relationship.PROVIDER_CUSTOMER
+        }
+
+    def peers_of(self, asn: int) -> set[int]:
+        """Settlement-free peers of ``asn``."""
+        return {
+            other
+            for _, other, data in self._graph.out_edges(asn, data=True)
+            if data["relationship"] is Relationship.PEER_PEER
+        }
+
+    def customer_cone(self, asn: int) -> frozenset[int]:
+        """The AS plus everything reachable through customer links.
+
+        This is CAIDA's "customer cone" [Luckie et al., IMC 2013]: the
+        set of ASes whose announced space ``asn`` can legitimately
+        source traffic from.  Used by the cone-based spoofing filter.
+        """
+        cached = self._cone_cache.get(asn)
+        if cached is not None:
+            return cached
+        cone: set[int] = set()
+        frontier = [asn]
+        while frontier:
+            current = frontier.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            frontier.extend(self.customers_of(current))
+        result = frozenset(cone)
+        self._cone_cache[asn] = result
+        return result
+
+    def tier1_asns(self) -> list[int]:
+        """ASes without any provider (the synthetic backbone clique)."""
+        return sorted(
+            asn for asn in self._graph.nodes if not self.providers_of(asn)
+        )
+
+    def is_stub(self, asn: int) -> bool:
+        """True if the AS has no customers of its own."""
+        return not self.customers_of(asn)
+
+    def transit_path_exists(self, src: int, dst: int) -> bool:
+        """True if valley-free connectivity plausibly exists.
+
+        We use a coarse reachability check (the synthetic backbone is a
+        full mesh, so any two ASes with providers are connected); it is
+        enough to decide whether traffic *can* flow, which is all the
+        vantage-point model needs.
+        """
+        if src == dst:
+            return True
+        graph = self._graph
+        return src in graph and dst in graph
+
+    @classmethod
+    def build_hierarchy(
+        cls,
+        tier1: Iterable[int],
+        mid_tier: dict[int, list[int]],
+        stubs: dict[int, list[int]],
+    ) -> "AsTopology":
+        """Construct a three-tier topology.
+
+        ``mid_tier`` maps each regional AS to its tier-1 providers;
+        ``stubs`` maps each stub AS to its mid-tier (or tier-1)
+        providers.  Tier-1s form a full peering mesh.
+        """
+        topology = cls()
+        tier1_list = list(tier1)
+        for asn in tier1_list:
+            topology.add_as(asn)
+        for i, left in enumerate(tier1_list):
+            for right in tier1_list[i + 1 :]:
+                topology.add_peering(left, right)
+        for customer, providers in mid_tier.items():
+            topology.add_as(customer)
+            for provider in providers:
+                topology.add_provider_customer(provider, customer)
+        for customer, providers in stubs.items():
+            topology.add_as(customer)
+            for provider in providers:
+                topology.add_provider_customer(provider, customer)
+        return topology

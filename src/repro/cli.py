@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      — build a world, run the inference, print the funnel
+                  and headline numbers (the quickstart, as a command);
+* ``infer``     — run the inference for one vantage (or all) and write
+                  the prefix list to a file;
+* ``funnel``    — print only the Figure-2 funnel;
+* ``telescopes``— print telescope coverage (Table 4 style);
+* ``ports``     — print the top targeted ports of the captured IBR;
+* ``report``    — write the full markdown operator report.
+
+All commands accept ``--scale {micro,small,paper}``, ``--seed``,
+``--days`` and ``--vantage`` (an IXP code or ``All``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.ports import top_ports
+from repro.core import MetaTelescope
+from repro.core.evaluation import confusion_against_truth, telescope_coverage
+from repro.core.pipeline import PipelineConfig
+from repro.io import write_prefix_list
+from repro.reporting.report import generate_report
+from repro.reporting.tables import format_table
+from repro.world.observe import Observatory
+from repro.world.scenarios import micro_world, paper_world, small_world
+
+_SCALES = {"micro": micro_world, "small": small_world, "paper": paper_world}
+
+
+def _build(args: argparse.Namespace):
+    world = _SCALES[args.scale](args.seed)
+    observatory = Observatory(world)
+    telescope = MetaTelescope(
+        collector=world.collector,
+        liveness=world.datasets.liveness,
+        unrouted_baseline=world.unrouted_baseline_blocks,
+        config=PipelineConfig(
+            avg_size_threshold=world.config.avg_size_threshold,
+            volume_threshold_pkts_day=world.config.volume_threshold_pkts_day,
+        ),
+    )
+    return world, observatory, telescope
+
+
+def _views(world, observatory, args: argparse.Namespace):
+    days = min(args.days, world.config.num_days)
+    if args.vantage == "All":
+        return observatory.all_ixp_views(num_days=days)
+    codes = {ixp.code for ixp in world.fabric.ixps}
+    if args.vantage not in codes:
+        raise SystemExit(
+            f"unknown vantage {args.vantage!r}; choose from All, "
+            + ", ".join(sorted(codes))
+        )
+    return observatory.ixp_views(args.vantage, num_days=days)
+
+
+def _infer(world, observatory, telescope, args: argparse.Namespace):
+    views = _views(world, observatory, args)
+    return views, telescope.infer(
+        views, use_spoofing_tolerance=not args.no_tolerance
+    )
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    world, observatory, telescope = _build(args)
+    views, result = _infer(world, observatory, telescope, args)
+    print(format_table(["step", "#/24s"], result.pipeline.funnel.as_rows()))
+    print(
+        f"\ndark {len(result.pipeline.dark_blocks):,} / unclean "
+        f"{len(result.pipeline.unclean_blocks):,} / gray "
+        f"{len(result.pipeline.gray_blocks):,}"
+    )
+    print(f"final meta-telescope: {result.num_prefixes():,} /24 prefixes")
+    confusion = confusion_against_truth(result.prefixes, world.index)
+    print(
+        f"ground truth: FP {confusion.false_positive_rate_of_inferred():.2%}, "
+        f"recall {confusion.recall():.1%}"
+    )
+    return 0
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    world, observatory, telescope = _build(args)
+    _, result = _infer(world, observatory, telescope, args)
+    comment = (
+        f"meta-telescope prefixes — scale={args.scale} seed={args.seed} "
+        f"vantage={args.vantage} days={args.days}"
+    )
+    write_prefix_list(
+        result.prefixes, args.output, comment=comment, aggregate=args.aggregate
+    )
+    print(f"wrote {result.num_prefixes():,} /24 prefixes to {args.output}")
+    return 0
+
+
+def cmd_funnel(args: argparse.Namespace) -> int:
+    world, observatory, telescope = _build(args)
+    _, result = _infer(world, observatory, telescope, args)
+    print(format_table(["step", "#/24s"], result.pipeline.funnel.as_rows()))
+    return 0
+
+
+def cmd_telescopes(args: argparse.Namespace) -> int:
+    world, observatory, telescope = _build(args)
+    _, result = _infer(world, observatory, telescope, args)
+    rows = []
+    for code, sensor in world.telescopes.items():
+        row = telescope_coverage(
+            result.prefixes, sensor, day=0 if args.days == 1 else None
+        )
+        rows.append((code, row.telescope_size, row.inferred_inside,
+                     f"{row.coverage():.0%}"))
+    print(format_table(["telescope", "size", "inferred", "coverage"], rows))
+    return 0
+
+
+def cmd_ports(args: argparse.Namespace) -> int:
+    world, observatory, telescope = _build(args)
+    views, result = _infer(world, observatory, telescope, args)
+    captured = telescope.captured_traffic(views, result)
+    ranked = top_ports(captured, count=args.count)
+    print(
+        format_table(
+            ["rank", "port"], [(i + 1, port) for i, port in enumerate(ranked)]
+        )
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    world, observatory, telescope = _build(args)
+    views, result = _infer(world, observatory, telescope, args)
+    text = generate_report(
+        telescope,
+        views,
+        result,
+        geodb=world.datasets.geodb,
+        pfx2as=world.datasets.pfx2as,
+        title=f"Meta-telescope report — {args.vantage}, {args.days} day(s)",
+    )
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote report to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="operate a synthetic meta-telescope"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    commands = {
+        "demo": cmd_demo,
+        "infer": cmd_infer,
+        "funnel": cmd_funnel,
+        "telescopes": cmd_telescopes,
+        "ports": cmd_ports,
+        "report": cmd_report,
+    }
+    for name, handler in commands.items():
+        p = sub.add_parser(name)
+        p.add_argument("--scale", choices=sorted(_SCALES), default="small")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--days", type=int, default=1)
+        p.add_argument("--vantage", default="All")
+        p.add_argument(
+            "--no-tolerance", action="store_true",
+            help="disable the spoofing tolerance",
+        )
+        if name == "infer":
+            p.add_argument("--output", default="meta-telescope-prefixes.txt")
+            p.add_argument(
+                "--aggregate", action="store_true",
+                help="collapse contiguous /24s into their CIDR cover",
+            )
+        if name == "ports":
+            p.add_argument("--count", type=int, default=10)
+        if name == "report":
+            p.add_argument("--output", default="meta-telescope-report.md")
+        p.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Core: the meta-telescope inference methodology (the paper's Section 4).
+
+* :mod:`repro.core.thresholds` — packet-size fingerprint tuning (Table 3);
+* :mod:`repro.core.pipeline` — the seven-step inference pipeline (Figure 2);
+* :mod:`repro.core.spoofing_tolerance` — the unrouted-space tolerance (§7.2);
+* :mod:`repro.core.combine` — multi-day / multi-vantage composition;
+* :mod:`repro.core.refine` — liveness refinement and spoof-mitigation
+  extensions (§4.3, §9);
+* :mod:`repro.core.metatelescope` — the public facade;
+* :mod:`repro.core.evaluation` — coverage and ground-truth metrics (§4.3).
+"""
+
+from repro.core.pipeline import (
+    FunnelCounts,
+    PipelineConfig,
+    PipelineResult,
+    run_pipeline,
+)
+from repro.core.thresholds import (
+    ClassifierEvaluation,
+    evaluate_thresholds,
+    label_isp_blocks,
+)
+from repro.core.spoofing_tolerance import tolerance_for_view, tolerances_for_views
+from repro.core.combine import stable_dark_blocks
+from repro.core.refine import refine_with_liveness
+from repro.core.federation import (
+    FederatedResult,
+    MarkingRegistry,
+    OperatorReport,
+    federate,
+)
+from repro.core.metatelescope import MetaTelescope, MetaTelescopeResult
+from repro.core.evaluation import telescope_coverage, confusion_against_truth
+
+__all__ = [
+    "FunnelCounts",
+    "PipelineConfig",
+    "PipelineResult",
+    "run_pipeline",
+    "ClassifierEvaluation",
+    "evaluate_thresholds",
+    "label_isp_blocks",
+    "tolerance_for_view",
+    "tolerances_for_views",
+    "stable_dark_blocks",
+    "refine_with_liveness",
+    "FederatedResult",
+    "MarkingRegistry",
+    "OperatorReport",
+    "federate",
+    "MetaTelescope",
+    "MetaTelescopeResult",
+    "telescope_coverage",
+    "confusion_against_truth",
+]

@@ -1,0 +1,81 @@
+"""Multi-day and multi-vantage composition helpers (paper Sections 6-7).
+
+The pipeline itself pools arbitrary view sets; this module adds the
+compositions the paper reports on: per-day series, cumulative-day
+series (Figure 9), and the stability recommendation of Section 7.1
+(trust a prefix only if it is inferred dark on several days).
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+import numpy as np
+
+from repro.bgp.rib import RoutingTable
+from repro.core.pipeline import PipelineConfig, PipelineResult, run_pipeline
+from repro.vantage.sampling import VantageDayView
+
+
+def per_day_results(
+    views_by_day: dict[int, list[VantageDayView]],
+    routing: RoutingTable,
+    config: PipelineConfig | None = None,
+) -> dict[int, PipelineResult]:
+    """Independent single-day inferences (the Figure 8 series)."""
+    return {
+        day: run_pipeline(views, routing, config)
+        for day, views in sorted(views_by_day.items())
+    }
+
+
+def cumulative_day_results(
+    views_by_day: dict[int, list[VantageDayView]],
+    routing: RoutingTable,
+    config: PipelineConfig | None = None,
+) -> dict[int, PipelineResult]:
+    """Growing-window inferences: day 0, days 0-1, ... (Figure 9)."""
+    results: dict[int, PipelineResult] = {}
+    pooled: list[VantageDayView] = []
+    for day in sorted(views_by_day):
+        pooled = pooled + views_by_day[day]
+        results[day] = run_pipeline(pooled, routing, config)
+    return results
+
+
+def stable_dark_blocks(
+    daily: dict[int, "PipelineResult | np.ndarray"], min_days: int = 2
+) -> np.ndarray:
+    """Blocks inferred dark on at least ``min_days`` of the window.
+
+    The paper's stability recommendation: prefer prefixes that recur
+    across days over one-day sightings.  ``daily`` maps each day to a
+    :class:`PipelineResult` or a bare array of dark block ids.
+    """
+    if min_days < 1:
+        raise ValueError("min_days must be >= 1")
+    arrays = [
+        result.dark_blocks if hasattr(result, "dark_blocks") else result
+        for result in daily.values()
+    ]
+    all_blocks = np.unique(
+        np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64)
+    )
+    counts = np.zeros(len(all_blocks), dtype=np.int64)
+    for dark in arrays:
+        counts += np.isin(all_blocks, dark)
+    return all_blocks[counts >= min_days]
+
+
+def intersect_dark(results: list[PipelineResult]) -> np.ndarray:
+    """Blocks dark in every result (the strictest composition)."""
+    if not results:
+        return np.empty(0, dtype=np.int64)
+    return reduce(np.intersect1d, (r.dark_blocks for r in results))
+
+
+def union_dark(results: list[PipelineResult]) -> np.ndarray:
+    """Blocks dark in any result (the paper's "union data set")."""
+    if not results:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate([r.dark_blocks for r in results]))

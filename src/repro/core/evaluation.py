@@ -1,0 +1,95 @@
+"""Evaluation of the inference (paper Section 4.3), with the bonus the
+simulator affords: exact ground truth instead of lower bounds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vantage.telescope import Telescope
+from repro.world.ground_truth import ACTIVE_STATES, BlockIndex, DARK_STATES
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageRow:
+    """One cell group of Table 4."""
+
+    telescope: str
+    telescope_size: int
+    inferred_inside: int
+
+    def coverage(self) -> float:
+        """Fraction of the telescope's space inferred dark."""
+        return self.inferred_inside / self.telescope_size if self.telescope_size else 0.0
+
+
+def telescope_coverage(
+    dark_blocks: np.ndarray, telescope: Telescope, day: int | None = None
+) -> CoverageRow:
+    """How much of an operational telescope the inference recovered.
+
+    With ``day`` given, coverage is measured against the blocks that
+    were actually dark that day (TEU1 lends some blocks out daily).
+    """
+    reference = telescope.blocks if day is None else telescope.dark_blocks_on(day)
+    inside = np.intersect1d(np.asarray(dark_blocks, dtype=np.int64), reference)
+    return CoverageRow(
+        telescope=telescope.code,
+        telescope_size=len(telescope.blocks),
+        inferred_inside=len(inside),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TruthConfusion:
+    """Inference vs ground truth over the announced space."""
+
+    inferred_dark: int
+    true_positives: int
+    false_positives: int
+    #: Truly dark announced blocks never inferred (false negatives).
+    missed_dark: int
+    total_true_dark: int
+
+    def false_positive_rate_of_inferred(self) -> float:
+        """Share of inferred-dark blocks that are actually active."""
+        return self.false_positives / self.inferred_dark if self.inferred_dark else 0.0
+
+    def recall(self) -> float:
+        """Share of the truly dark announced space recovered."""
+        return (
+            self.true_positives / self.total_true_dark if self.total_true_dark else 0.0
+        )
+
+
+def confusion_against_truth(
+    dark_blocks: np.ndarray,
+    index: BlockIndex,
+    day_active_overrides: np.ndarray | None = None,
+) -> TruthConfusion:
+    """Exact confusion of an inferred dark set against ground truth.
+
+    ``day_active_overrides`` marks blocks that were active *that day*
+    despite a dark ground-truth state (TEU1's lent blocks).
+    """
+    inferred = np.unique(np.asarray(dark_blocks, dtype=np.int64))
+    states = index.state_of(inferred)
+    dark_values = [int(s) for s in DARK_STATES]
+    active_values = [int(s) for s in ACTIVE_STATES]
+    is_true_dark = np.isin(states, dark_values)
+    is_true_active = np.isin(states, active_values)
+    if day_active_overrides is not None and len(day_active_overrides):
+        overridden = np.isin(inferred, day_active_overrides)
+        is_true_dark &= ~overridden
+        is_true_active |= overridden
+    # Unknown blocks (outside the index) count as neither.
+    total_true_dark = len(index.truly_dark_blocks())
+    true_positives = int(is_true_dark.sum())
+    return TruthConfusion(
+        inferred_dark=len(inferred),
+        true_positives=true_positives,
+        false_positives=int(is_true_active.sum()),
+        missed_dark=total_true_dark - true_positives,
+        total_true_dark=total_true_dark,
+    )

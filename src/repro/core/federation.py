@@ -1,0 +1,143 @@
+"""Federated meta-telescopes (paper Section 9).
+
+The paper sketches two cooperation mechanisms between operators:
+
+* **federated detection** — trusted parties share their inferred
+  prefix lists and combine them "to detect meta-telescope prefixes
+  with higher accuracy collectively";
+* **opt-in marking** — a standardised, *private* tag (a BGP community
+  or an RPKI extension known only to the involved parties) with which
+  an operator marks its own announced-but-unused space, giving the
+  federation ground truth for those prefixes without revealing the
+  tagging to scanners.
+
+Both are implemented here.  Votes make the federation robust to one
+member's spoofing-polluted or sampling-starved view; the marking
+registry short-circuits inference for space whose owners opted in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metatelescope import MetaTelescopeResult
+
+
+@dataclass(frozen=True, slots=True)
+class OperatorReport:
+    """One federation member's contribution."""
+
+    operator: str
+    dark_blocks: np.ndarray
+    #: Blocks the operator *observed* (its vote is meaningful only for
+    #: these; an unobserved block is an abstention, not a "no").
+    observed_blocks: np.ndarray
+
+    @classmethod
+    def from_result(
+        cls, operator: str, result: MetaTelescopeResult, observed: np.ndarray
+    ) -> "OperatorReport":
+        """Build a report from a local inference run."""
+        return cls(
+            operator=operator,
+            dark_blocks=np.unique(np.asarray(result.prefixes, dtype=np.int64)),
+            observed_blocks=np.unique(np.asarray(observed, dtype=np.int64)),
+        )
+
+
+@dataclass
+class MarkingRegistry:
+    """The private opt-in tagging of announced-but-unused space.
+
+    Only federation members can resolve the tags; scanners cannot (the
+    whole point of keeping the encoding private — tagged prefixes must
+    not end up on blacklists).
+    """
+
+    _marked: dict[int, str] = field(default_factory=dict)
+
+    def mark(self, blocks: np.ndarray, owner: str) -> None:
+        """An operator tags its own unused /24 blocks."""
+        for block in np.asarray(blocks, dtype=np.int64):
+            self._marked[int(block)] = owner
+
+    def unmark(self, blocks: np.ndarray) -> None:
+        """Remove tags (space was put into use)."""
+        for block in np.asarray(blocks, dtype=np.int64):
+            self._marked.pop(int(block), None)
+
+    def marked_blocks(self) -> np.ndarray:
+        """All tagged blocks, sorted."""
+        return np.array(sorted(self._marked), dtype=np.int64)
+
+    def owner_of(self, block: int) -> str | None:
+        """The operator that tagged ``block``, if any."""
+        return self._marked.get(int(block))
+
+    def __len__(self) -> int:
+        return len(self._marked)
+
+
+@dataclass(frozen=True)
+class FederatedResult:
+    """Outcome of a federated combination."""
+
+    prefixes: np.ndarray
+    #: Of which: confirmed by the vote among observers.
+    voted_blocks: np.ndarray
+    #: Of which: contributed by the opt-in marking registry.
+    marked_blocks: np.ndarray
+    votes_for: dict[int, int] = field(default_factory=dict)
+
+    def num_prefixes(self) -> int:
+        """Size of the federated meta-telescope."""
+        return len(self.prefixes)
+
+
+def federate(
+    reports: list[OperatorReport],
+    registry: MarkingRegistry | None = None,
+    min_vote_share: float = 0.5,
+) -> FederatedResult:
+    """Combine member reports (and the marking registry) into one list.
+
+    A block joins the federated meta-telescope when at least
+    ``min_vote_share`` of the members that *observed* it inferred it
+    dark, or when its owner tagged it in the registry.  Abstentions
+    (members that never observed the block) do not count against it.
+    """
+    if not reports:
+        raise ValueError("a federation needs at least one member")
+    if not 0.0 < min_vote_share <= 1.0:
+        raise ValueError(f"min_vote_share out of range: {min_vote_share}")
+
+    all_candidates = np.unique(
+        np.concatenate([report.dark_blocks for report in reports])
+    )
+    votes_for = np.zeros(len(all_candidates), dtype=np.int64)
+    observers = np.zeros(len(all_candidates), dtype=np.int64)
+    for report in reports:
+        observers += np.isin(all_candidates, report.observed_blocks)
+        votes_for += np.isin(all_candidates, report.dark_blocks)
+    # Every vote comes from an observer even if the member's observed
+    # set was reported sloppily.
+    observers = np.maximum(observers, votes_for)
+    share = votes_for / np.maximum(observers, 1)
+    voted = all_candidates[share >= min_vote_share]
+
+    marked = (
+        registry.marked_blocks() if registry is not None
+        else np.empty(0, dtype=np.int64)
+    )
+    prefixes = np.union1d(voted, marked)
+    return FederatedResult(
+        prefixes=prefixes,
+        voted_blocks=voted,
+        marked_blocks=marked,
+        votes_for={
+            int(block): int(count)
+            for block, count in zip(all_candidates, votes_for)
+        },
+    )

@@ -1,0 +1,122 @@
+"""The public meta-telescope facade.
+
+A :class:`MetaTelescope` bundles everything an operator needs — the
+Route Views feed, the special-purpose registry, liveness datasets, the
+unrouted baseline, and thresholds — and turns vantage-day views into
+the final set of meta-telescope prefixes plus the traffic captured
+toward them (the paper's two data products, Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bgp.rib import RouteViewsCollector, RoutingTable
+from repro.core.pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    run_pipeline,
+)
+from repro.core.refine import RefinementResult, refine_with_liveness
+from repro.core.spoofing_tolerance import tolerances_for_views
+from repro.datasets.liveness import LivenessDataset
+from repro.net.special import SPECIAL_PURPOSE_REGISTRY, SpecialPurposeRegistry
+from repro.traffic.flows import FlowTable
+from repro.vantage.sampling import VantageDayView
+
+
+@dataclass(frozen=True)
+class MetaTelescopeResult:
+    """Full outcome of one inference run."""
+
+    pipeline: PipelineResult
+    refinement: RefinementResult
+
+    @property
+    def prefixes(self) -> np.ndarray:
+        """The final meta-telescope prefixes (/24 block ids)."""
+        return self.refinement.final_blocks
+
+    def num_prefixes(self) -> int:
+        """Number of final meta-telescope /24 prefixes."""
+        return len(self.refinement.final_blocks)
+
+
+@dataclass
+class MetaTelescope:
+    """An operator's configured meta-telescope instance."""
+
+    collector: RouteViewsCollector
+    liveness: list[LivenessDataset] = field(default_factory=list)
+    special: SpecialPurposeRegistry = field(
+        default_factory=lambda: SPECIAL_PURPOSE_REGISTRY
+    )
+    #: Unrouted baseline /24s for the spoofing tolerance (None disables).
+    unrouted_baseline: np.ndarray | None = None
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+    _routing_cache: dict[tuple[int, ...], RoutingTable] = field(
+        default_factory=dict, repr=False
+    )
+
+    def routing_for_days(self, days: list[int]) -> RoutingTable:
+        """Union routing table over the involved days' RIB dumps."""
+        key = tuple(sorted(set(days)))
+        cached = self._routing_cache.get(key)
+        if cached is not None:
+            return cached
+        seen = {}
+        for day in key:
+            for announcement in self.collector.daily_table(day).announcements:
+                seen[(announcement.prefix, announcement.origin_asn)] = announcement
+        table = RoutingTable(seen.values())
+        self._routing_cache[key] = table
+        return table
+
+    def infer(
+        self,
+        views: list[VantageDayView],
+        use_spoofing_tolerance: bool = False,
+        refine: bool = True,
+    ) -> MetaTelescopeResult:
+        """Run the full pipeline (+ optional tolerance and refinement)."""
+        if not views:
+            raise ValueError("need at least one vantage-day view")
+        config = self.config
+        if use_spoofing_tolerance:
+            if self.unrouted_baseline is None:
+                raise ValueError(
+                    "spoofing tolerance requires an unrouted baseline"
+                )
+            tolerance = tolerances_for_views(views, self.unrouted_baseline)
+            config = PipelineConfig(
+                avg_size_threshold=config.avg_size_threshold,
+                volume_threshold_pkts_day=config.volume_threshold_pkts_day,
+                spoof_tolerance=tolerance,
+                ignore_sources_from_asns=config.ignore_sources_from_asns,
+            )
+        routing = self.routing_for_days([view.day for view in views])
+        pipeline = run_pipeline(views, routing, config, special=self.special)
+        if refine:
+            refinement = refine_with_liveness(pipeline.dark_blocks, self.liveness)
+        else:
+            refinement = RefinementResult(
+                final_blocks=pipeline.dark_blocks,
+                removed_blocks=pipeline.dark_blocks[:0],
+            )
+        return MetaTelescopeResult(pipeline=pipeline, refinement=refinement)
+
+    def captured_traffic(
+        self,
+        views: list[VantageDayView],
+        result: "MetaTelescopeResult | np.ndarray",
+    ) -> FlowTable:
+        """Data product (b): flows destined to the inferred prefixes.
+
+        ``result`` may be a full :class:`MetaTelescopeResult` or a bare
+        array of /24 block ids (e.g. an online instance's serving list).
+        """
+        prefixes = result.prefixes if hasattr(result, "prefixes") else result
+        tables = [view.flows.toward_blocks(prefixes) for view in views]
+        return FlowTable.concat(tables)

@@ -1,0 +1,117 @@
+"""Online (rolling-window) operation of a meta-telescope.
+
+Section 9 of the paper argues that "meta-telescope information as a
+service" needs *regular* re-inference — daily runs over a sliding
+window, with stability tracking, so the prefix list adapts to routing
+changes and space being put into use.  This module packages that
+operational loop:
+
+* feed each day's views with :meth:`OnlineMetaTelescope.update`;
+* the instance keeps the last ``window_days`` of views, re-runs the
+  inference over the window, and tracks how many recent days each
+  prefix was independently inferred dark;
+* :meth:`current_prefixes` returns the serving list (window inference
+  intersected with the stability requirement);
+* churn between consecutive days is reported so the operator can see
+  allocation changes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metatelescope import MetaTelescope
+from repro.vantage.sampling import VantageDayView
+
+
+@dataclass(frozen=True, slots=True)
+class DayUpdate:
+    """What changed when a day was folded in."""
+
+    day: int
+    serving_size: int
+    added_blocks: np.ndarray
+    removed_blocks: np.ndarray
+
+    def churn(self) -> int:
+        """Total blocks added plus removed vs the previous serving list."""
+        return len(self.added_blocks) + len(self.removed_blocks)
+
+
+@dataclass
+class OnlineMetaTelescope:
+    """A continuously operated meta-telescope."""
+
+    telescope: MetaTelescope
+    window_days: int = 7
+    #: A prefix must be inferred dark on at least this many of the
+    #: window's *individual* days to be served (paper §7.1).
+    min_stable_days: int = 2
+    use_spoofing_tolerance: bool = True
+    _window: deque = field(default_factory=deque, repr=False)
+    _daily_dark: deque = field(default_factory=deque, repr=False)
+    _serving: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64), repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.window_days < 1:
+            raise ValueError("window_days must be >= 1")
+        if not 1 <= self.min_stable_days <= self.window_days:
+            raise ValueError("min_stable_days must be in [1, window_days]")
+
+    def update(self, day: int, views: list[VantageDayView]) -> DayUpdate:
+        """Fold one day of views in and refresh the serving list."""
+        if not views:
+            raise ValueError("need views for the day")
+        self._window.append((day, views))
+        day_result = self.telescope.infer(
+            views,
+            use_spoofing_tolerance=self.use_spoofing_tolerance,
+            refine=False,
+        )
+        self._daily_dark.append(day_result.pipeline.dark_blocks)
+        while len(self._window) > self.window_days:
+            self._window.popleft()
+            self._daily_dark.popleft()
+
+        pooled_views = [view for _, day_views in self._window for view in day_views]
+        window_result = self.telescope.infer(
+            pooled_views,
+            use_spoofing_tolerance=self.use_spoofing_tolerance,
+        )
+        stable = self._stable_blocks()
+        serving = np.intersect1d(window_result.prefixes, stable)
+
+        added = np.setdiff1d(serving, self._serving)
+        removed = np.setdiff1d(self._serving, serving)
+        self._serving = serving
+        return DayUpdate(
+            day=day,
+            serving_size=len(serving),
+            added_blocks=added,
+            removed_blocks=removed,
+        )
+
+    def _stable_blocks(self) -> np.ndarray:
+        required = min(self.min_stable_days, len(self._daily_dark))
+        union = (
+            np.unique(np.concatenate(list(self._daily_dark)))
+            if self._daily_dark
+            else np.empty(0, dtype=np.int64)
+        )
+        counts = np.zeros(len(union), dtype=np.int64)
+        for daily in self._daily_dark:
+            counts += np.isin(union, daily)
+        return union[counts >= required]
+
+    def current_prefixes(self) -> np.ndarray:
+        """The serving meta-telescope prefix list."""
+        return self._serving
+
+    def days_in_window(self) -> list[int]:
+        """Days currently inside the rolling window."""
+        return [day for day, _ in self._window]

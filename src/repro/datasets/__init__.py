@@ -1,0 +1,24 @@
+"""Auxiliary datasets: liveness observers, geolocation, AS metadata.
+
+These emulate the paper's third-party data sources (Section 3.3):
+Censys / M-Lab NDT / ISI address history for liveness, MaxMind GeoLite2
+for country-level geolocation, CAIDA pfx2as and as2org for routing and
+organisation metadata, and IPInfo for AS business classification.
+Each emulator observes the world's ground truth *imperfectly* — with
+recall below one and small error rates — because the paper's
+refinement step explicitly treats them as lower bounds on activity.
+"""
+
+from repro.datasets.liveness import LivenessDataset
+from repro.datasets.geodb import GeoDatabase
+from repro.datasets.pfx2as import PrefixToAsMap
+from repro.datasets.as2org import AsToOrgMap
+from repro.datasets.ipinfo import AsClassification
+
+__all__ = [
+    "LivenessDataset",
+    "GeoDatabase",
+    "PrefixToAsMap",
+    "AsToOrgMap",
+    "AsClassification",
+]

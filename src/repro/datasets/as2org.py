@@ -1,0 +1,32 @@
+"""CAIDA-style AS-to-organisation mapping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.asinfo import ASRegistry, Organization
+
+
+@dataclass(frozen=True)
+class AsToOrgMap:
+    """ASN -> organisation, as the paper's as2org dataset provides."""
+
+    mapping: dict[int, Organization]
+
+    @classmethod
+    def from_registry(cls, registry: ASRegistry) -> "AsToOrgMap":
+        """Derive the mapping from a world's AS registry."""
+        return cls(
+            mapping={
+                autonomous_system.asn: registry.org(autonomous_system.org_id)
+                for autonomous_system in registry
+            }
+        )
+
+    def org_of(self, asn: int) -> Organization | None:
+        """The organisation operating ``asn``, or None if unknown."""
+        return self.mapping.get(asn)
+
+    def num_organizations(self) -> int:
+        """Number of distinct organisations."""
+        return len({org.org_id for org in self.mapping.values()})

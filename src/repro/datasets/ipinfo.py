@@ -1,0 +1,48 @@
+"""IPInfo-style AS business classification (ISP / Enterprise /
+Education / Data Center), with a small labelling error rate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bgp.asinfo import ASRegistry, ASType
+
+_AS_TYPES = tuple(ASType)
+
+
+@dataclass(frozen=True)
+class AsClassification:
+    """ASN -> business category, as the commercial dataset provides."""
+
+    mapping: dict[int, ASType]
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: ASRegistry,
+        error_rate: float,
+        rng: np.random.Generator,
+    ) -> "AsClassification":
+        """Noisy copy of the ground-truth AS types."""
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError(f"error_rate out of range: {error_rate}")
+        mapping: dict[int, ASType] = {}
+        for autonomous_system in registry:
+            label = autonomous_system.as_type
+            # Commercial classifiers get the big, well-known networks
+            # right; labelling errors concentrate on small ASes.
+            small = autonomous_system.num_announced_blocks() < 256
+            if small and rng.random() < error_rate:
+                label = _AS_TYPES[int(rng.integers(0, len(_AS_TYPES)))]
+            mapping[autonomous_system.asn] = label
+        return cls(mapping=mapping)
+
+    def type_of(self, asn: int) -> ASType | None:
+        """Business category of ``asn``, or None if unknown."""
+        return self.mapping.get(asn)
+
+    def types_of(self, asns: np.ndarray) -> list[ASType | None]:
+        """Vector lookup over an ASN array."""
+        return [self.mapping.get(int(asn)) for asn in np.asarray(asns)]

@@ -1,0 +1,11 @@
+"""Geography substrate: countries, continents, and address-allocation weights."""
+
+from repro.geo.countries import (
+    CONTINENTS,
+    COUNTRIES,
+    Continent,
+    Country,
+    country_by_code,
+)
+
+__all__ = ["CONTINENTS", "COUNTRIES", "Continent", "Country", "country_by_code"]

@@ -1,0 +1,106 @@
+"""Serialisation of the meta-telescope's data products.
+
+The two products of the paper's Section 5 need durable formats so an
+operator can feed them into firewalls, IDSs or a CERT report:
+
+* the **prefix list** — one ``a.b.c.0/24`` per line, with a comment
+  header (the format every BGP/ACL toolchain ingests);
+* the **captured-traffic table** — CSV flow records (no payloads, by
+  construction).
+
+Both round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from pathlib import Path
+
+import numpy as np
+
+from repro.net.blocksets import aggregate_blocks, expand_prefixes
+from repro.net.ipv4 import Prefix, block_to_prefix, parse_ip
+from repro.traffic.flows import FLOW_COLUMNS, FlowTable
+
+
+def write_prefix_list(
+    blocks: np.ndarray,
+    path: str | Path,
+    comment: str | None = None,
+    aggregate: bool = False,
+) -> None:
+    """Write /24 block ids as a CIDR list, one prefix per line.
+
+    With ``aggregate=True`` contiguous runs collapse into their minimal
+    CIDR cover (what an operator actually ships to routers/ACLs).
+    """
+    lines = []
+    if comment:
+        lines.extend(f"# {line}" for line in comment.splitlines())
+    unique = np.unique(np.asarray(blocks, dtype=np.int64))
+    if aggregate:
+        lines.extend(str(prefix) for prefix in aggregate_blocks(unique))
+    else:
+        lines.extend(str(block_to_prefix(int(block))) for block in unique)
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_prefix_list(path: str | Path) -> np.ndarray:
+    """Read a CIDR list written by :func:`write_prefix_list`.
+
+    Entries of /24 or shorter are expanded back to /24 block ids;
+    blank lines and ``#`` comments are skipped.
+    """
+    prefixes = []
+    for raw in Path(path).read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        prefix = Prefix.parse(line)
+        if prefix.length > 24:
+            raise ValueError(f"finer than /24: {line!r}")
+        prefixes.append(prefix)
+    return expand_prefixes(prefixes)
+
+
+def write_flows_csv(flows: FlowTable, path: str | Path) -> None:
+    """Write a flow table as CSV (header = column names)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(FLOW_COLUMNS)
+        for row in zip(*(getattr(flows, name) for name in FLOW_COLUMNS)):
+            writer.writerow([int(v) for v in row])
+
+
+def read_flows_csv(path: str | Path) -> FlowTable:
+    """Read a flow table written by :func:`write_flows_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header != list(FLOW_COLUMNS):
+            raise ValueError(f"unexpected flow CSV header: {header}")
+        rows = [tuple(int(v) for v in row) for row in reader]
+    if not rows:
+        return FlowTable.empty()
+    columns = list(zip(*rows))
+    return FlowTable(
+        **{
+            name: np.array(columns[i], dtype=dtype)
+            for i, (name, dtype) in enumerate(FLOW_COLUMNS.items())
+        }
+    )
+
+
+def prefix_list_text(blocks: np.ndarray, comment: str | None = None) -> str:
+    """The prefix list as a string (for pipes and tests)."""
+    buffer = _io.StringIO()
+    lines = []
+    if comment:
+        lines.extend(f"# {line}" for line in comment.splitlines())
+    lines.extend(
+        str(block_to_prefix(int(block)))
+        for block in np.unique(np.asarray(blocks, dtype=np.int64))
+    )
+    buffer.write("\n".join(lines) + "\n")
+    return buffer.getvalue()

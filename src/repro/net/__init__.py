@@ -1,0 +1,41 @@
+"""Address-space substrate: IPv4 arithmetic, special-purpose registries,
+Hilbert-curve indexing of the /24 space, and a longest-prefix-match trie.
+
+The rest of the library represents a /24 subnet as its *block id*: the
+24 most significant bits of its network address, i.e. ``int(ip) >> 8``.
+Block ids are plain ints (or numpy integer arrays), which keeps the
+inference pipeline vectorisable.
+"""
+
+from repro.net.ipv4 import (
+    MAX_IPV4,
+    NUM_BLOCKS,
+    Prefix,
+    block_of_ip,
+    block_to_network_ip,
+    block_to_prefix,
+    blocks_of_prefix,
+    format_ip,
+    ip_in_prefix,
+    parse_ip,
+)
+from repro.net.special import SPECIAL_PURPOSE_REGISTRY, SpecialPurposeRegistry
+from repro.net.hilbert import HilbertCurve
+from repro.net.trie import PrefixTrie
+
+__all__ = [
+    "MAX_IPV4",
+    "NUM_BLOCKS",
+    "Prefix",
+    "block_of_ip",
+    "block_to_network_ip",
+    "block_to_prefix",
+    "blocks_of_prefix",
+    "format_ip",
+    "ip_in_prefix",
+    "parse_ip",
+    "SPECIAL_PURPOSE_REGISTRY",
+    "SpecialPurposeRegistry",
+    "HilbertCurve",
+    "PrefixTrie",
+]

@@ -1,0 +1,109 @@
+"""Block sets and CIDR aggregation.
+
+Operators do not ship 300 k-line /24 lists to routers: contiguous runs
+of meta-telescope /24s (whole dark /9s, telescope ranges) aggregate
+into a handful of covering prefixes.  This module provides the minimal
+CIDR cover of a /24 block set and the set algebra operators a serving
+pipeline needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.ipv4 import Prefix
+
+
+def aggregate_blocks(blocks: np.ndarray) -> list[Prefix]:
+    """Minimal CIDR cover of a set of /24 block ids.
+
+    Returns the unique list of prefixes (each /24 or shorter) that
+    covers exactly the given blocks — the standard greedy alignment
+    walk: at each position emit the largest aligned prefix that fits
+    inside the remaining run.
+    """
+    unique = np.unique(np.asarray(blocks, dtype=np.int64))
+    if len(unique) == 0:
+        return []
+    prefixes: list[Prefix] = []
+    # Split into maximal contiguous runs.
+    boundaries = np.flatnonzero(np.diff(unique) != 1)
+    starts = np.concatenate([[0], boundaries + 1])
+    ends = np.concatenate([boundaries, [len(unique) - 1]])
+    for start_index, end_index in zip(starts, ends):
+        position = int(unique[start_index])
+        remaining = int(unique[end_index]) - position + 1
+        while remaining > 0:
+            # Largest power-of-two size that is aligned and fits.
+            align = position & -position if position else remaining
+            size = min(_floor_pow2(remaining), align if align else remaining)
+            length = 24 - size.bit_length() + 1
+            prefixes.append(Prefix(position << 8, length))
+            position += size
+            remaining -= size
+    return prefixes
+
+
+def expand_prefixes(prefixes: list[Prefix]) -> np.ndarray:
+    """Inverse of :func:`aggregate_blocks`: all covered /24 block ids."""
+    if not prefixes:
+        return np.empty(0, dtype=np.int64)
+    parts = [
+        np.arange(p.first_block(), p.first_block() + p.num_blocks(), dtype=np.int64)
+        for p in prefixes
+        if p.length <= 24
+    ]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))
+
+
+def _floor_pow2(value: int) -> int:
+    return 1 << (value.bit_length() - 1)
+
+
+class BlockSet:
+    """An immutable set of /24 blocks with set algebra and CIDR export."""
+
+    def __init__(self, blocks: np.ndarray) -> None:
+        self._blocks = np.unique(np.asarray(blocks, dtype=np.int64))
+
+    @classmethod
+    def from_prefixes(cls, prefixes: list[Prefix]) -> "BlockSet":
+        """Build from covering prefixes."""
+        return cls(expand_prefixes(prefixes))
+
+    @property
+    def blocks(self) -> np.ndarray:
+        """The sorted block ids."""
+        return self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block: int) -> bool:
+        index = int(np.searchsorted(self._blocks, block))
+        return index < len(self._blocks) and self._blocks[index] == block
+
+    def union(self, other: "BlockSet") -> "BlockSet":
+        """Set union."""
+        return BlockSet(np.union1d(self._blocks, other._blocks))
+
+    def intersection(self, other: "BlockSet") -> "BlockSet":
+        """Set intersection."""
+        return BlockSet(np.intersect1d(self._blocks, other._blocks))
+
+    def difference(self, other: "BlockSet") -> "BlockSet":
+        """Set difference (blocks in self but not other)."""
+        return BlockSet(np.setdiff1d(self._blocks, other._blocks))
+
+    def jaccard(self, other: "BlockSet") -> float:
+        """Jaccard similarity (for day-over-day stability metrics)."""
+        union = len(np.union1d(self._blocks, other._blocks))
+        if union == 0:
+            return 1.0
+        return len(np.intersect1d(self._blocks, other._blocks)) / union
+
+    def to_cidrs(self) -> list[Prefix]:
+        """Minimal CIDR cover."""
+        return aggregate_blocks(self._blocks)

@@ -1,0 +1,124 @@
+"""Special-purpose IPv4 address registry (RFC 6890 and successors).
+
+Pipeline step 4 ("Private / Multicast / Reserved") must drop any /24
+block that is not usable on the public Internet.  This module carries
+the full special-purpose registry and answers block-level membership
+queries, including vectorised numpy queries over block-id arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.net.ipv4 import Prefix
+
+
+@dataclass(frozen=True, slots=True)
+class SpecialPurposeEntry:
+    """One row of the special-purpose registry."""
+
+    prefix: Prefix
+    name: str
+    #: True if the block may appear as a source on the public Internet
+    #: (e.g. shared address space can leak); irrelevant to filtering but
+    #: kept for fidelity with RFC 6890's attribute table.
+    globally_reachable: bool
+
+
+#: RFC 6890 special-purpose IPv4 registry (plus multicast and class E).
+_REGISTRY_ROWS: Sequence[tuple[str, str, bool]] = (
+    ("0.0.0.0/8", "this host on this network", False),
+    ("10.0.0.0/8", "private-use", False),
+    ("100.64.0.0/10", "shared address space (CGN)", False),
+    ("127.0.0.0/8", "loopback", False),
+    ("169.254.0.0/16", "link local", False),
+    ("172.16.0.0/12", "private-use", False),
+    ("192.0.0.0/24", "IETF protocol assignments", False),
+    ("192.0.2.0/24", "documentation (TEST-NET-1)", False),
+    ("192.88.99.0/24", "6to4 relay anycast (deprecated)", True),
+    ("192.168.0.0/16", "private-use", False),
+    ("198.18.0.0/15", "benchmarking", False),
+    ("198.51.100.0/24", "documentation (TEST-NET-2)", False),
+    ("203.0.113.0/24", "documentation (TEST-NET-3)", False),
+    ("224.0.0.0/4", "multicast", False),
+    ("240.0.0.0/4", "reserved (class E)", False),
+    ("255.255.255.255/32", "limited broadcast", False),
+)
+
+
+class SpecialPurposeRegistry:
+    """Answers "is this address/block special-purpose?" queries.
+
+    The default instance, :data:`SPECIAL_PURPOSE_REGISTRY`, contains the
+    RFC 6890 table.  A custom registry can be built for tests.
+    """
+
+    def __init__(self, entries: Iterable[SpecialPurposeEntry]) -> None:
+        self.entries: tuple[SpecialPurposeEntry, ...] = tuple(entries)
+        # Precompute /24-block interval list [(first_block, last_block)].
+        intervals = []
+        for entry in self.entries:
+            prefix = entry.prefix
+            if prefix.length > 24:
+                # A /32 or similar taints its whole containing /24: the
+                # pipeline works at /24 granularity and must not select a
+                # block that overlaps reserved space at all.
+                first = prefix.network >> 8
+                last = prefix.last_ip() >> 8
+            else:
+                first = prefix.first_block()
+                last = first + prefix.num_blocks() - 1
+            intervals.append((first, last))
+        intervals.sort()
+        self._starts = np.array([lo for lo, _ in intervals], dtype=np.int64)
+        self._ends = np.array([hi for _, hi in intervals], dtype=np.int64)
+
+    @classmethod
+    def default(cls) -> "SpecialPurposeRegistry":
+        """The RFC 6890 registry."""
+        return cls(
+            SpecialPurposeEntry(Prefix.parse(text), name, reachable)
+            for text, name, reachable in _REGISTRY_ROWS
+        )
+
+    def is_special_block(self, block: int) -> bool:
+        """True if /24 ``block`` overlaps any special-purpose prefix."""
+        idx = int(np.searchsorted(self._starts, block, side="right")) - 1
+        if idx < 0:
+            return False
+        return block <= int(self._ends[idx])
+
+    def is_special_ip(self, ip: int) -> bool:
+        """True if address ``ip`` lies in special-purpose space."""
+        return self.is_special_block(ip >> 8)
+
+    def special_mask(self, blocks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`is_special_block` over an int array.
+
+        Returns a boolean array, True where the block is special-purpose.
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        idx = np.searchsorted(self._starts, blocks, side="right") - 1
+        valid = idx >= 0
+        result = np.zeros(blocks.shape, dtype=bool)
+        if valid.any():
+            clamped = np.where(valid, idx, 0)
+            result = valid & (blocks <= self._ends[clamped])
+        return result
+
+    def describe(self, block: int) -> str | None:
+        """Name of the registry entry covering ``block``, or None."""
+        for entry in self.entries:
+            prefix = entry.prefix
+            lo = prefix.network >> 8
+            hi = prefix.last_ip() >> 8
+            if lo <= block <= hi:
+                return entry.name
+        return None
+
+
+#: Module-level default registry (RFC 6890).
+SPECIAL_PURPOSE_REGISTRY = SpecialPurposeRegistry.default()

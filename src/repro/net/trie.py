@@ -1,0 +1,171 @@
+"""Binary (Patricia-style) prefix trie with longest-prefix match.
+
+Used by the BGP RIB (is this /24 inside any announced prefix? which is
+the most-specific covering announcement?) and by the prefix-to-AS and
+geolocation datasets.  Besides per-address lookups it offers a
+vectorised /24-block matcher built on sorted interval tables, which is
+what the pipeline's step 5 ("Globally Routed") uses at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+import numpy as np
+
+from repro.net.ipv4 import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list["_Node[V] | None"] = [None, None]
+        self.value: V | None = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps :class:`Prefix` keys to values with longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+        self._interval_cache: tuple[np.ndarray, np.ndarray, list[V]] | None = None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value at ``prefix``."""
+        node = self._root
+        for bit in _prefix_bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+        self._interval_cache = None
+
+    def exact(self, prefix: Prefix) -> V | None:
+        """Value stored exactly at ``prefix``, or None."""
+        node = self._root
+        for bit in _prefix_bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def longest_match(self, ip: int) -> tuple[Prefix, V] | None:
+        """Most-specific stored prefix covering ``ip``, with its value."""
+        node = self._root
+        best: tuple[int, V] | None = None
+        if node.has_value:
+            best = (0, node.value)  # type: ignore[arg-type]
+        for depth in range(32):
+            bit = (ip >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = (depth + 1, node.value)  # type: ignore[arg-type]
+        if best is None:
+            return None
+        length, value = best
+        return Prefix.from_ip(ip, length), value
+
+    def covers_ip(self, ip: int) -> bool:
+        """True if any stored prefix covers ``ip``."""
+        return self.longest_match(ip) is not None
+
+    def covers_block(self, block: int) -> bool:
+        """True if /24 ``block`` is entirely inside some stored prefix.
+
+        A /24 is covered iff a prefix of length <= 24 covers its network
+        address (longer stored prefixes cover only part of the block).
+        """
+        match = self.longest_match(block << 8)
+        if match is None:
+            return False
+        prefix, _ = match
+        if prefix.length <= 24:
+            return True
+        # The LPM hit a more-specific longer than /24; a shorter
+        # covering prefix may still exist above it on the walk.
+        return self._has_short_cover(block << 8)
+
+    def _has_short_cover(self, ip: int) -> bool:
+        node = self._root
+        if node.has_value:
+            return True
+        for depth in range(24):
+            bit = (ip >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return False
+            node = child
+            if node.has_value:
+                return True
+        return False
+
+    def items(self) -> Iterator[tuple[Prefix, V]]:
+        """Yield (prefix, value) pairs in address order."""
+
+        def walk(node: _Node[V], network: int, depth: int) -> Iterator[tuple[Prefix, V]]:
+            if node.has_value:
+                yield Prefix(network, depth), node.value  # type: ignore[arg-type]
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(
+                        child, network | (bit << (31 - depth)), depth + 1
+                    )
+
+        yield from walk(self._root, 0, 0)
+
+    # -- vectorised block coverage -------------------------------------
+
+    def _intervals(self) -> tuple[np.ndarray, np.ndarray, list[V]]:
+        """Merged, sorted (start_block, end_block) intervals of prefixes <= /24."""
+        if self._interval_cache is not None:
+            return self._interval_cache
+        spans: list[tuple[int, int, V]] = []
+        for prefix, value in self.items():
+            if prefix.length > 24:
+                continue
+            first = prefix.first_block()
+            spans.append((first, first + prefix.num_blocks() - 1, value))
+        spans.sort(key=lambda item: (item[0], item[1]))
+        starts = np.array([lo for lo, _, _ in spans], dtype=np.int64)
+        ends = np.array([hi for _, hi, _ in spans], dtype=np.int64)
+        values = [value for _, _, value in spans]
+        # Make ends cumulative-max so nested prefixes don't shadow their
+        # covering prefix during the searchsorted probe.
+        if len(ends):
+            ends = np.maximum.accumulate(ends)
+        self._interval_cache = (starts, ends, values)
+        return self._interval_cache
+
+    def covered_mask(self, blocks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`covers_block` over an array of block ids."""
+        starts, ends, _ = self._intervals()
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if len(starts) == 0:
+            return np.zeros(blocks.shape, dtype=bool)
+        idx = np.searchsorted(starts, blocks, side="right") - 1
+        valid = idx >= 0
+        clamped = np.where(valid, idx, 0)
+        return valid & (blocks <= ends[clamped])
+
+
+def _prefix_bits(prefix: Prefix) -> Iterator[int]:
+    for depth in range(prefix.length):
+        yield (prefix.network >> (31 - depth)) & 1

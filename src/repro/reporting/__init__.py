@@ -1,0 +1,12 @@
+"""Presentation helpers: ASCII tables, ECDFs, bean plots, world maps.
+
+Everything renders to plain text so benches can print the same rows
+and series the paper's tables and figures report.
+"""
+
+from repro.reporting.tables import format_table
+from repro.reporting.ecdf import Ecdf
+from repro.reporting.beanplot import render_bean_rows
+from repro.reporting.worldmap import render_country_bars
+
+__all__ = ["format_table", "Ecdf", "render_bean_rows", "render_country_bars"]

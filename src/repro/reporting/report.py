@@ -1,0 +1,143 @@
+"""Full operator report: one markdown document per inference run.
+
+Bundles the artifacts an operator (or a CERT recipient) needs from one
+measurement window: the funnel, the headline counts, geographic and
+network-type breakdowns, top targeted ports, the largest dark
+footprints per AS, and the threat summaries — rendered as markdown so
+it drops straight into a ticket or wiki.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.as_dark_share import dark_share_by_as
+from repro.analysis.backscatter_analysis import detect_victims
+from repro.analysis.geo_dist import country_counts
+from repro.analysis.ports import top_ports
+from repro.analysis.scanners_analysis import campaign_summary, detect_scanners
+from repro.core.metatelescope import MetaTelescope, MetaTelescopeResult
+from repro.datasets.geodb import GeoDatabase
+from repro.datasets.pfx2as import PrefixToAsMap
+from repro.net.ipv4 import format_ip
+from repro.vantage.sampling import VantageDayView
+
+
+def _md_table(headers: list[str], rows: list[list[object]]) -> str:
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    lines.extend(
+        "| " + " | ".join(str(cell) for cell in row) + " |" for row in rows
+    )
+    return "\n".join(lines)
+
+
+def generate_report(
+    telescope: MetaTelescope,
+    views: list[VantageDayView],
+    result: MetaTelescopeResult,
+    geodb: GeoDatabase | None = None,
+    pfx2as: PrefixToAsMap | None = None,
+    title: str = "Meta-telescope report",
+) -> str:
+    """Render the full markdown report for one inference run."""
+    sections = [f"# {title}", ""]
+    days = sorted({view.day for view in views})
+    vantages = sorted({view.vantage for view in views})
+    sections.append(
+        f"Window: day {days[0]}–{days[-1]}; vantage points: "
+        f"{', '.join(vantages)}."
+    )
+
+    # -- funnel and classes -------------------------------------------
+    sections.append("\n## Inference")
+    sections.append(
+        _md_table(
+            ["step", "#/24 blocks"],
+            [list(row) for row in result.pipeline.funnel.as_rows()],
+        )
+    )
+    sections.append(
+        f"\nClasses: **{len(result.pipeline.dark_blocks):,} dark**, "
+        f"{len(result.pipeline.unclean_blocks):,} unclean, "
+        f"{len(result.pipeline.gray_blocks):,} gray; liveness refinement "
+        f"removed {len(result.refinement.removed_blocks):,} "
+        f"({result.refinement.removed_fraction():.1%}).  Serving "
+        f"**{result.num_prefixes():,} meta-telescope /24 prefixes**."
+    )
+    if result.pipeline.applied_tolerances:
+        busiest = sorted(
+            result.pipeline.applied_tolerances.items(), key=lambda kv: -kv[1]
+        )[:5]
+        sections.append(
+            "\nSpoofing tolerances (top vantages): "
+            + ", ".join(f"{code}={value:g}" for code, value in busiest)
+        )
+
+    # -- geography ------------------------------------------------------
+    if geodb is not None:
+        sections.append("\n## Geography (top countries)")
+        counts = country_counts(result.prefixes, geodb)
+        rows = [[code, count] for code, count in list(counts.items())[:10]]
+        sections.append(_md_table(["country", "#/24s"], rows))
+
+    # -- per-AS footprints ------------------------------------------------
+    if pfx2as is not None:
+        sections.append("\n## Largest dark footprints per AS")
+        routing = telescope.routing_for_days(days)
+        shares = dark_share_by_as(result.prefixes, routing, pfx2as)[:10]
+        rows = [
+            [f"AS{s.asn}", s.dark_blocks, f"{s.share:.1%}"] for s in shares
+        ]
+        sections.append(_md_table(["ASN", "dark /24s", "share of its space"], rows))
+
+    # -- captured traffic -------------------------------------------------
+    captured = telescope.captured_traffic(views, result)
+    sections.append("\n## Traffic toward the meta-telescope")
+    sections.append(
+        f"{len(captured):,} flows / {captured.total_packets():,} sampled "
+        f"packets captured."
+    )
+    ranked = top_ports(captured, count=10)
+    sections.append(
+        _md_table(
+            ["rank", "TCP port"],
+            [[i + 1, port] for i, port in enumerate(ranked)],
+        )
+    )
+
+    # -- threat summaries --------------------------------------------------
+    scanners = detect_scanners(captured, min_footprint_blocks=5)
+    sections.append("\n## Threat summary")
+    if scanners:
+        campaigns = campaign_summary(scanners)
+        sections.append(
+            _md_table(
+                ["campaign", "#scanners"],
+                [[family, count] for family, count in campaigns.items()],
+            )
+        )
+        widest = scanners[0]
+        sections.append(
+            f"\nWidest scanner: {format_ip(widest.source_ip)} "
+            f"(AS{widest.sender_asn}) probing "
+            f"{widest.footprint_blocks:,} /24s on ports "
+            f"{', '.join(map(str, widest.ports[:4]))}."
+        )
+    else:
+        sections.append("No qualifying scanning sources.")
+    victims = detect_victims(captured, min_spread_blocks=3, min_packets=3)
+    if victims.victims:
+        sections.append(
+            f"\nBackscatter: {victims.backscatter_share():.1%} of packets; "
+            f"{len(victims.victims)} inferred DDoS victims, led by "
+            + ", ".join(
+                format_ip(v.victim_ip) for v in victims.victims[:3]
+            )
+            + "."
+        )
+    else:
+        sections.append("\nNo qualifying backscatter victims.")
+    return "\n".join(sections) + "\n"

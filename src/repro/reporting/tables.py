@@ -1,0 +1,66 @@
+"""Plain-text table rendering for bench output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are right-aligned; everything else left-aligned.  Floats
+    are shown with up to four significant decimals.
+    """
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    columns = len(headers)
+    for row in rendered_rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(headers[i]))
+        for i in range(columns)
+    ]
+    numeric = [
+        all(_is_number(row[i]) for row in rendered_rows) if rendered_rows else False
+        for i in range(columns)
+    ]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line([str(h) for h in headers]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text.replace(",", ""))
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,33 @@
+"""Traffic substrate: flow records plus the actors that emit them.
+
+The synthetic Internet's traffic for one day is assembled by
+:mod:`repro.traffic.mix` from independent actors:
+
+* scanners and botnets (:mod:`scanners`, :mod:`botnets`) — the IBR the
+  meta-telescope is built to observe;
+* DDoS backscatter (:mod:`backscatter`);
+* spoofed-source floods (:mod:`spoofing`) — the main adversary of the
+  inference pipeline;
+* production traffic and CDN ACK asymmetry (:mod:`production`) — the
+  "live" Internet the pipeline must not misclassify.
+"""
+
+from repro.traffic.packets import (
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    PacketSizeModel,
+    ibr_tcp_size_model,
+    production_size_model,
+)
+from repro.traffic.flows import FlowTable
+
+__all__ = [
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PacketSizeModel",
+    "ibr_tcp_size_model",
+    "production_size_model",
+    "FlowTable",
+]

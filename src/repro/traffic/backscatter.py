@@ -1,0 +1,96 @@
+"""DDoS backscatter: responses from attacked servers to spoofed sources.
+
+Victims of randomly-spoofed floods answer the fake sources, so their
+SYN-ACK / RST replies spray uniformly over the whole IPv4 space —
+including dark space, where telescopes observe them as "backscatter"
+(Moore et al., 2001).  For the inference pipeline this is additional
+small-packet TCP traffic toward candidate dark blocks and another
+source of legitimate activity from the victims' own blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traffic.flows import FlowTable
+from repro.traffic.packets import PROTO_TCP, PacketSizeModel, backscatter_size_model
+
+
+@dataclass(frozen=True, slots=True)
+class Victim:
+    """An attacked server emitting backscatter."""
+
+    ip: int
+    asn: int
+    service_port: int
+
+
+@dataclass(slots=True)
+class BackscatterActor:
+    """Backscatter from a set of concurrently attacked victims.
+
+    ``packets_per_day`` is the total backscatter budget across victims;
+    destinations are uniform over the full 32-bit space (spoofers pick
+    sources uniformly), so most of it lands on space that is irrelevant
+    to the pipeline — just like in reality.
+    """
+
+    victims: list[Victim]
+    packets_per_day: int
+    size_model: PacketSizeModel = field(default_factory=backscatter_size_model)
+    #: Restrict destinations to these /24 blocks (None = uniform over
+    #: the full space).  Mirrors floods that spoof within a subnet,
+    #: concentrating backscatter.
+    dst_blocks: np.ndarray | None = None
+    #: Days on which the event is active (None = every day).  Used for
+    #: one-off DDoS events such as the day-0 burst near TEU2.
+    active_days: frozenset[int] | None = None
+    #: IP protocol of the backscatter (UDP for reflection/amplification
+    #: responses, TCP for SYN-ACK/RST backscatter).
+    proto: int = PROTO_TCP
+
+    def __post_init__(self) -> None:
+        if not self.victims:
+            raise ValueError("backscatter needs at least one victim")
+        if self.dst_blocks is not None:
+            self.dst_blocks = np.asarray(self.dst_blocks, dtype=np.int64)
+
+    def generate(self, day: int, rng: np.random.Generator) -> FlowTable:
+        """Backscatter flows for one day."""
+        if self.active_days is not None and day not in self.active_days:
+            return FlowTable.empty()
+        if self.packets_per_day <= 0:
+            return FlowTable.empty()
+        num_flows = max(1, self.packets_per_day // 2)
+        if self.dst_blocks is None:
+            dst_ip = rng.integers(0, 2**32, size=num_flows, dtype=np.uint32)
+        else:
+            blocks = rng.choice(self.dst_blocks, size=num_flows, replace=True)
+            dst_ip = (blocks.astype(np.uint32) << np.uint32(8)) | rng.integers(
+                0, 256, size=num_flows, dtype=np.uint32
+            )
+        victim_index = rng.integers(0, len(self.victims), size=num_flows)
+        src_ip = np.array([v.ip for v in self.victims], dtype=np.uint32)[victim_index]
+        sender_asn = np.array([v.asn for v in self.victims], dtype=np.int32)[
+            victim_index
+        ]
+        packets = rng.choice(
+            np.array([1, 2, 3, 4], dtype=np.int64),
+            size=num_flows,
+            p=np.array([0.5, 0.25, 0.15, 0.10]),
+        )
+        # Backscatter arrives at the *ephemeral* port the spoofer used.
+        dport = rng.integers(1024, 65536, size=num_flows, dtype=np.uint16)
+        return FlowTable(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            proto=np.full(num_flows, self.proto, dtype=np.uint8),
+            dport=dport,
+            packets=packets,
+            bytes=self.size_model.sample_totals(packets, rng),
+            sender_asn=sender_asn,
+            dst_asn=np.full(num_flows, -1, dtype=np.int32),
+            spoofed=np.zeros(num_flows, dtype=bool),
+        )

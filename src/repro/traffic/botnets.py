@@ -1,0 +1,201 @@
+"""Catalog of scanning/botnet campaigns with the paper's port structure.
+
+The regional and per-network-type port mixes reported by the paper
+(Table 5, Figures 11-12 and 18-20) are *inputs* to this reproduction:
+they describe the behaviour of real-world actors during the measurement
+week.  Each :class:`CampaignSpec` encodes one actor family — ports,
+relative intensity, and destination biases by continent and network
+type.  :mod:`repro.world.scenarios` turns specs into concrete
+:class:`~repro.traffic.scanners.ScanCampaign` instances over the
+generated address space.
+
+Key actors encoded below:
+
+* Mirai-style telnet/IoT botnets (ports 23, 2222, 5555, 60023) —
+  globally dominant, the reason port 23 tops every ranking;
+* Satori (Mirai variant) on ports 37215 and 52869, strongly biased
+  toward African destination space;
+* web-infrastructure scanning (8080 first, then 80 / 443 / 8443 / 81)
+  with port 80 favouring data-center and education space;
+* RDP (3389) reconnaissance biased to ISP/enterprise space;
+* the database campaigns (6379 Redis, 5038, 3306) with their regional
+  quirks, including the Redis campaign that targets North America and
+  one European telescope's region but not the other's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.countries import Continent
+from repro.bgp.asinfo import ASType
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignSpec:
+    """Declarative description of a scanning actor family.
+
+    ``intensity`` is the campaign's share of the total daily scan
+    budget (arbitrary units, normalised by the scenario builder).
+    ``region_bias``/``type_bias`` multiply the weight of destination
+    blocks in matching continents / network types (default 1.0).
+    ``locality`` optionally restricts targets to a named scope the
+    scenario resolves (e.g. a telescope's surrounding region).
+    """
+
+    name: str
+    ports: tuple[int, ...]
+    port_weights: tuple[float, ...]
+    intensity: float
+    num_sources: int = 24
+    source_continent: Continent | None = None
+    region_bias: dict[Continent, float] = field(default_factory=dict)
+    type_bias: dict[ASType, float] = field(default_factory=dict)
+    locality: str | None = None
+    respects_blacklist: bool = False
+    weekday_profile: tuple[float, ...] = (1.0,) * 7
+
+
+def standard_campaign_specs() -> list[CampaignSpec]:
+    """The measurement-week actor catalog.
+
+    Intensities are tuned so the aggregate port ranking reproduces
+    Figure 11 (23 first by a wide margin, then 37215, 8080, 22, 3389,
+    80, 8443, 443, 5555, 2222, 5038, 445, 3306, 6001, 7001, 52869).
+    """
+    specs = [
+        # -- IoT / Mirai family ---------------------------------------
+        CampaignSpec(
+            name="mirai-telnet",
+            ports=(23, 2222, 60023),
+            port_weights=(0.82, 0.10, 0.08),
+            intensity=30.0,
+            num_sources=160,
+            region_bias={Continent.OCEANIA: 0.35, Continent.AFRICA: 0.45},
+        ),
+        CampaignSpec(
+            name="mirai-adb",
+            ports=(5555,),
+            port_weights=(1.0,),
+            intensity=3.2,
+            num_sources=60,
+        ),
+        CampaignSpec(
+            name="satori",
+            ports=(37215, 52869),
+            port_weights=(0.78, 0.22),
+            intensity=7.5,
+            num_sources=90,
+            region_bias={
+                Continent.AFRICA: 9.0,
+                Continent.EUROPE: 0.8,
+                Continent.NORTH_AMERICA: 0.5,
+                Continent.ASIA: 0.7,
+            },
+        ),
+        # -- web infrastructure ---------------------------------------
+        CampaignSpec(
+            name="web-alt-http",
+            ports=(8080, 8443, 81, 8090),
+            port_weights=(0.72, 0.17, 0.06, 0.05),
+            intensity=9.0,
+            num_sources=70,
+        ),
+        CampaignSpec(
+            name="web-http",
+            ports=(80, 443),
+            port_weights=(0.55, 0.45),
+            intensity=9.5,
+            num_sources=70,
+            type_bias={ASType.DATA_CENTER: 1.9, ASType.EDUCATION: 1.8},
+        ),
+        CampaignSpec(
+            name="research-scanners",
+            ports=(80, 443, 22, 8080),
+            port_weights=(0.3, 0.3, 0.2, 0.2),
+            intensity=2.4,
+            num_sources=10,
+            respects_blacklist=True,
+        ),
+        # -- remote access ---------------------------------------------
+        CampaignSpec(
+            name="ssh-bruteforce",
+            ports=(22,),
+            port_weights=(1.0,),
+            intensity=7.0,
+            num_sources=120,
+        ),
+        CampaignSpec(
+            name="rdp-recon",
+            ports=(3389,),
+            port_weights=(1.0,),
+            intensity=6.2,
+            num_sources=80,
+            type_bias={ASType.ISP: 1.6, ASType.ENTERPRISE: 1.6},
+        ),
+        CampaignSpec(
+            name="smb-worms",
+            ports=(445,),
+            port_weights=(1.0,),
+            intensity=2.0,
+            num_sources=60,
+        ),
+        # -- databases and app servers ---------------------------------
+        CampaignSpec(
+            name="redis-campaign",
+            ports=(6379,),
+            port_weights=(1.0,),
+            intensity=2.6,
+            num_sources=30,
+            locality="redis-footprint",
+        ),
+        CampaignSpec(
+            name="asterisk-ami",
+            ports=(5038,),
+            port_weights=(1.0,),
+            intensity=2.2,
+            num_sources=25,
+            type_bias={ASType.DATA_CENTER: 3.0},
+        ),
+        CampaignSpec(
+            name="mysql-probing",
+            ports=(3306,),
+            port_weights=(1.0,),
+            intensity=1.6,
+            num_sources=25,
+            region_bias={Continent.AFRICA: 3.0, Continent.NORTH_AMERICA: 1.8},
+        ),
+        CampaignSpec(
+            name="x11-sweep",
+            ports=(6001,),
+            port_weights=(1.0,),
+            intensity=1.2,
+            num_sources=15,
+            region_bias={Continent.OCEANIA: 6.0},
+        ),
+        CampaignSpec(
+            name="weblogic-t3",
+            ports=(7001,),
+            port_weights=(1.0,),
+            intensity=1.3,
+            num_sources=15,
+            region_bias={Continent.NORTH_AMERICA: 4.0},
+        ),
+        CampaignSpec(
+            name="docker-api",
+            ports=(2375,),
+            port_weights=(1.0,),
+            intensity=0.9,
+            num_sources=12,
+            locality="teu1-region",
+        ),
+        CampaignSpec(
+            name="minecraft-scan",
+            ports=(25565,),
+            port_weights=(1.0,),
+            intensity=1.8,
+            num_sources=20,
+            locality="redis-footprint",
+        ),
+    ]
+    return specs

@@ -1,0 +1,244 @@
+"""Production (legitimate) traffic: what keeps active space out of the
+meta-telescope.
+
+Active /24 blocks both *originate* packets (caught by pipeline step 3)
+and *receive* data-bearing TCP (caught by the average-packet-size
+filter, step 2).  Two wrinkles from the paper are modelled explicitly:
+
+* **Weekday patterns.**  Enterprise and education space goes quiet on
+  weekends; the paper attributes the weekend surge of inferred
+  prefixes (Figure 8) to exactly this.
+* **CDN ACK asymmetry.**  Content networks receive torrents of bare
+  40-byte ACKs through the IXP while their data rides private paths
+  invisible to the vantage point, so by packet size alone they look
+  dark; only the volume filter (step 6) rescues them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traffic.flows import FlowTable
+from repro.traffic.packets import (
+    PROTO_TCP,
+    PROTO_UDP,
+    PacketSizeModel,
+    production_size_model,
+)
+
+#: Mean packets per production flow (long-lived connections).
+_PACKETS_PER_FLOW = 24
+
+_SERVICE_PORTS = np.array([443, 80, 22, 25, 3306, 8443, 53], dtype=np.uint16)
+_SERVICE_PORT_WEIGHTS = np.array([0.48, 0.27, 0.06, 0.05, 0.04, 0.05, 0.05])
+
+
+@dataclass(slots=True)
+class ProductionTraffic:
+    """Generator of legitimate bidirectional traffic for active space.
+
+    All arrays are aligned per active /24 block.  ``weekend_factor``
+    scales a block's weekend activity (1.0 = flat, 0.2 = office hours
+    only).  ``ack_share`` parameterises the inbound TCP size mix per
+    block, the quantity Table 3's median-vs-mean contrast hinges on.
+    """
+
+    blocks: np.ndarray
+    asns: np.ndarray
+    inbound_pkts_per_day: np.ndarray
+    outbound_pkts_per_day: np.ndarray
+    ack_share: np.ndarray
+    weekend_factor: np.ndarray
+    #: Pool of remote hosts acting as the "other end" of connections.
+    remote_ips: np.ndarray
+    remote_asns: np.ndarray
+    #: Per-block size of bare-ACK packets (40, or 44 for hosts whose
+    #: ACK stream carries an extra option — the Table 3 "mid" class).
+    ack_packet_size: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.blocks = np.asarray(self.blocks, dtype=np.int64)
+        self.asns = np.asarray(self.asns, dtype=np.int32)
+        self.inbound_pkts_per_day = np.asarray(self.inbound_pkts_per_day, dtype=np.int64)
+        self.outbound_pkts_per_day = np.asarray(
+            self.outbound_pkts_per_day, dtype=np.int64
+        )
+        self.ack_share = np.asarray(self.ack_share, dtype=np.float64)
+        self.weekend_factor = np.asarray(self.weekend_factor, dtype=np.float64)
+        self.remote_ips = np.asarray(self.remote_ips, dtype=np.uint32)
+        self.remote_asns = np.asarray(self.remote_asns, dtype=np.int32)
+        if self.ack_packet_size is None:
+            self.ack_packet_size = np.full(len(self.blocks), 40, dtype=np.int64)
+        else:
+            self.ack_packet_size = np.asarray(self.ack_packet_size, dtype=np.int64)
+        lengths = {
+            len(self.blocks),
+            len(self.asns),
+            len(self.inbound_pkts_per_day),
+            len(self.outbound_pkts_per_day),
+            len(self.ack_share),
+            len(self.weekend_factor),
+            len(self.ack_packet_size),
+        }
+        if len(lengths) > 1:
+            raise ValueError("per-block arrays must align")
+        if len(self.remote_ips) != len(self.remote_asns):
+            raise ValueError("remote pools must align")
+        if len(self.remote_ips) == 0:
+            raise ValueError("production traffic needs remote peers")
+
+    def _daily_scale(self, day: int) -> np.ndarray:
+        """Per-block activity multiplier for ``day`` (Sat/Sun = 5/6)."""
+        if day % 7 in (5, 6):
+            return self.weekend_factor
+        return np.ones(len(self.blocks))
+
+    def generate(self, day: int, rng: np.random.Generator) -> FlowTable:
+        """Inbound plus outbound production flows for one day."""
+        if len(self.blocks) == 0:
+            return FlowTable.empty()
+        scale = self._daily_scale(day)
+        inbound_budget = (self.inbound_pkts_per_day * scale).astype(np.int64)
+        # Inbound splits into pure-ACK flows (download return traffic)
+        # and data-bearing flows; the split is what separates the
+        # median and mean packet-size features in Table 3.
+        ack_budget = (inbound_budget * self.ack_share).astype(np.int64)
+        data_budget = inbound_budget - ack_budget
+        ack_rows = self._direction(ack_budget, "ack", rng)
+        data_rows = self._direction(data_budget, "data", rng)
+        outbound = self._direction(
+            (self.outbound_pkts_per_day * scale).astype(np.int64), "out", rng
+        )
+        return FlowTable.concat([ack_rows, data_rows, outbound])
+
+    def _direction(
+        self, day_pkts: np.ndarray, kind: str, rng: np.random.Generator
+    ) -> FlowTable:
+        flows_per_block = np.maximum(
+            (day_pkts / _PACKETS_PER_FLOW).astype(np.int64), (day_pkts > 0)
+        )
+        total_flows = int(flows_per_block.sum())
+        if total_flows == 0:
+            return FlowTable.empty()
+        block_index = np.repeat(np.arange(len(self.blocks)), flows_per_block)
+        local_ip = (
+            self.blocks[block_index].astype(np.uint32) << np.uint32(8)
+        ) | rng.integers(0, 256, size=total_flows, dtype=np.uint32)
+        remote_pick = rng.integers(0, len(self.remote_ips), size=total_flows)
+        remote_ip = self.remote_ips[remote_pick]
+        remote_asn = self.remote_asns[remote_pick]
+        local_asn = self.asns[block_index]
+
+        # Split each block's packet budget over its flows.
+        packets = _split_budget(day_pkts, flows_per_block, rng)
+        if kind == "ack":
+            total_bytes = packets * self.ack_packet_size[block_index]
+            src_ip, dst_ip = remote_ip, local_ip
+            sender_asn, dst_asn = remote_asn, local_asn
+        elif kind == "data":
+            model = production_size_model(ack_share=0.05)
+            total_bytes = model.sample_totals(packets, rng)
+            # Pure-ACK hosts (keepalive/telemetry endpoints) exchange
+            # only small control segments even in their "data" flows —
+            # their block mean must stay under the 44 B threshold.
+            pure = self.ack_share[block_index] >= 0.9
+            if pure.any():
+                light = PacketSizeModel(sizes=(52, 120), weights=(0.6, 0.4))
+                total_bytes[pure] = light.sample_totals(packets[pure], rng)
+            src_ip, dst_ip = remote_ip, local_ip
+            sender_asn, dst_asn = remote_asn, local_asn
+        else:
+            model = production_size_model(ack_share=0.35)
+            total_bytes = model.sample_totals(packets, rng)
+            src_ip, dst_ip = local_ip, remote_ip
+            sender_asn, dst_asn = local_asn, remote_asn
+        proto = np.where(rng.random(total_flows) < 0.93, PROTO_TCP, PROTO_UDP).astype(
+            np.uint8
+        )
+        if kind == "ack":
+            proto = np.full(total_flows, PROTO_TCP, dtype=np.uint8)
+        dport = rng.choice(
+            _SERVICE_PORTS, size=total_flows, p=_SERVICE_PORT_WEIGHTS
+        )
+        return FlowTable(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            proto=proto,
+            dport=dport,
+            packets=packets,
+            bytes=total_bytes,
+            sender_asn=sender_asn,
+            dst_asn=dst_asn,
+            spoofed=np.zeros(total_flows, dtype=bool),
+        )
+
+
+@dataclass(slots=True)
+class CdnAckSink:
+    """ACK-only inbound traffic toward CDN blocks (no visible reverse).
+
+    Volumes sit above the pipeline's volume threshold so step 6 can
+    catch these blocks; packet sizes alone would classify them dark.
+    """
+
+    blocks: np.ndarray
+    asns: np.ndarray
+    inbound_pkts_per_day: np.ndarray
+    client_ips: np.ndarray
+    client_asns: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.blocks = np.asarray(self.blocks, dtype=np.int64)
+        self.asns = np.asarray(self.asns, dtype=np.int32)
+        self.inbound_pkts_per_day = np.asarray(
+            self.inbound_pkts_per_day, dtype=np.int64
+        )
+        self.client_ips = np.asarray(self.client_ips, dtype=np.uint32)
+        self.client_asns = np.asarray(self.client_asns, dtype=np.int32)
+
+    def generate(self, day: int, rng: np.random.Generator) -> FlowTable:
+        """Pure-ACK upstream flows toward the CDN for one day."""
+        del day
+        if len(self.blocks) == 0 or len(self.client_ips) == 0:
+            return FlowTable.empty()
+        flows_per_block = np.maximum(
+            self.inbound_pkts_per_day // (_PACKETS_PER_FLOW * 4), 1
+        )
+        total_flows = int(flows_per_block.sum())
+        block_index = np.repeat(np.arange(len(self.blocks)), flows_per_block)
+        dst_ip = (
+            self.blocks[block_index].astype(np.uint32) << np.uint32(8)
+        ) | rng.integers(0, 256, size=total_flows, dtype=np.uint32)
+        pick = rng.integers(0, len(self.client_ips), size=total_flows)
+        packets = _split_budget(self.inbound_pkts_per_day, flows_per_block, rng)
+        ack_model = PacketSizeModel(sizes=(40, 52), weights=(0.96, 0.04))
+        return FlowTable(
+            src_ip=self.client_ips[pick],
+            dst_ip=dst_ip,
+            proto=np.full(total_flows, PROTO_TCP, dtype=np.uint8),
+            dport=np.full(total_flows, 443, dtype=np.uint16),
+            packets=packets,
+            bytes=ack_model.sample_totals(packets, rng),
+            sender_asn=self.client_asns[pick],
+            dst_asn=self.asns[block_index],
+            spoofed=np.zeros(total_flows, dtype=bool),
+        )
+
+
+def _split_budget(
+    day_pkts: np.ndarray, flows_per_block: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Distribute each block's packet budget across its flows (>=1 each)."""
+    block_index = np.repeat(np.arange(len(day_pkts)), flows_per_block)
+    base = np.repeat(
+        np.where(flows_per_block > 0, day_pkts // np.maximum(flows_per_block, 1), 0),
+        flows_per_block,
+    )
+    jitter = rng.poisson(np.maximum(base * 0.25, 0.5))
+    packets = np.maximum(base + jitter - (base // 4), 1)
+    del block_index
+    return packets.astype(np.int64)
+
+

@@ -1,0 +1,150 @@
+"""Scanning actors: the dominant component of IBR.
+
+A :class:`ScanCampaign` models one coherent scanning activity — a
+research scanner sweeping port 443, a Mirai variant hunting port 23, a
+Redis campaign against one region.  Campaigns differ in their source
+pool, port mix, target weighting over /24 blocks, intensity, and
+whether they avoid well-known (blacklisted) telescope space, which is
+how the paper explains meta-telescopes resisting blacklisting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traffic.flows import FlowTable
+from repro.traffic.packets import (
+    PROTO_TCP,
+    PacketSizeModel,
+    ibr_tcp_size_model,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ScanSource:
+    """One scanning host: its address and the AS that emits its packets."""
+
+    ip: int
+    asn: int
+
+
+@dataclass(slots=True)
+class ScanCampaign:
+    """A scanning campaign over the /24 universe.
+
+    ``target_blocks``/``target_weights`` define where probes land
+    (weights need not be normalised); ``ports``/``port_weights`` define
+    the service mix; ``probes_per_day`` is the total packet budget.
+    ``avoid_blocks`` (sorted array) models scanner blacklists.
+    """
+
+    name: str
+    sources: list[ScanSource]
+    ports: tuple[int, ...]
+    port_weights: tuple[float, ...]
+    target_blocks: np.ndarray
+    target_weights: np.ndarray | None
+    probes_per_day: int
+    proto: int = PROTO_TCP
+    size_model: PacketSizeModel = field(default_factory=ibr_tcp_size_model)
+    avoid_blocks: np.ndarray | None = None
+    #: Multiplies the daily budget per weekday (Mon=0..Sun=6); lets a
+    #: campaign surge on weekends etc.
+    weekday_profile: tuple[float, ...] = (1.0,) * 7
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise ValueError(f"campaign {self.name!r} has no sources")
+        if len(self.ports) != len(self.port_weights):
+            raise ValueError("ports and port_weights must align")
+        if len(self.weekday_profile) != 7:
+            raise ValueError("weekday_profile needs 7 entries")
+        self.target_blocks = np.asarray(self.target_blocks, dtype=np.int64)
+        if self.target_weights is not None:
+            self.target_weights = np.asarray(self.target_weights, dtype=np.float64)
+            if len(self.target_weights) != len(self.target_blocks):
+                raise ValueError("target_weights must align with target_blocks")
+
+    def _effective_targets(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """Target universe minus the campaign's blacklist."""
+        if self.avoid_blocks is None or len(self.avoid_blocks) == 0:
+            return self.target_blocks, self.target_weights
+        keep = ~np.isin(self.target_blocks, self.avoid_blocks)
+        weights = None if self.target_weights is None else self.target_weights[keep]
+        return self.target_blocks[keep], weights
+
+    def generate(self, day: int, rng: np.random.Generator) -> FlowTable:
+        """Emit the campaign's flows for ``day`` (0-based; day % 7 = weekday)."""
+        budget = int(round(self.probes_per_day * self.weekday_profile[day % 7]))
+        if budget <= 0:
+            return FlowTable.empty()
+        blocks, weights = self._effective_targets()
+        if len(blocks) == 0:
+            return FlowTable.empty()
+
+        # Probes arrive in small flows of 1-3 packets (SYN retries).
+        mean_flow_packets = 1.5
+        num_flows = max(1, int(budget / mean_flow_packets))
+        probabilities = None
+        if weights is not None:
+            total = weights.sum()
+            if total <= 0:
+                return FlowTable.empty()
+            probabilities = weights / total
+        chosen = rng.choice(blocks, size=num_flows, replace=True, p=probabilities)
+        dst_ip = (chosen.astype(np.uint32) << np.uint32(8)) | rng.integers(
+            0, 256, size=num_flows, dtype=np.uint32
+        )
+        packets = rng.choice(
+            np.array([1, 2, 3], dtype=np.int64),
+            size=num_flows,
+            p=np.array([0.62, 0.26, 0.12]),
+        )
+        port_probs = np.asarray(self.port_weights, dtype=np.float64)
+        port_probs = port_probs / port_probs.sum()
+        dport = rng.choice(
+            np.asarray(self.ports, dtype=np.uint16), size=num_flows, p=port_probs
+        )
+        source_index = rng.integers(0, len(self.sources), size=num_flows)
+        src_ip = np.array([s.ip for s in self.sources], dtype=np.uint32)[source_index]
+        sender_asn = np.array([s.asn for s in self.sources], dtype=np.int32)[
+            source_index
+        ]
+        total_bytes = self.size_model.sample_totals(packets, rng)
+        return FlowTable(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            proto=np.full(num_flows, self.proto, dtype=np.uint8),
+            dport=dport,
+            packets=packets,
+            bytes=total_bytes,
+            sender_asn=sender_asn,
+            dst_asn=np.full(num_flows, -1, dtype=np.int32),
+            spoofed=np.zeros(num_flows, dtype=bool),
+        )
+
+
+def make_sources(
+    blocks: np.ndarray,
+    asns: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+) -> list[ScanSource]:
+    """Draw ``count`` scanner hosts from candidate source blocks.
+
+    ``blocks`` and ``asns`` are aligned arrays of active /24 blocks and
+    their origin ASes; each source gets a random host address inside
+    its block.
+    """
+    if len(blocks) == 0:
+        raise ValueError("no candidate source blocks")
+    index = rng.integers(0, len(blocks), size=count)
+    ips = (np.asarray(blocks, dtype=np.uint32)[index] << np.uint32(8)) | rng.integers(
+        0, 256, size=count, dtype=np.uint32
+    )
+    chosen_asns = np.asarray(asns, dtype=np.int32)[index]
+    return [
+        ScanSource(ip=int(ip), asn=int(asn)) for ip, asn in zip(ips, chosen_asns)
+    ]

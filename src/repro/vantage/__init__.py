@@ -1,0 +1,21 @@
+"""Vantage-point substrate: IXPs, operational telescopes, ISP NetFlow.
+
+Every vantage point produces :class:`~repro.vantage.sampling.VantageDayView`
+objects — one per (site, day) — which are the only traffic input the
+inference pipeline ever sees.
+"""
+
+from repro.vantage.sampling import VantageDayView
+from repro.vantage.ixp import Ixp, IxpFabric
+from repro.vantage.telescope import Telescope
+from repro.vantage.isp import IspVantage
+from repro.vantage.transit import TransitIspVantage
+
+__all__ = [
+    "VantageDayView",
+    "Ixp",
+    "IxpFabric",
+    "Telescope",
+    "IspVantage",
+    "TransitIspVantage",
+]

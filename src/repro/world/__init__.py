@@ -1,0 +1,23 @@
+"""World: the synthetic Internet that substitutes for the paper's
+proprietary vantage data.
+
+A :class:`~repro.world.builder.World` bundles the address plan, AS
+registry, topology, RIB collector, traffic actors, vantage points
+(IXPs, telescopes, ISP) and auxiliary datasets, all generated
+deterministically from a :class:`~repro.world.config.WorldConfig`.
+"""
+
+from repro.world.config import WorldConfig
+from repro.world.ground_truth import BlockIndex, BlockState
+from repro.world.builder import World, build_world
+from repro.world.observe import DayObservation, Observatory
+
+__all__ = [
+    "WorldConfig",
+    "BlockIndex",
+    "BlockState",
+    "World",
+    "build_world",
+    "DayObservation",
+    "Observatory",
+]

@@ -1,0 +1,1198 @@
+"""World builder: generates the whole synthetic Internet from a config.
+
+Generation is deterministic: every stochastic choice draws from a named
+child RNG of ``config.seed``, so two builds of the same config are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bgp.asinfo import ASRegistry, ASType, AutonomousSystem
+from repro.bgp.rib import Announcement, RouteViewsCollector, RoutingTable
+from repro.bgp.topology import AsTopology
+from repro.datasets.as2org import AsToOrgMap
+from repro.datasets.geodb import GeoDatabase
+from repro.datasets.ipinfo import AsClassification
+from repro.datasets.liveness import LivenessDataset
+from repro.datasets.pfx2as import PrefixToAsMap
+from repro.geo.countries import COUNTRIES, Continent, Country
+from repro.net.ipv4 import Prefix
+from repro.net.special import SPECIAL_PURPOSE_REGISTRY
+from repro.traffic.backscatter import BackscatterActor, Victim
+from repro.traffic.botnets import CampaignSpec, standard_campaign_specs
+from repro.traffic.flows import FlowTable
+from repro.traffic.mix import DailyTrafficMix, MisconfigurationNoise, UdpRadiationActor
+from repro.traffic.packets import PacketSizeModel
+from repro.traffic.production import CdnAckSink, ProductionTraffic
+from repro.traffic.scanners import ScanCampaign, ScanSource, make_sources
+from repro.traffic.spoofing import SpoofedFloodActor
+from repro.vantage.isp import IspVantage
+from repro.vantage.ixp import Ixp, IxpFabric
+from repro.vantage.telescope import Telescope
+from repro.world.config import IXP_REGION_CONTINENTS, WorldConfig
+from repro.world.ground_truth import (
+    BlockIndex,
+    BlockState,
+    country_index_of,
+    type_index_of,
+)
+
+_AS_TYPE_BY_NAME = {t.value: t for t in ASType}
+
+#: General AS business-type mix (continent-independent base).
+_TYPE_MIX = (
+    (ASType.ISP, 0.45),
+    (ASType.ENTERPRISE, 0.27),
+    (ASType.EDUCATION, 0.10),
+    (ASType.DATA_CENTER, 0.18),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _Allocation:
+    """One announced prefix with its owner and ground-truth states."""
+
+    prefix: Prefix
+    asn: int
+    country_code: str
+    as_type: ASType
+    states: np.ndarray  # per-/24 BlockState values
+
+
+class _Allocator:
+    """Hands out aligned prefixes from the usable IPv4 space."""
+
+    def __init__(self, forbidden_blocks: list[tuple[int, int]]) -> None:
+        # Usable /8s: skip 0/8 plus every /8 touching special space or
+        # the forbidden (unrouted-baseline) ranges.
+        special = {
+            entry.prefix.network >> 24
+            for entry in SPECIAL_PURPOSE_REGISTRY.entries
+        }
+        forbidden_octets = {lo >> 16 for lo, _ in forbidden_blocks}
+        self._usable_octets = [
+            octet
+            for octet in range(1, 224)
+            if octet not in special and octet not in forbidden_octets
+        ]
+        self._octet_cursor = 0
+        self._cursor_block = self._usable_octets[0] << 16
+
+    def allocate(self, length: int) -> Prefix:
+        """Next free, naturally aligned prefix of the given length."""
+        if length > 24:
+            raise ValueError("allocations are /24 or shorter")
+        size = 1 << (24 - length)
+        while True:
+            aligned = ((self._cursor_block + size - 1) // size) * size
+            octet = aligned >> 16
+            end_octet = (aligned + size - 1) >> 16
+            current = self._usable_octets[self._octet_cursor]
+            if octet == current and end_octet == current:
+                self._cursor_block = aligned + size
+                return Prefix(aligned << 8, length)
+            # Move to the next usable /8 and retry.
+            self._octet_cursor += 1
+            if self._octet_cursor >= len(self._usable_octets):
+                raise RuntimeError("address space exhausted; shrink the config")
+            self._cursor_block = self._usable_octets[self._octet_cursor] << 16
+
+
+def _decompose_blocks(num_blocks: int, max_parts: int = 8) -> list[int]:
+    """Prefix lengths (<= /24) whose sizes sum to ~``num_blocks``.
+
+    Greedy binary decomposition, largest first, truncated to
+    ``max_parts`` components (the remainder is rounded into the last
+    component, mimicking how registries hand out CIDR blocks).
+    """
+    if num_blocks < 1:
+        raise ValueError("need at least one /24")
+    lengths: list[int] = []
+    remaining = num_blocks
+    while remaining > 0 and len(lengths) < max_parts:
+        size = 1 << (remaining.bit_length() - 1)
+        if len(lengths) == max_parts - 1 and remaining > size:
+            size = 1 << remaining.bit_length()  # round up, last chance
+        size = min(size, 1 << 16)  # never larger than a /8
+        lengths.append(24 - size.bit_length() + 1)
+        remaining -= size
+    return lengths
+
+
+@dataclass
+class WorldDatasets:
+    """The auxiliary datasets bundled with a world."""
+
+    liveness: list[LivenessDataset]
+    geodb: GeoDatabase
+    pfx2as: PrefixToAsMap
+    as2org: AsToOrgMap
+    ipinfo: AsClassification
+
+
+@dataclass
+class World:
+    """A fully generated synthetic Internet."""
+
+    config: WorldConfig
+    registry: ASRegistry
+    topology: AsTopology
+    collector: RouteViewsCollector
+    true_routing: RoutingTable
+    fabric: IxpFabric
+    telescopes: dict[str, Telescope]
+    isp: IspVantage
+    index: BlockIndex
+    mix: DailyTrafficMix
+    datasets: WorldDatasets
+    unrouted_baseline_blocks: np.ndarray
+    special_asns: dict[str, int] = field(default_factory=dict)
+
+    def annotate_dst_asn(self, flows: FlowTable) -> FlowTable:
+        """Fill ``dst_asn`` from the ground-truth block index."""
+        missing = flows.dst_asn < 0
+        if not missing.any():
+            return flows
+        dst_asn = flows.dst_asn.copy()
+        dst_asn[missing] = self.index.asn_of(flows.dst_blocks()[missing])
+        return FlowTable(
+            src_ip=flows.src_ip,
+            dst_ip=flows.dst_ip,
+            proto=flows.proto,
+            dport=flows.dport,
+            packets=flows.packets,
+            bytes=flows.bytes,
+            sender_asn=flows.sender_asn,
+            dst_asn=dst_asn,
+            spoofed=flows.spoofed,
+        )
+
+
+def build_world(config: WorldConfig) -> World:
+    """Generate a world from its configuration."""
+    builder = _WorldBuilder(config)
+    return builder.build()
+
+
+class _WorldBuilder:
+    def __init__(self, config: WorldConfig) -> None:
+        self.config = config
+        self.allocations: list[_Allocation] = []
+        self.ases: list[AutonomousSystem] = []
+        self._next_asn = 1
+        forbidden = []
+        for text in config.unrouted_baseline_prefixes:
+            prefix = Prefix.parse(text)
+            forbidden.append(
+                (prefix.first_block(), prefix.first_block() + prefix.num_blocks() - 1)
+            )
+        self.allocator = _Allocator(forbidden)
+        self.unrouted_blocks = np.concatenate(
+            [
+                np.arange(lo, hi + 1, dtype=np.int64)
+                for lo, hi in forbidden
+            ]
+        )
+
+    # -- AS creation ----------------------------------------------------
+
+    def _new_as(
+        self,
+        name: str,
+        as_type: ASType,
+        country: str,
+        is_cdn: bool = False,
+        spoof_filtered: bool = True,
+    ) -> AutonomousSystem:
+        autonomous_system = AutonomousSystem(
+            asn=self._next_asn,
+            name=name,
+            org_id=f"ORG-{self._next_asn}",
+            as_type=as_type,
+            country_code=country,
+            is_cdn=is_cdn,
+            spoof_filtered=spoof_filtered,
+        )
+        self._next_asn += 1
+        self.ases.append(autonomous_system)
+        return autonomous_system
+
+    def _allocate_for(
+        self,
+        autonomous_system: AutonomousSystem,
+        num_blocks: int,
+        states: np.ndarray | None = None,
+        max_parts: int = 6,
+    ) -> list[_Allocation]:
+        """Allocate prefixes totalling ~``num_blocks`` to an AS."""
+        made = []
+        offset = 0
+        for length in _decompose_blocks(num_blocks, max_parts=max_parts):
+            prefix = self.allocator.allocate(length)
+            autonomous_system.announced.append(prefix)
+            size = prefix.num_blocks()
+            if states is None:
+                piece = np.full(size, int(BlockState.DARK), dtype=np.int32)
+            else:
+                piece = states[offset : offset + size]
+                if len(piece) < size:  # rounding gave us extra space
+                    piece = np.concatenate(
+                        [piece, np.full(size - len(piece), piece[-1] if len(piece) else int(BlockState.DARK), dtype=np.int32)]
+                    )
+            made.append(
+                _Allocation(
+                    prefix=prefix,
+                    asn=autonomous_system.asn,
+                    country_code=autonomous_system.country_code,
+                    as_type=autonomous_system.as_type,
+                    states=piece.astype(np.int32),
+                )
+            )
+            offset += size
+        self.allocations.extend(made)
+        return made
+
+    # -- ground-truth state sampling --------------------------------------
+
+    def _states_for(
+        self,
+        num_blocks: int,
+        country: Country,
+        as_type: ASType,
+        rng: np.random.Generator,
+        dark_rate_override: float | None = None,
+    ) -> np.ndarray:
+        """Per-/24 states with contiguous dark runs (Hilbert structure)."""
+        config = self.config
+        if dark_rate_override is not None:
+            dark_rate = dark_rate_override
+        else:
+            dark_rate = (
+                config.base_dark_rate
+                * country.dark_bias
+                * config.type_dark_bias[as_type.value]
+            )
+        dark_rate = float(np.clip(dark_rate, 0.02, 0.92))
+        states = np.full(num_blocks, int(BlockState.ACTIVE), dtype=np.int32)
+        num_dark = int(round(num_blocks * dark_rate))
+        # One contiguous dark run at a random end-biased offset: real
+        # allocations are used from one end, leaving the tail dark.
+        if num_dark > 0:
+            start = (
+                0
+                if rng.random() < 0.5
+                else num_blocks - num_dark
+            )
+            states[start : start + num_dark] = int(BlockState.DARK)
+        # Split the non-dark remainder: a small heavily-used share, a
+        # quiet-server share, and a dominant lightly-used (MIXED) rest.
+        noise = rng.random(num_blocks)
+        non_dark = states == int(BlockState.ACTIVE)
+        low_cut = config.active_share_nondark + config.low_share_nondark
+        low = non_dark & (noise >= config.active_share_nondark) & (noise < low_cut)
+        mixed = non_dark & (noise >= low_cut)
+        states[low] = int(BlockState.LOW_ACTIVE)
+        states[mixed] = int(BlockState.MIXED)
+        # A little salt inside the dark run: isolated used blocks.
+        dark_mask = states == int(BlockState.DARK)
+        salt = dark_mask & (rng.random(num_blocks) < 0.03)
+        states[salt] = int(BlockState.MIXED)
+        return states
+
+    # -- build phases -----------------------------------------------------
+
+    def build(self) -> World:
+        config = self.config
+        rng_world = config.child_rng("world-structure")
+
+        tier1 = self._build_backbone()
+        cdns = self._build_cdns(rng_world)
+        isp_as, tus1_blocks, isp_blocks = self._build_isp_and_tus1(rng_world)
+        teu1_as, teu1_blocks = self._build_teu1(rng_world)
+        teu2_as, teu2_blocks = self._build_teu2(rng_world)
+        self._build_legacy(rng_world)
+        general_ases = self._build_general(rng_world)
+
+        index = self._build_index()
+        registry = ASRegistry.from_ases(self.ases)
+        topology = self._build_topology(tier1, cdns, general_ases, rng_world)
+        collector, true_routing = self._build_routing(rng_world)
+        fabric = self._build_fabric(
+            topology,
+            tier1,
+            cdns,
+            isp_as,
+            teu1_as,
+            teu2_as,
+            rng_world,
+        )
+        telescopes = self._build_telescopes(
+            tus1_blocks, teu1_blocks, teu2_blocks, config.child_rng("teu1-lending")
+        )
+        isp = IspVantage(code="ISP1", asn=isp_as.asn, blocks=isp_blocks)
+        mix = self._build_traffic(
+            index, registry, telescopes, config.child_rng("traffic-structure")
+        )
+        datasets = self._build_datasets(index, registry, collector)
+
+        return World(
+            config=config,
+            registry=registry,
+            topology=topology,
+            collector=collector,
+            true_routing=true_routing,
+            fabric=fabric,
+            telescopes=telescopes,
+            isp=isp,
+            index=index,
+            mix=mix,
+            datasets=datasets,
+            unrouted_baseline_blocks=self.unrouted_blocks,
+            special_asns={
+                "isp": isp_as.asn,
+                "teu1": teu1_as.asn,
+                "teu2": teu2_as.asn,
+            },
+        )
+
+    def _build_backbone(self) -> list[AutonomousSystem]:
+        specs = [
+            ("Backbone-US-1", "US"),
+            ("Backbone-US-2", "US"),
+            ("Backbone-DE", "DE"),
+            ("Backbone-GB", "GB"),
+            ("Backbone-FR", "FR"),
+            ("Backbone-JP", "JP"),
+            ("Backbone-SE", "SE"),
+            ("Backbone-IT", "IT"),
+        ]
+        tier1 = []
+        rng = self.config.child_rng("backbone")
+        for name, country in specs:
+            autonomous_system = self._new_as(name, ASType.ISP, country)
+            tier1.append(autonomous_system)
+            states = self._states_for(
+                96, autonomous_system.country, ASType.ISP, rng
+            )
+            self._allocate_for(autonomous_system, 96, states)
+        return tier1
+
+    def _build_cdns(self, rng: np.random.Generator) -> list[AutonomousSystem]:
+        cdns = []
+        for name, country in (
+            ("CDN-Alpha", "US"),
+            ("CDN-Beta", "US"),
+            ("CDN-Gamma", "NL"),
+        ):
+            autonomous_system = self._new_as(
+                name, ASType.DATA_CENTER, country, is_cdn=True
+            )
+            cdns.append(autonomous_system)
+            share = self.config.cdn_block_share
+            total_cdn = max(
+                8, int(self.config.general_blocks * share / 3)
+            )
+            states = np.full(total_cdn, int(BlockState.CDN_SINK), dtype=np.int32)
+            states[rng.random(total_cdn) < 0.25] = int(BlockState.ACTIVE)
+            self._allocate_for(autonomous_system, total_cdn, states)
+        return cdns
+
+    def _build_isp_and_tus1(
+        self, rng: np.random.Generator
+    ) -> tuple[AutonomousSystem, np.ndarray, np.ndarray]:
+        """The US ISP hosting TUS1, with the paper's activity mix."""
+        config = self.config
+        isp_as = self._new_as("Hosting-ISP-US", ASType.ISP, "US")
+        total = config.isp_blocks
+        states = np.full(total, int(BlockState.DARK), dtype=np.int32)
+        # Telescope: one contiguous run in the middle third (Figure 3).
+        tus1_start = total // 3
+        states[tus1_start : tus1_start + config.tus1_blocks] = int(
+            BlockState.TELESCOPE
+        )
+        # Active blocks: contiguous runs at the front.
+        remaining = np.flatnonzero(states == int(BlockState.DARK))
+        active_positions = remaining[: config.isp_active_blocks]
+        states[active_positions] = int(BlockState.ACTIVE)
+        remaining = np.flatnonzero(states == int(BlockState.DARK))
+        low_positions = remaining[: config.isp_low_active_blocks]
+        states[low_positions] = int(BlockState.LOW_ACTIVE)
+        made = self._allocate_for(isp_as, total, states, max_parts=8)
+        blocks = np.concatenate([list(a.prefix.blocks()) for a in made]).astype(
+            np.int64
+        )
+        state_concat = np.concatenate([a.states for a in made])
+        tus1_blocks = blocks[state_concat == int(BlockState.TELESCOPE)]
+        return isp_as, tus1_blocks, blocks
+
+    def _build_teu1(
+        self, rng: np.random.Generator
+    ) -> tuple[AutonomousSystem, np.ndarray]:
+        config = self.config
+        teu1_as = self._new_as("Research-ISP-DE", ASType.ISP, "DE")
+        telescope_states = np.full(
+            config.teu1_blocks, int(BlockState.TELESCOPE), dtype=np.int32
+        )
+        made = self._allocate_for(teu1_as, config.teu1_blocks, telescope_states)
+        teu1_blocks = np.concatenate(
+            [list(a.prefix.blocks()) for a in made]
+        ).astype(np.int64)
+        # The host network also has ordinary active space.
+        extra = max(32, config.teu1_blocks // 4)
+        states = self._states_for(extra, teu1_as.country, ASType.ISP, rng)
+        self._allocate_for(teu1_as, extra, states)
+        return teu1_as, teu1_blocks
+
+    def _build_teu2(
+        self, rng: np.random.Generator
+    ) -> tuple[AutonomousSystem, np.ndarray]:
+        config = self.config
+        teu2_as = self._new_as("Exchange-Lab-CH", ASType.ISP, "CH")
+        states = np.full(config.teu2_blocks, int(BlockState.TELESCOPE), dtype=np.int32)
+        made = self._allocate_for(teu2_as, config.teu2_blocks, states)
+        teu2_blocks = np.concatenate(
+            [list(a.prefix.blocks()) for a in made]
+        ).astype(np.int64)
+        extra = 16
+        extra_states = self._states_for(extra, teu2_as.country, ASType.ISP, rng)
+        self._allocate_for(teu2_as, extra, extra_states)
+        return teu2_as, teu2_blocks
+
+    def _build_legacy(self, rng: np.random.Generator) -> None:
+        config = self.config
+        for i, (country, type_name, length) in enumerate(config.legacy_allocations):
+            as_type = _AS_TYPE_BY_NAME[type_name]
+            autonomous_system = self._new_as(
+                f"Legacy-{country}-{i}", as_type, country
+            )
+            size = 1 << (24 - length)
+            states = self._states_for(
+                size,
+                autonomous_system.country,
+                as_type,
+                rng,
+                dark_rate_override=config.legacy_dark_share,
+            )
+            self._allocate_for(autonomous_system, size, states, max_parts=1)
+
+    def _build_general(self, rng: np.random.Generator) -> list[AutonomousSystem]:
+        config = self.config
+        count = max(0, config.num_ases - len(self.ases))
+        if count == 0:
+            return []
+        weights = np.array([c.allocation_weight for c in COUNTRIES])
+        weights = weights / weights.sum()
+        countries = rng.choice(len(COUNTRIES), size=count, p=weights)
+        type_labels = [t for t, _ in _TYPE_MIX]
+        type_probs = np.array([p for _, p in _TYPE_MIX])
+        types = rng.choice(len(type_labels), size=count, p=type_probs)
+        # Lognormal AS sizes normalised to the general block budget.
+        raw = rng.lognormal(mean=0.0, sigma=1.25, size=count)
+        shares = raw / raw.sum()
+        budgets = np.maximum((shares * config.general_blocks).astype(int), 1)
+        made = []
+        for i in range(count):
+            country = COUNTRIES[countries[i]]
+            as_type = type_labels[types[i]]
+            spoof_filtered = bool(rng.random() > 0.15)
+            autonomous_system = self._new_as(
+                f"{as_type.value.replace(' ', '')}-{country.code}-{i}",
+                as_type,
+                country.code,
+                spoof_filtered=spoof_filtered,
+            )
+            states = self._states_for(
+                int(budgets[i]), country, as_type, rng
+            )
+            self._allocate_for(autonomous_system, int(budgets[i]), states)
+            made.append(autonomous_system)
+        return made
+
+    def _build_index(self) -> BlockIndex:
+        blocks_parts, asn_parts, country_parts, type_parts, state_parts = (
+            [], [], [], [], []
+        )
+        for allocation in self.allocations:
+            block_range = np.fromiter(
+                allocation.prefix.blocks(), dtype=np.int64
+            )
+            size = len(block_range)
+            blocks_parts.append(block_range)
+            asn_parts.append(np.full(size, allocation.asn, dtype=np.int32))
+            country_parts.append(
+                np.full(size, country_index_of(allocation.country_code), dtype=np.int32)
+            )
+            type_parts.append(
+                np.full(size, type_index_of(allocation.as_type), dtype=np.int32)
+            )
+            state_parts.append(allocation.states)
+        blocks = np.concatenate(blocks_parts)
+        order = np.argsort(blocks, kind="stable")
+        return BlockIndex(
+            blocks=blocks[order],
+            asn=np.concatenate(asn_parts)[order],
+            country_index=np.concatenate(country_parts)[order],
+            type_index=np.concatenate(type_parts)[order],
+            state=np.concatenate(state_parts)[order],
+        )
+
+    def _build_topology(
+        self,
+        tier1: list[AutonomousSystem],
+        cdns: list[AutonomousSystem],
+        general: list[AutonomousSystem],
+        rng: np.random.Generator,
+    ) -> AsTopology:
+        topology = AsTopology()
+        tier1_asns = [a.asn for a in tier1]
+        for asn in tier1_asns:
+            topology.add_as(asn)
+        for i, left in enumerate(tier1_asns):
+            for right in tier1_asns[i + 1 :]:
+                topology.add_peering(left, right)
+        # Mid tier: larger ISPs become customers of 1-2 tier-1s; the
+        # special hosts and CDNs also hang off tier-1s.
+        mids: list[int] = []
+        others: list[AutonomousSystem] = []
+        for autonomous_system in self.ases:
+            if autonomous_system.asn in tier1_asns:
+                continue
+            is_mid = (
+                autonomous_system.as_type is ASType.ISP
+                and autonomous_system.num_announced_blocks() >= 48
+            ) or autonomous_system.is_cdn
+            if is_mid:
+                mids.append(autonomous_system.asn)
+                for provider in rng.choice(
+                    tier1_asns, size=min(2, len(tier1_asns)), replace=False
+                ):
+                    topology.add_provider_customer(int(provider), autonomous_system.asn)
+            else:
+                others.append(autonomous_system)
+        provider_pool = mids if mids else tier1_asns
+        for autonomous_system in others:
+            providers = rng.choice(
+                provider_pool, size=min(2, len(provider_pool)), replace=False
+            )
+            for provider in providers:
+                topology.add_provider_customer(int(provider), autonomous_system.asn)
+        return topology
+
+    def _build_routing(
+        self, rng: np.random.Generator
+    ) -> tuple[RouteViewsCollector, RoutingTable]:
+        config = self.config
+        announcements = []
+        visible = []
+        for allocation in self.allocations:
+            announcement = Announcement(
+                prefix=allocation.prefix, origin_asn=allocation.asn, stable=True
+            )
+            announcements.append(announcement)
+            if rng.random() >= config.rv_hidden_rate:
+                visible.append(announcement)
+            # Occasionally a flapping more-specific.
+            if allocation.prefix.length <= 22 and rng.random() < 0.03:
+                sub = next(allocation.prefix.subprefixes(allocation.prefix.length + 1))
+                flap = Announcement(
+                    prefix=sub, origin_asn=allocation.asn, stable=False
+                )
+                announcements.append(flap)
+                visible.append(flap)
+        collector = RouteViewsCollector(visible, seed=config.seed)
+        return collector, RoutingTable(announcements)
+
+    def _build_fabric(
+        self,
+        topology: AsTopology,
+        tier1: list[AutonomousSystem],
+        cdns: list[AutonomousSystem],
+        isp_as: AutonomousSystem,
+        teu1_as: AutonomousSystem,
+        teu2_as: AutonomousSystem,
+        rng: np.random.Generator,
+    ) -> IxpFabric:
+        config = self.config
+        continent_of_asn = {
+            a.asn: a.continent.value for a in self.ases
+        }
+        pinned = {isp_as.asn, teu1_as.asn, teu2_as.asn}
+        ixps = []
+        for spec in config.ixps:
+            home = IXP_REGION_CONTINENTS[spec.region]
+            members: set[int] = set()
+            for autonomous_system in self.ases:
+                asn = autonomous_system.asn
+                if asn in pinned:
+                    continue  # membership controlled explicitly below
+                if autonomous_system.is_cdn:
+                    probability = 0.85 if spec.member_share >= 0.1 else 0.3
+                elif asn in {a.asn for a in tier1}:
+                    probability = 0.95 if spec.member_share >= 0.2 else 0.4
+                elif autonomous_system.continent.value in home:
+                    probability = spec.member_share
+                else:
+                    probability = spec.member_share * config.remote_member_factor
+                if rng.random() < probability:
+                    members.add(asn)
+            if spec.code in config.tus1_host_ixps:
+                members.add(isp_as.asn)
+            if spec.code in config.teu1_host_ixps:
+                members.add(teu1_as.asn)
+            if spec.code in config.teu2_member_ixps:
+                members.add(teu2_as.asn)
+            # The TUS1 host's routes verifiably never cross CE1 (the
+            # paper cannot find its space at that vantage point).
+            excluded = frozenset({isp_as.asn}) if spec.code == "CE1" else frozenset()
+            ixps.append(
+                Ixp(
+                    code=spec.code,
+                    region=spec.region,
+                    member_asns=frozenset(members),
+                    capture_share=spec.capture_share,
+                    sampling_factor=spec.sampling_factor,
+                    home_continents=frozenset(home),
+                    excluded_asns=excluded,
+                )
+            )
+        return IxpFabric(
+            ixps,
+            topology,
+            max_asn=self._next_asn - 1,
+            continent_of_asn=continent_of_asn,
+        )
+
+    def _build_telescopes(
+        self,
+        tus1_blocks: np.ndarray,
+        teu1_blocks: np.ndarray,
+        teu2_blocks: np.ndarray,
+        rng: np.random.Generator,
+    ) -> dict[str, Telescope]:
+        config = self.config
+        # The lent-out pool is sticky: mostly the same subscriber blocks
+        # every day, with a small daily churn — otherwise a week of data
+        # would mark nearly every TEU1 block active at some point, which
+        # contradicts the paper's 7-day coverage.
+        lent: dict[int, np.ndarray] = {}
+        lent_count = int(round(len(teu1_blocks) * config.teu1_lent_fraction))
+        base = rng.choice(teu1_blocks, size=lent_count, replace=False)
+        # Daily churn recycles a small fixed buffer of spare blocks, so
+        # the never-lent remainder stays stably dark across the week.
+        churn = max(1, lent_count // 20)
+        spare_pool = np.setdiff1d(teu1_blocks, base)
+        buffer = spare_pool[: min(churn, len(spare_pool))]
+        for day in range(config.num_days):
+            drop = rng.choice(len(base), size=len(buffer), replace=False)
+            today = np.concatenate([np.delete(base, drop), buffer])
+            lent[day] = np.unique(today)
+        return {
+            "TUS1": Telescope(code="TUS1", region="NA", blocks=tus1_blocks),
+            "TEU1": Telescope(
+                code="TEU1",
+                region="CE",
+                blocks=teu1_blocks,
+                blocked_ports=frozenset({23, 445}),
+                lent_blocks_by_day=lent,
+            ),
+            "TEU2": Telescope(code="TEU2", region="CE", blocks=teu2_blocks),
+        }
+
+    # -- traffic ----------------------------------------------------------
+
+    def _build_traffic(
+        self,
+        index: BlockIndex,
+        registry: ASRegistry,
+        telescopes: dict[str, Telescope],
+        rng: np.random.Generator,
+    ) -> DailyTrafficMix:
+        config = self.config
+        mix = DailyTrafficMix()
+        active_blocks = index.blocks_in_state(BlockState.ACTIVE, BlockState.MIXED)
+        active_asns = index.asn_of(active_blocks)
+
+        self._add_scan_campaigns(mix, index, telescopes, active_blocks, active_asns, rng)
+        self._add_udp_noise(mix, index, active_blocks, active_asns, rng)
+        self._add_backscatter(mix, index, telescopes, active_blocks, active_asns, rng)
+        self._add_spoofing(
+            mix, index, registry, telescopes, active_blocks, active_asns, rng
+        )
+        self._add_production(mix, index, registry, telescopes, rng)
+        self._add_misconfig(mix, index, active_blocks, active_asns, rng)
+        return mix
+
+    def _campaign_weights(
+        self, index: BlockIndex, spec: CampaignSpec, rng: np.random.Generator
+    ) -> np.ndarray:
+        from repro.world.ground_truth import _COUNTRY_CONTINENTS  # noqa: PLC0415
+
+        weights = np.ones(len(index), dtype=np.float64)
+        continents = _COUNTRY_CONTINENTS[index.country_index]
+        for continent, factor in spec.region_bias.items():
+            weights[continents == continent.value] *= factor
+        for as_type, factor in spec.type_bias.items():
+            weights[index.type_index == type_index_of(as_type)] *= factor
+        if spec.locality == "redis-footprint":
+            mask = (continents == Continent.NORTH_AMERICA.value) | (
+                index.country_index == country_index_of("CH")
+            )
+            weights[~mask] = 0.0
+        elif spec.locality == "teu1-region":
+            mask = continents == Continent.EUROPE.value
+            weights[~mask] = 0.0
+        # Campaign-specific partial coverage: each campaign only ever
+        # touches a stable pseudo-random subset of the space, so blocks
+        # see different campaign mixtures (spreads per-/24 mean sizes).
+        coverage = 0.45 + 0.5 * rng.random()
+        keep = rng.random(len(index)) < coverage
+        weights[~keep] = 0.0
+        return weights
+
+    def _add_scan_campaigns(
+        self,
+        mix: DailyTrafficMix,
+        index: BlockIndex,
+        telescopes: dict[str, Telescope],
+        active_blocks: np.ndarray,
+        active_asns: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        config = self.config
+        specs = standard_campaign_specs()
+        total_budget = config.scan_pkts_per_block_day * len(index)
+        total_intensity = sum(spec.intensity for spec in specs)
+        blacklist = np.concatenate(
+            [telescopes["TUS1"].blocks, telescopes["TEU1"].blocks]
+        )
+        size_options = (0.0, 0.04, 0.12, 0.30)
+        for i, spec in enumerate(specs):
+            weights = self._campaign_weights(index, spec, rng)
+            if weights.sum() == 0:
+                continue
+            option_share = size_options[i % len(size_options)]
+            size_model = PacketSizeModel(
+                sizes=(40, 48, 52, 60),
+                weights=(
+                    1.0 - option_share - 0.01,
+                    option_share,
+                    0.007,
+                    0.003,
+                ),
+            )
+            sources = make_sources(
+                active_blocks, active_asns, spec.num_sources, rng
+            )
+            mix.add(
+                ScanCampaign(
+                    name=spec.name,
+                    sources=sources,
+                    ports=spec.ports,
+                    port_weights=spec.port_weights,
+                    target_blocks=index.blocks,
+                    target_weights=weights,
+                    probes_per_day=int(
+                        total_budget * spec.intensity / total_intensity
+                    ),
+                    size_model=size_model,
+                    avoid_blocks=blacklist if spec.respects_blacklist else None,
+                    weekday_profile=spec.weekday_profile,
+                )
+            )
+
+    def _add_udp_noise(
+        self,
+        mix: DailyTrafficMix,
+        index: BlockIndex,
+        active_blocks: np.ndarray,
+        active_asns: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        config = self.config
+        sources = make_sources(active_blocks, active_asns, 40, rng)
+        mix.add(
+            UdpRadiationActor(
+                target_blocks=index.blocks,
+                source_ips=np.array([s.ip for s in sources], dtype=np.uint32),
+                source_asns=np.array([s.asn for s in sources], dtype=np.int32),
+                packets_per_day=int(config.udp_pkts_per_block_day * len(index)),
+            )
+        )
+
+    def _add_backscatter(
+        self,
+        mix: DailyTrafficMix,
+        index: BlockIndex,
+        telescopes: dict[str, Telescope],
+        active_blocks: np.ndarray,
+        active_asns: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        config = self.config
+        sources = make_sources(active_blocks, active_asns, 80, rng)
+        victims = [
+            Victim(ip=s.ip, asn=s.asn, service_port=int(port))
+            for s, port in zip(
+                sources, rng.choice([80, 443, 53], size=len(sources))
+            )
+        ]
+        scan_budget = config.scan_pkts_per_block_day * len(index)
+        mix.add(
+            BackscatterActor(
+                victims=victims,
+                packets_per_day=int(scan_budget * config.backscatter_share),
+                # Concentrate on the modelled space (importance sampling
+                # of the uniform spray, like the spoofer sources).
+                dst_blocks=np.concatenate([index.blocks, self.unrouted_blocks]),
+            )
+        )
+        # Day-0 DDoS event whose backscatter floods the TEU2 region,
+        # pushing those blocks over the volume threshold on April 24.
+        teu2 = telescopes["TEU2"]
+        neighbourhood = np.unique(
+            np.concatenate(
+                [teu2.blocks, teu2.blocks + 1, teu2.blocks - 1]
+            )
+        )
+        # The April-24 event is a reflection attack: its backscatter is
+        # UDP, which also reproduces TEU2's UDP-heavy traffic mix.
+        from repro.traffic.packets import PROTO_UDP, udp_ibr_size_model  # noqa: PLC0415
+
+        mix.add(
+            BackscatterActor(
+                victims=victims[:8],
+                packets_per_day=config.teu2_day0_burst_pkts,
+                dst_blocks=neighbourhood,
+                active_days=frozenset({0}),
+                proto=PROTO_UDP,
+                size_model=udp_ibr_size_model(),
+            )
+        )
+
+    def _add_spoofing(
+        self,
+        mix: DailyTrafficMix,
+        index: BlockIndex,
+        registry: ASRegistry,
+        telescopes: dict[str, Telescope],
+        active_blocks: np.ndarray,
+        active_asns: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        config = self.config
+        attackers = np.array(
+            [a.asn for a in registry if not a.spoof_filtered], dtype=np.int32
+        )
+        if len(attackers) == 0:
+            attackers = np.array([self.ases[0].asn], dtype=np.int32)
+        victims = make_sources(active_blocks, active_asns, 120, rng)
+        source_space = np.concatenate([index.blocks, self.unrouted_blocks])
+        budget = int(config.spoof_ground_per_block_day * len(source_space))
+        # Floods impersonate lively /16s (legitimate-looking sources
+        # defeat ingress ACLs): spoofers copy ranges with visible real
+        # activity, never the unrouted baseline and rarely dark-heavy
+        # legacy or telescope ranges.
+        slash16 = index.blocks >> 8
+        dark_flag = np.isin(
+            index.state,
+            [int(BlockState.DARK), int(BlockState.TELESCOPE)],
+        ).astype(np.float64)
+        anchors_all, inverse = np.unique(slash16, return_inverse=True)
+        dark_share = np.bincount(inverse, weights=dark_flag) / np.bincount(inverse)
+        lively_16s = anchors_all[dark_share < 0.5]
+        if len(lively_16s) == 0:
+            lively_16s = anchors_all
+        if config.spoof_flood_mixed_anchors:
+            # ~3:1 preference for lively ranges; dark-heavy ranges are
+            # still impersonated occasionally (nothing stops a spoofer).
+            announced_16s = np.concatenate(
+                [np.repeat(lively_16s, 2), anchors_all]
+            )
+        else:
+            announced_16s = lively_16s
+        # During the measurement week no flood impersonated ranges
+        # overlapping the operational telescopes — attested by the
+        # paper's ability to recover their space over seven days.
+        telescope_16s = np.unique(
+            np.concatenate([t.blocks for t in telescopes.values()]) >> 8
+        )
+        remaining = announced_16s[~np.isin(announced_16s, telescope_16s)]
+        if len(remaining):
+            announced_16s = remaining
+        mix.add(
+            SpoofedFloodActor(
+                attacker_asns=attackers,
+                victim_ips=np.array([v.ip for v in victims], dtype=np.uint32),
+                victim_asns=np.array([v.asn for v in victims], dtype=np.int32),
+                uniform_source_blocks=source_space,
+                uniform_packets_per_day=budget,
+                subnet_anchors=announced_16s,
+                floods_per_day=config.spoof_floods_per_day,
+                flood_pkts_per_block=config.spoof_flood_pkts_per_block,
+            )
+        )
+
+    def _add_production(
+        self,
+        mix: DailyTrafficMix,
+        index: BlockIndex,
+        registry: ASRegistry,
+        telescopes: dict[str, Telescope],
+        rng: np.random.Generator,
+    ) -> None:
+        config = self.config
+        state = index.state
+        is_active = state == int(BlockState.ACTIVE)
+        is_mixed = state == int(BlockState.MIXED)
+        is_low = state == int(BlockState.LOW_ACTIVE)
+        selected = is_active | is_mixed | is_low
+        blocks = index.blocks[selected]
+        asns = index.asn[selected]
+        count = len(blocks)
+        if count == 0:
+            return
+        inbound = rng.lognormal(
+            mean=np.log(config.production_inbound_mean), sigma=0.6, size=count
+        )
+        outbound = rng.lognormal(
+            mean=np.log(config.production_outbound_mean), sigma=0.6, size=count
+        )
+        sel_state = state[selected]
+        # Lightly-used client space: visible outbound only — the inbound
+        # data path is asymmetric w.r.t. the IXPs (so its observed
+        # inbound stays IBR-like and the block classifies gray).
+        mixed_mask = sel_state == int(BlockState.MIXED)
+        inbound[mixed_mask] = 0.0
+        outbound[mixed_mask] = rng.lognormal(
+            mean=np.log(config.mixed_outbound_mean), sigma=0.8, size=int(mixed_mask.sum())
+        )
+        low_mask = sel_state == int(BlockState.LOW_ACTIVE)
+        low_daily = config.active_min_week_packets / 14.0
+        inbound[low_mask] = np.maximum(low_daily, 8.0)
+        outbound[low_mask] = np.maximum(low_daily * 0.7, 6.0)
+
+        ack_share, ack_size = self._ack_profiles(count, rng)
+        weekend = self._weekend_factors(index, selected, rng)
+
+        # Remote peers are heavily-used server space: data toward
+        # clients rides asymmetric paths the IXPs never see, and CDN
+        # sinks must only receive their ACK stream (the volume filter,
+        # not the size filter, is what catches them).
+        server_mask = is_active
+        server_blocks = index.blocks[server_mask]
+        server_asns = index.asn[server_mask]
+        if len(server_blocks) == 0:
+            server_blocks, server_asns = blocks, asns
+        remote_pool = make_sources(
+            server_blocks, server_asns, min(3000, max(len(server_blocks) * 4, 8)), rng
+        )
+        remote_ips = np.array([s.ip for s in remote_pool], dtype=np.uint32)
+        remote_asns = np.array([s.asn for s in remote_pool], dtype=np.int32)
+
+        mix.add(
+            ProductionTraffic(
+                blocks=blocks,
+                asns=asns,
+                inbound_pkts_per_day=inbound.astype(np.int64),
+                outbound_pkts_per_day=outbound.astype(np.int64),
+                ack_share=ack_share,
+                weekend_factor=weekend,
+                remote_ips=remote_ips,
+                remote_asns=remote_asns,
+                ack_packet_size=ack_size,
+            )
+        )
+
+        cdn_mask = state == int(BlockState.CDN_SINK)
+        cdn_blocks = index.blocks[cdn_mask]
+        if len(cdn_blocks):
+            cdn_inbound = rng.lognormal(
+                mean=np.log(config.cdn_inbound_mean), sigma=0.3, size=len(cdn_blocks)
+            )
+            # The ACK upstream comes from clients (lightly-used space).
+            client_src = blocks if len(blocks) else server_blocks
+            client_asn_pool = asns if len(asns) else server_asns
+            clients = make_sources(client_src, client_asn_pool, 800, rng)
+            mix.add(
+                CdnAckSink(
+                    blocks=cdn_blocks,
+                    asns=index.asn[cdn_mask],
+                    inbound_pkts_per_day=cdn_inbound.astype(np.int64),
+                    client_ips=np.array([s.ip for s in clients], dtype=np.uint32),
+                    client_asns=np.array([s.asn for s in clients], dtype=np.int32),
+                )
+            )
+
+        # TEU1's lent-out blocks behave like eyeball space on their day.
+        teu1 = telescopes["TEU1"]
+        if teu1.lent_blocks_by_day:
+            mix.add(
+                _Teu1LentTraffic(
+                    telescope=teu1,
+                    asn=_asn_of(registry, "Research-ISP-DE"),
+                    remote_ips=remote_ips,
+                    remote_asns=remote_asns,
+                    pkts_per_block=config.production_inbound_mean * 0.4,
+                )
+            )
+
+    def _ack_profiles(
+        self, count: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-active-block inbound ACK profile (Table 3 structure).
+
+        Returns (ack share of inbound packets, ACK packet size):
+
+        * *heavy* blocks (download-dominated): >50 % bare 40 B ACKs —
+          their median is 40 B, the median feature's FPs at every
+          threshold;
+        * *mid* blocks: ~half their packets are 44 B option-carrying
+          ACKs — median 44 B, FPs at the 44/46 B thresholds only;
+        * *pure-ACK* blocks: nearly all ACKs — even the *mean* stays
+          under 44 B, the average feature's rare FPs;
+        * normal blocks: data-dominated, TN for both features.
+        """
+        p_heavy, p_mid, p_pure = self.config.ack_profile_probs
+        draw = rng.random(count)
+        ack = 0.10 + 0.30 * rng.random(count)  # normal blocks
+        ack_size = np.full(count, 40, dtype=np.int64)
+        heavy = draw < p_heavy
+        ack[heavy] = 0.58 + 0.17 * rng.random(int(heavy.sum()))
+        mid = (draw >= p_heavy) & (draw < p_heavy + p_mid)
+        ack[mid] = 0.50 + 0.08 * rng.random(int(mid.sum()))
+        ack_size[mid] = 44
+        pure = (draw >= p_heavy + p_mid) & (draw < p_heavy + p_mid + p_pure)
+        ack[pure] = 0.97
+        return ack, ack_size
+
+    def _weekend_factors(
+        self, index: BlockIndex, selected: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        quiet_types = {
+            type_index_of(ASType.ENTERPRISE),
+            type_index_of(ASType.EDUCATION),
+        }
+        type_idx = index.type_index[selected]
+        factors = np.where(
+            np.isin(type_idx, list(quiet_types)),
+            self.config.weekend_factor_quiet,
+            0.85,
+        )
+        jitter = 0.9 + 0.2 * rng.random(len(factors))
+        return np.clip(factors * jitter, 0.02, 1.0)
+
+    def _add_misconfig(
+        self,
+        mix: DailyTrafficMix,
+        index: BlockIndex,
+        active_blocks: np.ndarray,
+        active_asns: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        config = self.config
+        dark = index.truly_dark_blocks()
+        if len(dark) == 0:
+            return
+        num_targets = max(1, int(len(dark) * config.misconfig_dark_share))
+        targets = rng.choice(dark, size=num_targets, replace=False)
+        sources = make_sources(active_blocks, active_asns, 20, rng)
+        mix.add(
+            MisconfigurationNoise(
+                target_blocks=targets,
+                source_ips=np.array([s.ip for s in sources], dtype=np.uint32),
+                source_asns=np.array([s.asn for s in sources], dtype=np.int32),
+            )
+        )
+
+    def _build_datasets(
+        self,
+        index: BlockIndex,
+        registry: ASRegistry,
+        collector: RouteViewsCollector,
+    ) -> WorldDatasets:
+        config = self.config
+        rng = config.child_rng("datasets")
+        truly_active = index.truly_active_blocks()
+        truly_dark = index.truly_dark_blocks()
+        eyeball_mask = index.type_index == type_index_of(ASType.ISP)
+        eyeball_active = np.intersect1d(index.blocks[eyeball_mask], truly_active)
+        liveness = [
+            LivenessDataset.observe(
+                "censys", truly_active, truly_dark,
+                recall=config.censys_recall,
+                stale_rate=config.liveness_stale_rate,
+                rng=rng,
+            ),
+            LivenessDataset.observe(
+                "ndt", eyeball_active, truly_dark,
+                recall=config.ndt_recall,
+                stale_rate=config.liveness_stale_rate * 0.3,
+                rng=rng,
+            ),
+            LivenessDataset.observe(
+                "isi", truly_active, truly_dark,
+                recall=config.isi_recall,
+                stale_rate=config.liveness_stale_rate,
+                rng=rng,
+            ),
+        ]
+        geodb = GeoDatabase.from_ground_truth(
+            blocks=index.blocks,
+            true_codes=index.country_codes_of(index.blocks),
+            error_rate=config.geodb_error_rate,
+            rng=rng,
+        )
+        pfx2as = PrefixToAsMap.from_routing_table(collector.daily_table(0))
+        as2org = AsToOrgMap.from_registry(registry)
+        ipinfo = AsClassification.from_registry(
+            registry, error_rate=config.ipinfo_error_rate, rng=rng
+        )
+        return WorldDatasets(
+            liveness=liveness,
+            geodb=geodb,
+            pfx2as=pfx2as,
+            as2org=as2org,
+            ipinfo=ipinfo,
+        )
+
+
+@dataclass(slots=True)
+class _Teu1LentTraffic:
+    """Production traffic from TEU1 blocks lent to end users that day."""
+
+    telescope: Telescope
+    asn: int
+    remote_ips: np.ndarray
+    remote_asns: np.ndarray
+    pkts_per_block: float
+
+    def generate(self, day: int, rng: np.random.Generator) -> FlowTable:
+        lent = self.telescope.lent_blocks_by_day.get(day)
+        if lent is None or len(lent) == 0:
+            return FlowTable.empty()
+        production = ProductionTraffic(
+            blocks=np.asarray(lent, dtype=np.int64),
+            asns=np.full(len(lent), self.asn, dtype=np.int32),
+            inbound_pkts_per_day=np.full(
+                len(lent), int(self.pkts_per_block), dtype=np.int64
+            ),
+            outbound_pkts_per_day=np.full(
+                len(lent), int(self.pkts_per_block * 0.8), dtype=np.int64
+            ),
+            ack_share=np.full(len(lent), 0.3),
+            weekend_factor=np.ones(len(lent)),
+            remote_ips=self.remote_ips,
+            remote_asns=self.remote_asns,
+        )
+        return production.generate(day, rng)
+
+
+def _asn_of(registry: ASRegistry, name: str) -> int:
+    for autonomous_system in registry:
+        if autonomous_system.name == name:
+            return autonomous_system.asn
+    raise KeyError(name)

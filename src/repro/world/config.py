@@ -1,0 +1,244 @@
+"""World configuration: every knob of the synthetic Internet.
+
+The default values reproduce the paper's setting at a reduced scale
+(the "paper scale"): telescope and ISP sizes are kept at their real
+block counts (they are small in absolute terms), while the general
+Internet and traffic intensities are scaled down by a documented
+factor so a full measurement week simulates in minutes.
+
+Scale presets:
+
+* :func:`paper_config` — benchmark scale (~80 k announced /24s);
+* :func:`small_config` — integration-test scale (~3 k announced /24s);
+* :func:`micro_config` — unit-test scale (~700 announced /24s).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+#: Traffic intensity is ``1e-4`` of reality: a real dark /24 receives
+#: roughly 2 M packets/day (Table 2); ours receives ~200 simulation
+#: packets/day of combined IBR at intensity 1.0 (see traffic knobs).
+INTENSITY_NOTE = "simulation packet counts are ~1e-4 of the paper's"
+
+
+@dataclass(frozen=True, slots=True)
+class IxpSpec:
+    """Structural description of one IXP vantage point."""
+
+    code: str
+    region: str  # 'CE' | 'NA' | 'SE'
+    #: Probability that an eligible same-region AS is a member.
+    member_share: float
+    #: Probability a flow between two fully engaged parties crosses here.
+    capture_share: float
+    #: IPFIX sampling: 1 / sampling probability.
+    sampling_factor: float
+
+
+#: The paper's 14 IXPs (Table 1), sized to reproduce Table 6's ordering.
+DEFAULT_IXPS: tuple[IxpSpec, ...] = (
+    IxpSpec("CE1", "CE", 0.62, 0.36, 12.0),
+    IxpSpec("CE2", "CE", 0.16, 0.10, 8.0),
+    IxpSpec("CE3", "CE", 0.30, 0.14, 8.0),
+    IxpSpec("CE4", "CE", 0.05, 0.05, 6.0),
+    IxpSpec("NA1", "NA", 0.58, 0.30, 12.0),
+    IxpSpec("NA2", "NA", 0.14, 0.09, 8.0),
+    IxpSpec("NA3", "NA", 0.02, 0.03, 4.0),
+    IxpSpec("NA4", "NA", 0.04, 0.04, 4.0),
+    IxpSpec("SE1", "SE", 0.22, 0.11, 8.0),
+    IxpSpec("SE2", "SE", 0.26, 0.13, 8.0),
+    IxpSpec("SE3", "SE", 0.07, 0.05, 6.0),
+    IxpSpec("SE4", "SE", 0.24, 0.12, 8.0),
+    IxpSpec("SE5", "SE", 0.06, 0.04, 4.0),
+    IxpSpec("SE6", "SE", 0.03, 0.03, 4.0),
+)
+
+#: Continents IXP members are preferentially drawn from, per region code.
+IXP_REGION_CONTINENTS: dict[str, tuple[str, ...]] = {
+    "CE": ("EU",),
+    "SE": ("EU",),
+    "NA": ("NA",),
+    # Hypothetical regions for vantage-placement studies (the paper
+    # notes South America is under-covered for lack of a local IXP).
+    "SA": ("SA",),
+    "AS": ("AS",),
+    "AF": ("AF",),
+    "OC": ("OC",),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class WorldConfig:
+    """Full parameterisation of a synthetic Internet."""
+
+    seed: int = 7
+    num_days: int = 7
+
+    # -- address-space scale -------------------------------------------
+    num_ases: int = 620
+    #: /24 blocks in ordinary (non-legacy, non-ISP, non-telescope) allocations.
+    general_blocks: int = 34_000
+    #: Legacy allocations as (country, as_type name, prefix length); each
+    #: is a large mostly-dark block (/12 = 4,096 /24s).
+    legacy_allocations: tuple[tuple[str, str, int], ...] = (
+        ("US", "Education", 12),
+        ("US", "Education", 13),
+        ("US", "Enterprise", 12),
+        ("CN", "ISP", 12),
+        ("JP", "ISP", 13),
+        ("GB", "Enterprise", 14),
+    )
+    #: Fraction of a legacy allocation that is truly dark.
+    legacy_dark_share: float = 0.82
+    #: The ISP that hosts TUS1 (Table 3's labelled data).
+    isp_blocks: int = 26_079
+    isp_active_blocks: int = 5_835
+    isp_low_active_blocks: int = 2_088
+    #: Telescopes (Table 2).
+    tus1_blocks: int = 1_856
+    teu1_blocks: int = 768
+    teu2_blocks: int = 8
+    #: Fraction of TEU1 lent out to end users (active) on any given day.
+    teu1_lent_fraction: float = 0.655
+    #: Never-announced /12s used as the spoofing-tolerance baseline.
+    unrouted_baseline_prefixes: tuple[str, str] = ("39.0.0.0/12", "53.0.0.0/12")
+    #: Fraction of announcements invisible to the Route Views collector.
+    rv_hidden_rate: float = 0.004
+
+    # -- ground-truth usage --------------------------------------------
+    base_dark_rate: float = 0.24
+    #: Of the non-dark remainder: heavily used (server/eyeball) share and
+    #: quiet-server share; the rest is lightly-used client space (MIXED),
+    #: which dominates the observed Internet — the paper's huge graynet
+    #: class is exactly this space.
+    active_share_nondark: float = 0.17
+    low_share_nondark: float = 0.07
+    cdn_block_share: float = 0.015
+    #: Per-AS-type multipliers on the dark rate (data centers are young
+    #: and dense; legacy education space is sparse).
+    type_dark_bias: dict[str, float] = field(
+        default_factory=lambda: {
+            "ISP": 1.0,
+            "Enterprise": 1.05,
+            "Education": 1.25,
+            "Data Center": 0.45,
+        }
+    )
+
+    # -- traffic intensity (simulation packets/day) ---------------------
+    scan_pkts_per_block_day: float = 34.0
+    udp_pkts_per_block_day: float = 6.0
+    backscatter_share: float = 0.06
+    production_inbound_mean: float = 650.0
+    production_outbound_mean: float = 420.0
+    #: Lightly-used (MIXED) space: modest visible outbound, no visible
+    #: inbound data (its return path is asymmetric w.r.t. the IXPs).
+    mixed_outbound_mean: float = 220.0
+    cdn_inbound_mean: float = 2_600.0
+    #: Ground spoofed packets "from" each /24 of the effective source
+    #: space per day (uniform strategy), before visibility and sampling.
+    spoof_ground_per_block_day: float = 18.0
+    #: Concentrated subnet floods: events/day, intensity per /24 of the
+    #: flooded /16, and row aggregation.
+    spoof_floods_per_day: int = 38
+    spoof_flood_pkts_per_block: int = 3000
+    #: Whether floods also impersonate dark-heavy /16s (mixed anchor
+    #: pool).  Off by default: spoofers impersonate lively ranges, and
+    #: dark-heavy hits would destroy the telescope coverage the paper
+    #: reports (Table 4).  The Figure-9 ablation can switch it on.
+    spoof_flood_mixed_anchors: bool = False
+    misconfig_dark_share: float = 0.004
+    #: Active-block inbound ack-profile category probabilities:
+    #: (ack-heavy, mid-44, pure-ack).  See production traffic notes.
+    ack_profile_probs: tuple[float, float, float] = (0.07, 0.16, 0.009)
+    weekend_factor_quiet: float = 0.12
+    #: Day-0 backscatter burst toward the TEU2 neighbourhood (drives the
+    #: Table 4 volume-filter behaviour).
+    teu2_day0_burst_pkts: int = 60_000
+
+    # -- vantage points --------------------------------------------------
+    ixps: tuple[IxpSpec, ...] = DEFAULT_IXPS
+    #: Fraction of out-of-region ASes joining an IXP (remote peering).
+    remote_member_factor: float = 0.45
+    #: IXPs where the TEU2 host peers directly.
+    teu2_member_ixps: tuple[str, ...] = (
+        "CE1", "CE2", "CE3", "SE1", "SE2", "SE3", "SE4", "NA1", "NA2", "SE5",
+    )
+    tus1_host_ixps: tuple[str, ...] = ("NA1", "NA2")
+    teu1_host_ixps: tuple[str, ...] = ("CE1", "CE2")
+
+    # -- auxiliary datasets ----------------------------------------------
+    censys_recall: float = 0.90
+    ndt_recall: float = 0.22
+    isi_recall: float = 0.78
+    liveness_stale_rate: float = 0.012
+    geodb_error_rate: float = 0.02
+    ipinfo_error_rate: float = 0.03
+
+    # -- inference defaults (simulation units) ---------------------------
+    avg_size_threshold: float = 44.0
+    volume_threshold_pkts_day: float = 700.0
+    active_min_week_packets: int = 1_000
+
+    def child_rng(self, name: str) -> np.random.Generator:
+        """A named, deterministic RNG stream derived from the seed."""
+        return np.random.default_rng((self.seed, zlib.crc32(name.encode())))
+
+    def scaled(self, **overrides: object) -> "WorldConfig":
+        """A copy with fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+def paper_config(seed: int = 7) -> WorldConfig:
+    """Benchmark-scale world (the default field values)."""
+    return WorldConfig(seed=seed)
+
+
+def small_config(seed: int = 7) -> WorldConfig:
+    """Integration-test scale: ~3 k announced /24 blocks."""
+    return WorldConfig(
+        seed=seed,
+        num_ases=140,
+        general_blocks=1_600,
+        legacy_allocations=(
+            ("US", "Education", 17),
+            ("CN", "ISP", 18),
+        ),
+        isp_blocks=600,
+        isp_active_blocks=140,
+        isp_low_active_blocks=48,
+        tus1_blocks=96,
+        teu1_blocks=48,
+        teu2_blocks=8,
+        unrouted_baseline_prefixes=("39.0.0.0/16", "53.0.0.0/16"),
+        teu2_day0_burst_pkts=40_000,
+        spoof_floods_per_day=1,
+        spoof_flood_pkts_per_block=1500,
+        spoof_flood_mixed_anchors=False,
+    )
+
+
+def micro_config(seed: int = 7) -> WorldConfig:
+    """Unit-test scale: ~700 announced /24 blocks, fast to simulate."""
+    return WorldConfig(
+        seed=seed,
+        num_ases=60,
+        general_blocks=420,
+        legacy_allocations=(("US", "Education", 19),),
+        isp_blocks=160,
+        isp_active_blocks=40,
+        isp_low_active_blocks=12,
+        tus1_blocks=32,
+        teu1_blocks=16,
+        teu2_blocks=4,
+        unrouted_baseline_prefixes=("39.0.0.0/17", "53.0.0.0/17"),
+        teu2_day0_burst_pkts=30_000,
+        spoof_floods_per_day=1,
+        spoof_flood_pkts_per_block=1000,
+        spoof_flood_mixed_anchors=False,
+    )

@@ -1,0 +1,89 @@
+"""Observation of a world: turning ground-truth traffic into vantage views.
+
+The :class:`Observatory` is the measurement campaign: for each day it
+generates the world's ground-truth flows, lets each IXP claim and
+sample its share, gives the telescopes and the ISP their unsampled
+captures, and caches the resulting views (the ground-truth table itself
+is discarded — exactly as unstored line-rate traffic is in reality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vantage.sampling import VantageDayView
+from repro.world.builder import World
+
+
+@dataclass
+class DayObservation:
+    """Everything every vantage point recorded on one day."""
+
+    day: int
+    ixp_views: dict[str, VantageDayView]
+    telescope_views: dict[str, VantageDayView]
+    isp_view: VantageDayView
+
+    def view(self, vantage: str) -> VantageDayView:
+        """Look up a view by vantage code (IXP, telescope, or ISP)."""
+        if vantage in self.ixp_views:
+            return self.ixp_views[vantage]
+        if vantage in self.telescope_views:
+            return self.telescope_views[vantage]
+        if vantage == self.isp_view.vantage:
+            return self.isp_view
+        raise KeyError(f"unknown vantage {vantage!r} on day {self.day}")
+
+
+class Observatory:
+    """Per-day observation cache over a world."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self._days: dict[int, DayObservation] = {}
+
+    def day(self, day: int) -> DayObservation:
+        """Observe (or recall) one day."""
+        cached = self._days.get(day)
+        if cached is not None:
+            return cached
+        observation = self._observe(day)
+        self._days[day] = observation
+        return observation
+
+    def days(self, num_days: int | None = None) -> list[DayObservation]:
+        """Observe days ``0 .. num_days-1`` (default: the config's week)."""
+        if num_days is None:
+            num_days = self.world.config.num_days
+        return [self.day(d) for d in range(num_days)]
+
+    def ixp_views(self, vantage: str, num_days: int | None = None) -> list[VantageDayView]:
+        """One IXP's views across the campaign days."""
+        return [obs.ixp_views[vantage] for obs in self.days(num_days)]
+
+    def all_ixp_views(self, num_days: int | None = None) -> list[VantageDayView]:
+        """Every IXP's view for every campaign day (the "All" dataset)."""
+        views = []
+        for obs in self.days(num_days):
+            views.extend(obs.ixp_views.values())
+        return views
+
+    def _observe(self, day: int) -> DayObservation:
+        world = self.world
+        traffic_rng = world.config.child_rng(f"traffic-day-{day}")
+        ground = world.mix.generate_day(day, traffic_rng)
+        ground = world.annotate_dst_asn(ground)
+
+        vantage_rng = world.config.child_rng(f"vantage-day-{day}")
+        ixp_views = world.fabric.views_for_day(ground, day, vantage_rng)
+        telescope_views = {
+            code: telescope.capture(ground, day)
+            for code, telescope in world.telescopes.items()
+        }
+        isp_view = world.isp.capture(ground, day)
+        return DayObservation(
+            day=day,
+            ixp_views=ixp_views,
+            telescope_views=telescope_views,
+            isp_view=isp_view,
+        )

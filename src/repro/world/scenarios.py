@@ -1,0 +1,49 @@
+"""Canonical worlds at the three scales, with process-level caching.
+
+Benches and tests share worlds through these factories so a pytest
+session builds each scale at most once per seed.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.world.builder import World, build_world
+from repro.world.config import micro_config, paper_config, small_config
+from repro.world.observe import Observatory
+
+
+@lru_cache(maxsize=4)
+def paper_world(seed: int = 7) -> World:
+    """The benchmark-scale world (the paper's setting, scaled)."""
+    return build_world(paper_config(seed))
+
+
+@lru_cache(maxsize=4)
+def small_world(seed: int = 7) -> World:
+    """Integration-test scale world."""
+    return build_world(small_config(seed))
+
+
+@lru_cache(maxsize=4)
+def micro_world(seed: int = 7) -> World:
+    """Unit-test scale world."""
+    return build_world(micro_config(seed))
+
+
+@lru_cache(maxsize=4)
+def paper_observatory(seed: int = 7) -> Observatory:
+    """Shared observation cache over the benchmark-scale world."""
+    return Observatory(paper_world(seed))
+
+
+@lru_cache(maxsize=4)
+def small_observatory(seed: int = 7) -> Observatory:
+    """Shared observation cache over the small world."""
+    return Observatory(small_world(seed))
+
+
+@lru_cache(maxsize=4)
+def micro_observatory(seed: int = 7) -> Observatory:
+    """Shared observation cache over the micro world."""
+    return Observatory(micro_world(seed))

@@ -1,0 +1,61 @@
+"""Tests for the prefix-set stability metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import stability_report
+
+
+class TestStabilityReport:
+    def test_identical_days(self):
+        daily = {0: np.array([1, 2, 3]), 1: np.array([1, 2, 3])}
+        report = stability_report(daily)
+        assert report.adjacent_similarity() == 1.0
+        assert report.retention.tolist() == [1.0, 1.0]
+        assert report.survival.tolist() == [1.0, 1.0]
+
+    def test_disjoint_days(self):
+        daily = {0: np.array([1]), 1: np.array([2])}
+        report = stability_report(daily)
+        assert report.adjacent_similarity() == 0.0
+        assert report.retention[1] == 0.0
+        assert report.survival[1] == 0.0
+
+    def test_partial_overlap(self):
+        daily = {0: np.array([1, 2]), 1: np.array([2, 3])}
+        report = stability_report(daily)
+        assert report.jaccard_matrix[0, 1] == pytest.approx(1 / 3)
+        assert report.retention[1] == pytest.approx(0.5)
+
+    def test_survival_vs_day_zero(self):
+        daily = {
+            0: np.array([1, 2, 3, 4]),
+            1: np.array([1, 2, 3]),
+            2: np.array([1]),
+        }
+        report = stability_report(daily)
+        assert report.survival.tolist() == [1.0, 0.75, 0.25]
+
+    def test_matrix_symmetric_with_unit_diagonal(self):
+        daily = {0: np.array([1, 2]), 1: np.array([2]), 2: np.array([9])}
+        report = stability_report(daily)
+        assert np.allclose(report.jaccard_matrix, report.jaccard_matrix.T)
+        assert np.allclose(np.diag(report.jaccard_matrix), 1.0)
+
+    def test_days_sorted(self):
+        daily = {3: np.array([1]), 1: np.array([1])}
+        report = stability_report(daily)
+        assert report.days == (1, 3)
+
+    def test_single_day(self):
+        report = stability_report({0: np.array([1])})
+        assert report.adjacent_similarity() == 1.0
+
+    def test_empty_day_handled(self):
+        report = stability_report({0: np.array([]), 1: np.array([1])})
+        assert report.retention[1] == 1.0  # vacuous: nothing to retain
+        assert report.survival[1] == 1.0
+
+    def test_requires_days(self):
+        with pytest.raises(ValueError):
+            stability_report({})

@@ -1,0 +1,88 @@
+"""Tests for RIB emulation and the Route Views collector."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.rib import (
+    DUMPS_PER_DAY,
+    Announcement,
+    RibSnapshot,
+    RouteViewsCollector,
+    RoutingTable,
+)
+from repro.net.ipv4 import Prefix, parse_ip
+
+
+def ann(text, asn, stable=True):
+    return Announcement(prefix=Prefix.parse(text), origin_asn=asn, stable=stable)
+
+
+class TestRoutingTable:
+    def test_origin_lookup(self):
+        table = RoutingTable([ann("10.0.0.0/8", 65001), ann("10.1.0.0/16", 65002)])
+        assert table.origin_of_ip(parse_ip("10.1.2.3")) == 65002
+        assert table.origin_of_ip(parse_ip("10.2.0.1")) == 65001
+        assert table.origin_of_ip(parse_ip("11.0.0.1")) is None
+
+    def test_origin_of_block(self):
+        table = RoutingTable([ann("10.0.0.0/8", 65001)])
+        assert table.origin_of_block(parse_ip("10.5.5.0") >> 8) == 65001
+
+    def test_routed_block(self):
+        table = RoutingTable([ann("10.0.0.0/8", 65001)])
+        assert table.is_routed_block(parse_ip("10.0.1.0") >> 8)
+        assert not table.is_routed_block(parse_ip("11.0.0.0") >> 8)
+
+    def test_routed_mask(self):
+        table = RoutingTable([ann("10.0.0.0/8", 65001)])
+        blocks = np.array([parse_ip("10.0.0.0") >> 8, parse_ip("12.0.0.0") >> 8])
+        assert table.routed_mask(blocks).tolist() == [True, False]
+
+    def test_prefixes_sorted(self):
+        table = RoutingTable([ann("11.0.0.0/8", 2), ann("10.0.0.0/8", 1)])
+        assert [str(p) for p in table.prefixes()] == ["10.0.0.0/8", "11.0.0.0/8"]
+
+    def test_len(self):
+        assert len(RoutingTable([ann("10.0.0.0/8", 1)])) == 1
+
+
+class TestCollector:
+    def test_stable_in_every_dump(self):
+        collector = RouteViewsCollector([ann("10.0.0.0/8", 1)])
+        for dump_index in range(DUMPS_PER_DAY):
+            snapshot = collector.dump(0, dump_index)
+            assert isinstance(snapshot, RibSnapshot)
+            assert len(snapshot.table) == 1
+
+    def test_flapping_missing_sometimes(self):
+        collector = RouteViewsCollector(
+            [ann("10.0.0.0/8", 1), ann("10.0.0.0/9", 1, stable=False)], seed=3
+        )
+        sizes = {len(collector.dump(0, i).table) for i in range(DUMPS_PER_DAY)}
+        assert sizes == {1, 2}  # the flapper disappears in some dumps
+
+    def test_daily_union_includes_flappers(self):
+        collector = RouteViewsCollector(
+            [ann("10.0.0.0/8", 1), ann("10.0.0.0/9", 1, stable=False)], seed=3
+        )
+        daily = collector.daily_table(0)
+        assert len(daily) == 2
+
+    def test_dump_hours(self):
+        collector = RouteViewsCollector([ann("10.0.0.0/8", 1)])
+        assert collector.dump(2, 3).dump_hour == 2 * 24 + 6
+
+    def test_dump_index_validated(self):
+        collector = RouteViewsCollector([ann("10.0.0.0/8", 1)])
+        with pytest.raises(ValueError):
+            collector.dump(0, DUMPS_PER_DAY)
+
+    def test_deterministic(self):
+        a = RouteViewsCollector([ann("10.0.0.0/9", 1, stable=False)], seed=9)
+        b = RouteViewsCollector([ann("10.0.0.0/9", 1, stable=False)], seed=9)
+        for i in range(DUMPS_PER_DAY):
+            assert len(a.dump(1, i).table) == len(b.dump(1, i).table)
+
+    def test_daily_prefixes(self):
+        collector = RouteViewsCollector([ann("10.0.0.0/8", 1)])
+        assert [str(p) for p in collector.daily_prefixes(0)] == ["10.0.0.0/8"]

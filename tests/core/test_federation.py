@@ -1,0 +1,165 @@
+"""Tests for federated meta-telescopes (Section 9 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.federation import (
+    FederatedResult,
+    MarkingRegistry,
+    OperatorReport,
+    federate,
+)
+
+
+def report(operator, dark, observed=None):
+    dark = np.asarray(dark, dtype=np.int64)
+    if observed is None:
+        observed = dark
+    return OperatorReport(
+        operator=operator,
+        dark_blocks=dark,
+        observed_blocks=np.asarray(observed, dtype=np.int64),
+    )
+
+
+class TestVoting:
+    def test_unanimous_block_included(self):
+        result = federate([report("a", [1, 2]), report("b", [1])])
+        assert 1 in result.prefixes
+
+    def test_majority_vote(self):
+        # Block 2: seen by 3 operators, inferred dark by 2 -> in (2/3).
+        members = [
+            report("a", [2], observed=[2]),
+            report("b", [2], observed=[2]),
+            report("c", [], observed=[2]),
+        ]
+        result = federate(members, min_vote_share=0.5)
+        assert 2 in result.prefixes
+
+    def test_minority_vote_excluded(self):
+        members = [
+            report("a", [2], observed=[2]),
+            report("b", [], observed=[2]),
+            report("c", [], observed=[2]),
+        ]
+        result = federate(members, min_vote_share=0.5)
+        assert 2 not in result.prefixes
+
+    def test_abstentions_do_not_veto(self):
+        # Only one member ever observed block 5; its single vote wins.
+        members = [
+            report("a", [5], observed=[5]),
+            report("b", [], observed=[]),
+            report("c", [], observed=[]),
+        ]
+        result = federate(members)
+        assert 5 in result.prefixes
+
+    def test_vote_counts_reported(self):
+        result = federate([report("a", [7]), report("b", [7])])
+        assert result.votes_for[7] == 2
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            federate([])
+
+    def test_validates_share(self):
+        with pytest.raises(ValueError):
+            federate([report("a", [1])], min_vote_share=0.0)
+
+    def test_stricter_share_shrinks(self):
+        members = [
+            report("a", [1, 2], observed=[1, 2]),
+            report("b", [1], observed=[1, 2]),
+        ]
+        loose = federate(members, min_vote_share=0.5)
+        strict = federate(members, min_vote_share=1.0)
+        assert len(strict.prefixes) <= len(loose.prefixes)
+        assert 1 in strict.prefixes
+        assert 2 not in strict.prefixes
+
+
+class TestMarkingRegistry:
+    def test_mark_and_resolve(self):
+        registry = MarkingRegistry()
+        registry.mark(np.array([10, 11]), owner="op-a")
+        assert registry.owner_of(10) == "op-a"
+        assert registry.owner_of(99) is None
+        assert len(registry) == 2
+
+    def test_unmark(self):
+        registry = MarkingRegistry()
+        registry.mark(np.array([10]), owner="op-a")
+        registry.unmark(np.array([10, 99]))
+        assert len(registry) == 0
+
+    def test_marked_blocks_sorted(self):
+        registry = MarkingRegistry()
+        registry.mark(np.array([30, 10]), owner="op-a")
+        assert registry.marked_blocks().tolist() == [10, 30]
+
+    def test_marks_join_federation(self):
+        registry = MarkingRegistry()
+        registry.mark(np.array([42]), owner="op-a")
+        result = federate([report("a", [1])], registry=registry)
+        assert 42 in result.prefixes
+        assert 42 in result.marked_blocks
+        assert 1 in result.voted_blocks
+
+    def test_result_shape(self):
+        result = federate([report("a", [1])])
+        assert isinstance(result, FederatedResult)
+        assert result.num_prefixes() == 1
+
+
+class TestFromResult:
+    def test_from_result(self, integration_world, integration_observatory):
+        from repro.core import MetaTelescope
+        from repro.core.pipeline import PipelineConfig
+
+        world = integration_world
+        telescope = MetaTelescope(
+            collector=world.collector,
+            unrouted_baseline=world.unrouted_baseline_blocks,
+            config=PipelineConfig(
+                volume_threshold_pkts_day=world.config.volume_threshold_pkts_day
+            ),
+        )
+        views = integration_observatory.ixp_views("CE1", num_days=1)
+        result = telescope.infer(views, use_spoofing_tolerance=True)
+        observed = views[0].aggregates().blocks
+        member = OperatorReport.from_result("CE1", result, observed)
+        assert member.operator == "CE1"
+        assert len(member.dark_blocks) == result.num_prefixes()
+
+    def test_federating_vantages_reduces_false_positives(
+        self, integration_world, integration_observatory
+    ):
+        from repro.core import MetaTelescope
+        from repro.core.evaluation import confusion_against_truth
+        from repro.core.pipeline import PipelineConfig
+
+        world = integration_world
+        telescope = MetaTelescope(
+            collector=world.collector,
+            unrouted_baseline=world.unrouted_baseline_blocks,
+            config=PipelineConfig(
+                volume_threshold_pkts_day=world.config.volume_threshold_pkts_day
+            ),
+        )
+        reports = []
+        for code in ("CE1", "NA1", "SE2"):
+            views = integration_observatory.ixp_views(code, num_days=1)
+            result = telescope.infer(views, use_spoofing_tolerance=True)
+            observed = np.unique(
+                np.concatenate([v.aggregates().blocks for v in views])
+            )
+            reports.append(OperatorReport.from_result(code, result, observed))
+        solo = confusion_against_truth(reports[0].dark_blocks, world.index)
+        federated = federate(reports, min_vote_share=0.66)
+        joint = confusion_against_truth(federated.prefixes, world.index)
+        assert (
+            joint.false_positive_rate_of_inferred()
+            <= solo.false_positive_rate_of_inferred() + 0.02
+        )

@@ -1,0 +1,123 @@
+"""Tests for the online (rolling-window) meta-telescope."""
+
+import numpy as np
+import pytest
+
+from repro.bgp.rib import Announcement, RouteViewsCollector
+from repro.core.metatelescope import MetaTelescope
+from repro.core.online import OnlineMetaTelescope
+from repro.core.pipeline import PipelineConfig
+from repro.net.ipv4 import Prefix, parse_ip
+
+from _factories import ip, make_view
+
+BASE = parse_ip("20.0.0.0") >> 8
+
+
+def make_online(**overrides):
+    collector = RouteViewsCollector(
+        [Announcement(Prefix.parse("20.0.0.0/8"), 65001)]
+    )
+    telescope = MetaTelescope(collector=collector)
+    defaults = dict(
+        telescope=telescope,
+        window_days=3,
+        min_stable_days=2,
+        use_spoofing_tolerance=False,
+    )
+    defaults.update(overrides)
+    return OnlineMetaTelescope(**defaults)
+
+
+def day_views(day, blocks=(BASE,), sources=()):
+    rows = [{"dst_ip": ip(b)} for b in blocks]
+    rows.extend(
+        {"src_ip": ip(b, 9), "dst_ip": parse_ip("30.0.0.1"), "packets": 5}
+        for b in sources
+    )
+    return [make_view(rows, vantage="V", day=day)]
+
+
+class TestOnline:
+    def test_first_day_not_yet_stable(self):
+        online = make_online()
+        update = online.update(0, day_views(0))
+        # min_stable_days=2 but only one day seen: required is clamped
+        # to the days available, so the block serves immediately.
+        assert update.serving_size == 1
+        assert BASE in online.current_prefixes()
+
+    def test_stability_requirement(self):
+        online = make_online(min_stable_days=2)
+        online.update(0, day_views(0, blocks=(BASE,)))
+        update = online.update(1, day_views(1, blocks=(BASE, BASE + 1)))
+        # BASE seen on both days -> served; BASE+1 on one of two -> not.
+        assert BASE in online.current_prefixes()
+        assert BASE + 1 not in online.current_prefixes()
+        assert update.serving_size == 1
+
+    def test_block_becomes_stable(self):
+        online = make_online(min_stable_days=2)
+        online.update(0, day_views(0, blocks=(BASE, BASE + 1)))
+        update = online.update(1, day_views(1, blocks=(BASE, BASE + 1)))
+        assert BASE + 1 in online.current_prefixes()
+        assert update.serving_size == 2
+
+    def test_source_sighting_removes_block(self):
+        online = make_online(min_stable_days=1)
+        online.update(0, day_views(0))
+        assert BASE in online.current_prefixes()
+        update = online.update(1, day_views(1, sources=(BASE,)))
+        # The pooled window now contains a source sighting for BASE.
+        assert BASE not in online.current_prefixes()
+        assert BASE in update.removed_blocks
+
+    def test_window_slides(self):
+        online = make_online(window_days=2, min_stable_days=1)
+        online.update(0, day_views(0, sources=(BASE,)))
+        online.update(1, day_views(1))
+        assert BASE not in online.current_prefixes()  # day-0 sighting in window
+        online.update(2, day_views(2))
+        # The polluted day slid out of the 2-day window.
+        assert BASE in online.current_prefixes()
+        assert online.days_in_window() == [1, 2]
+
+    def test_churn_reporting(self):
+        online = make_online(min_stable_days=1)
+        first = online.update(0, day_views(0, blocks=(BASE,)))
+        assert first.added_blocks.tolist() == [BASE]
+        second = online.update(1, day_views(1, blocks=(BASE + 1,)))
+        assert BASE + 1 in second.added_blocks
+        assert second.churn() == len(second.added_blocks) + len(
+            second.removed_blocks
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_online(window_days=0)
+        with pytest.raises(ValueError):
+            make_online(min_stable_days=5, window_days=3)
+        online = make_online()
+        with pytest.raises(ValueError):
+            online.update(0, [])
+
+    def test_on_world_views(self, integration_world, integration_observatory):
+        world = integration_world
+        telescope = MetaTelescope(
+            collector=world.collector,
+            liveness=world.datasets.liveness,
+            unrouted_baseline=world.unrouted_baseline_blocks,
+            config=PipelineConfig(
+                volume_threshold_pkts_day=world.config.volume_threshold_pkts_day
+            ),
+        )
+        online = OnlineMetaTelescope(
+            telescope=telescope, window_days=3, min_stable_days=2
+        )
+        sizes = []
+        for day in range(4):
+            views = list(integration_observatory.day(day).ixp_views.values())
+            update = online.update(day, views)
+            sizes.append(update.serving_size)
+        assert sizes[-1] > 0
+        assert online.days_in_window() == [1, 2, 3]

@@ -1,0 +1,90 @@
+"""Tests for block sets and CIDR aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.blocksets import BlockSet, aggregate_blocks, expand_prefixes
+from repro.net.ipv4 import Prefix, parse_ip
+
+
+class TestAggregation:
+    def test_single_block(self):
+        prefixes = aggregate_blocks(np.array([parse_ip("10.0.0.0") >> 8]))
+        assert [str(p) for p in prefixes] == ["10.0.0.0/24"]
+
+    def test_aligned_run(self):
+        base = parse_ip("10.0.0.0") >> 8
+        prefixes = aggregate_blocks(np.arange(base, base + 256))
+        assert [str(p) for p in prefixes] == ["10.0.0.0/16"]
+
+    def test_unaligned_run(self):
+        base = parse_ip("10.0.1.0") >> 8
+        prefixes = aggregate_blocks(np.arange(base, base + 3))
+        assert [str(p) for p in prefixes] == ["10.0.1.0/24", "10.0.2.0/23"]
+
+    def test_disjoint_runs(self):
+        a = parse_ip("10.0.0.0") >> 8
+        b = parse_ip("11.0.0.0") >> 8
+        prefixes = aggregate_blocks(np.array([a, a + 1, b]))
+        assert [str(p) for p in prefixes] == ["10.0.0.0/23", "11.0.0.0/24"]
+
+    def test_empty(self):
+        assert aggregate_blocks(np.array([])) == []
+
+    def test_duplicates_ignored(self):
+        base = parse_ip("10.0.0.0") >> 8
+        prefixes = aggregate_blocks(np.array([base, base]))
+        assert len(prefixes) == 1
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=5000), min_size=0, max_size=200
+        )
+    )
+    @settings(max_examples=80)
+    def test_cover_exactness(self, block_list):
+        blocks = np.array(block_list, dtype=np.int64)
+        prefixes = aggregate_blocks(blocks)
+        covered = expand_prefixes(prefixes)
+        assert covered.tolist() == np.unique(blocks).tolist()
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=1, max_value=600),
+    )
+    @settings(max_examples=60)
+    def test_run_cover_is_small(self, start, length):
+        # A contiguous run of n blocks needs at most 2*log2(n)+2 prefixes.
+        blocks = np.arange(start, start + length)
+        prefixes = aggregate_blocks(blocks)
+        assert len(prefixes) <= 2 * length.bit_length() + 2
+        assert expand_prefixes(prefixes).tolist() == blocks.tolist()
+
+
+class TestBlockSet:
+    def test_membership(self):
+        block_set = BlockSet(np.array([5, 9]))
+        assert 5 in block_set
+        assert 6 not in block_set
+        assert len(block_set) == 2
+
+    def test_algebra(self):
+        a = BlockSet(np.array([1, 2, 3]))
+        b = BlockSet(np.array([3, 4]))
+        assert a.union(b).blocks.tolist() == [1, 2, 3, 4]
+        assert a.intersection(b).blocks.tolist() == [3]
+        assert a.difference(b).blocks.tolist() == [1, 2]
+
+    def test_jaccard(self):
+        a = BlockSet(np.array([1, 2]))
+        b = BlockSet(np.array([2, 3]))
+        assert a.jaccard(b) == pytest.approx(1 / 3)
+        assert BlockSet(np.array([])).jaccard(BlockSet(np.array([]))) == 1.0
+
+    def test_cidr_roundtrip(self):
+        base = parse_ip("10.0.0.0") >> 8
+        original = BlockSet(np.arange(base, base + 7))
+        rebuilt = BlockSet.from_prefixes(original.to_cidrs())
+        assert rebuilt.blocks.tolist() == original.blocks.tolist()

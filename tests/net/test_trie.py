@@ -1,0 +1,128 @@
+"""Tests for the longest-prefix-match trie."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ipv4 import MAX_IPV4, Prefix, parse_ip
+from repro.net.trie import PrefixTrie
+
+
+def build(*entries):
+    trie = PrefixTrie()
+    for text, value in entries:
+        trie.insert(Prefix.parse(text), value)
+    return trie
+
+
+class TestInsertLookup:
+    def test_exact(self):
+        trie = build(("10.0.0.0/8", "a"))
+        assert trie.exact(Prefix.parse("10.0.0.0/8")) == "a"
+        assert trie.exact(Prefix.parse("10.0.0.0/9")) is None
+
+    def test_len_counts_unique_prefixes(self):
+        trie = build(("10.0.0.0/8", 1), ("10.0.0.0/16", 2), ("10.0.0.0/8", 3))
+        assert len(trie) == 2
+
+    def test_replace_value(self):
+        trie = build(("10.0.0.0/8", 1), ("10.0.0.0/8", 2))
+        assert trie.exact(Prefix.parse("10.0.0.0/8")) == 2
+
+    def test_longest_match_prefers_specific(self):
+        trie = build(("10.0.0.0/8", "outer"), ("10.1.0.0/16", "inner"))
+        prefix, value = trie.longest_match(parse_ip("10.1.2.3"))
+        assert value == "inner"
+        assert prefix.length == 16
+        prefix, value = trie.longest_match(parse_ip("10.2.0.1"))
+        assert value == "outer"
+
+    def test_longest_match_miss(self):
+        trie = build(("10.0.0.0/8", "a"))
+        assert trie.longest_match(parse_ip("11.0.0.1")) is None
+
+    def test_default_route(self):
+        trie = build(("0.0.0.0/0", "default"))
+        assert trie.longest_match(parse_ip("203.0.113.9"))[1] == "default"
+
+    def test_items_ordered(self):
+        trie = build(("11.0.0.0/8", 2), ("10.0.0.0/8", 1), ("10.1.0.0/16", 3))
+        prefixes = [str(p) for p, _ in trie.items()]
+        assert prefixes == ["10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8"]
+
+
+class TestBlockCoverage:
+    def test_covers_block_inside(self):
+        trie = build(("10.0.0.0/8", 1))
+        assert trie.covers_block(parse_ip("10.9.9.0") >> 8)
+
+    def test_covers_block_outside(self):
+        trie = build(("10.0.0.0/8", 1))
+        assert not trie.covers_block(parse_ip("11.0.0.0") >> 8)
+
+    def test_long_prefix_does_not_cover_block(self):
+        trie = build(("10.0.0.0/25", 1))
+        assert not trie.covers_block(parse_ip("10.0.0.0") >> 8)
+
+    def test_long_prefix_with_short_cover(self):
+        trie = build(("10.0.0.0/25", 1), ("10.0.0.0/16", 2))
+        assert trie.covers_block(parse_ip("10.0.0.0") >> 8)
+
+    def test_covered_mask_matches_scalar(self):
+        trie = build(("10.0.0.0/8", 1), ("192.0.0.0/16", 2))
+        blocks = np.array(
+            [
+                parse_ip(a) >> 8
+                for a in ("10.1.1.0", "11.0.0.0", "192.0.5.0", "192.1.0.0")
+            ]
+        )
+        assert trie.covered_mask(blocks).tolist() == [True, False, True, False]
+
+    def test_covered_mask_with_nested_prefixes(self):
+        # A nested more-specific must not shadow its covering prefix.
+        trie = build(("10.0.0.0/8", 1), ("10.0.0.0/16", 2), ("10.128.0.0/9", 3))
+        probe = np.array([parse_ip("10.64.0.0") >> 8, parse_ip("10.200.0.0") >> 8])
+        assert trie.covered_mask(probe).tolist() == [True, True]
+
+    def test_covered_mask_empty_trie(self):
+        trie = PrefixTrie()
+        assert trie.covered_mask(np.array([1, 2, 3])).tolist() == [False] * 3
+
+    def test_cache_invalidated_on_insert(self):
+        trie = build(("10.0.0.0/8", 1))
+        assert not trie.covered_mask(np.array([parse_ip("11.0.0.0") >> 8]))[0]
+        trie.insert(Prefix.parse("11.0.0.0/8"), 2)
+        assert trie.covered_mask(np.array([parse_ip("11.0.0.0") >> 8]))[0]
+
+
+@st.composite
+def prefixes(draw):
+    length = draw(st.integers(min_value=0, max_value=24))
+    address = draw(st.integers(min_value=0, max_value=MAX_IPV4))
+    return Prefix.from_ip(address, length)
+
+
+class TestProperties:
+    @given(st.lists(prefixes(), min_size=1, max_size=20), st.data())
+    @settings(max_examples=60)
+    def test_mask_agrees_with_scalar_lookup(self, prefix_list, data):
+        trie = PrefixTrie()
+        for i, prefix in enumerate(prefix_list):
+            trie.insert(prefix, i)
+        block = data.draw(st.integers(min_value=0, max_value=2**24 - 1))
+        mask = trie.covered_mask(np.array([block]))
+        assert bool(mask[0]) == trie.covers_block(block)
+
+    @given(st.lists(prefixes(), min_size=1, max_size=20), st.data())
+    @settings(max_examples=60)
+    def test_lpm_is_a_cover(self, prefix_list, data):
+        trie = PrefixTrie()
+        for i, prefix in enumerate(prefix_list):
+            trie.insert(prefix, i)
+        address = data.draw(st.integers(min_value=0, max_value=MAX_IPV4))
+        match = trie.longest_match(address)
+        if match is not None:
+            prefix, value = match
+            assert prefix.contains_ip(address)
+            assert prefix_list[value].length == prefix.length

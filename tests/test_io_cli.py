@@ -1,0 +1,139 @@
+"""Tests for serialisation (repro.io) and the CLI (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    prefix_list_text,
+    read_flows_csv,
+    read_prefix_list,
+    write_flows_csv,
+    write_prefix_list,
+)
+from repro.net.ipv4 import parse_ip
+
+from _factories import make_flows
+
+
+class TestPrefixList:
+    def test_roundtrip(self, tmp_path):
+        blocks = np.array([parse_ip("10.0.1.0") >> 8, parse_ip("10.0.0.0") >> 8])
+        path = tmp_path / "prefixes.txt"
+        write_prefix_list(blocks, path, comment="test list")
+        text = path.read_text()
+        assert text.startswith("# test list\n10.0.0.0/24\n10.0.1.0/24")
+        assert read_prefix_list(path).tolist() == sorted(blocks.tolist())
+
+    def test_dedup(self, tmp_path):
+        path = tmp_path / "p.txt"
+        write_prefix_list(np.array([5, 5, 5]), path)
+        assert read_prefix_list(path).tolist() == [5]
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("# header\n\n0.0.5.0/24\n")
+        assert read_prefix_list(path).tolist() == [5]
+
+    def test_expands_aggregated_entries(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("10.0.0.0/23\n")
+        blocks = read_prefix_list(path)
+        assert len(blocks) == 2
+
+    def test_rejects_finer_than_slash24(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("10.0.0.0/25\n")
+        with pytest.raises(ValueError):
+            read_prefix_list(path)
+
+    def test_aggregate_roundtrip(self, tmp_path):
+        base = parse_ip("10.0.0.0") >> 8
+        blocks = np.arange(base, base + 8)
+        path = tmp_path / "p.txt"
+        write_prefix_list(blocks, path, aggregate=True)
+        assert "10.0.0.0/21" in path.read_text()
+        assert read_prefix_list(path).tolist() == blocks.tolist()
+
+    def test_text_variant(self):
+        text = prefix_list_text(np.array([5]), comment="c")
+        assert text == "# c\n0.0.5.0/24\n"
+
+
+class TestFlowsCsv:
+    def test_roundtrip(self, tmp_path):
+        flows = make_flows(
+            [
+                {"src_ip": 123, "dst_ip": 456, "packets": 7, "bytes": 280,
+                 "spoofed": True},
+                {"dport": 443, "sender_asn": 9},
+            ]
+        )
+        path = tmp_path / "flows.csv"
+        write_flows_csv(flows, path)
+        loaded = read_flows_csv(path)
+        assert len(loaded) == 2
+        assert loaded.src_ip.tolist() == flows.src_ip.tolist()
+        assert loaded.packets.tolist() == flows.packets.tolist()
+        assert loaded.spoofed.tolist() == flows.spoofed.tolist()
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "flows.csv"
+        write_flows_csv(make_flows([]), path)
+        assert len(read_flows_csv(path)) == 0
+
+    def test_header_checked(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            read_flows_csv(path)
+
+
+class TestCli:
+    def test_parser_commands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["demo", "--scale", "micro"])
+        assert args.scale == "micro"
+        assert args.handler is not None
+
+    def test_demo_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["demo", "--scale", "micro"]) == 0
+        out = capsys.readouterr().out
+        assert "final meta-telescope" in out
+        assert "ground truth" in out
+
+    def test_funnel_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["funnel", "--scale", "micro", "--vantage", "CE1"]) == 0
+        assert "observed /24 subnets" in capsys.readouterr().out
+
+    def test_infer_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "list.txt"
+        assert main(["infer", "--scale", "micro", "--output", str(output)]) == 0
+        blocks = read_prefix_list(output)
+        assert len(blocks) > 0
+
+    def test_telescopes_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["telescopes", "--scale", "micro"]) == 0
+        out = capsys.readouterr().out
+        assert "TUS1" in out
+
+    def test_ports_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["ports", "--scale", "micro", "--count", "3"]) == 0
+        assert "23" in capsys.readouterr().out
+
+    def test_unknown_vantage_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["funnel", "--scale", "micro", "--vantage", "NOPE"])

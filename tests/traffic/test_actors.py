@@ -1,0 +1,233 @@
+"""Tests for traffic actors: scanners, backscatter, spoofing, noise."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.backscatter import BackscatterActor, Victim
+from repro.traffic.flows import FlowTable
+from repro.traffic.mix import (
+    DailyTrafficMix,
+    MisconfigurationNoise,
+    UdpRadiationActor,
+)
+from repro.traffic.packets import PROTO_TCP, PROTO_UDP
+from repro.traffic.scanners import ScanCampaign, ScanSource, make_sources
+from repro.traffic.spoofing import SpoofedFloodActor
+
+
+def campaign(**overrides):
+    defaults = dict(
+        name="test",
+        sources=[ScanSource(ip=0x01010101, asn=10)],
+        ports=(23,),
+        port_weights=(1.0,),
+        target_blocks=np.arange(100, 200),
+        target_weights=None,
+        probes_per_day=300,
+    )
+    defaults.update(overrides)
+    return ScanCampaign(**defaults)
+
+
+class TestScanCampaign:
+    def test_generates_tcp_probes(self, rng):
+        flows = campaign().generate(0, rng)
+        assert len(flows) > 0
+        assert (flows.proto == PROTO_TCP).all()
+        assert set(flows.dport.tolist()) == {23}
+
+    def test_budget_respected(self, rng):
+        flows = campaign(probes_per_day=600).generate(0, rng)
+        assert flows.total_packets() == pytest.approx(600, rel=0.25)
+
+    def test_targets_inside_universe(self, rng):
+        flows = campaign().generate(0, rng)
+        assert ((flows.dst_blocks() >= 100) & (flows.dst_blocks() < 200)).all()
+
+    def test_weights_bias_targets(self, rng):
+        weights = np.zeros(100)
+        weights[:10] = 1.0
+        flows = campaign(target_weights=weights).generate(0, rng)
+        assert (flows.dst_blocks() < 110).all()
+
+    def test_blacklist_respected(self, rng):
+        avoid = np.arange(100, 190)
+        flows = campaign(avoid_blocks=avoid).generate(0, rng)
+        assert (flows.dst_blocks() >= 190).all()
+
+    def test_weekday_profile_zero_day(self, rng):
+        flows = campaign(weekday_profile=(0.0,) + (1.0,) * 6).generate(0, rng)
+        assert len(flows) == 0
+
+    def test_sources_required(self):
+        with pytest.raises(ValueError):
+            campaign(sources=[])
+
+    def test_port_weight_mismatch(self):
+        with pytest.raises(ValueError):
+            campaign(ports=(23, 80), port_weights=(1.0,))
+
+    def test_sender_asn_propagated(self, rng):
+        flows = campaign(sources=[ScanSource(ip=1, asn=777)]).generate(0, rng)
+        assert (flows.sender_asn == 777).all()
+
+    def test_empty_targets(self, rng):
+        flows = campaign(
+            target_blocks=np.array([150]), avoid_blocks=np.array([150])
+        ).generate(0, rng)
+        assert len(flows) == 0
+
+
+class TestMakeSources:
+    def test_sources_in_blocks(self, rng):
+        sources = make_sources(
+            np.array([5, 6]), np.array([50, 60]), count=20, rng=rng
+        )
+        assert len(sources) == 20
+        for source in sources:
+            assert source.ip >> 8 in (5, 6)
+            assert source.asn in (50, 60)
+
+    def test_asn_matches_block(self, rng):
+        sources = make_sources(np.array([5]), np.array([50]), count=5, rng=rng)
+        assert all(s.asn == 50 for s in sources)
+
+    def test_empty_pool_rejected(self, rng):
+        with pytest.raises(ValueError):
+            make_sources(np.array([]), np.array([]), count=1, rng=rng)
+
+
+class TestBackscatter:
+    def test_small_tcp_packets(self, rng):
+        actor = BackscatterActor(
+            victims=[Victim(ip=1, asn=2, service_port=80)], packets_per_day=500
+        )
+        flows = actor.generate(0, rng)
+        assert (flows.proto == PROTO_TCP).all()
+        sizes = flows.bytes / flows.packets
+        assert sizes.max() <= 48
+
+    def test_restricted_destinations(self, rng):
+        actor = BackscatterActor(
+            victims=[Victim(ip=1, asn=2, service_port=80)],
+            packets_per_day=500,
+            dst_blocks=np.array([42]),
+        )
+        flows = actor.generate(0, rng)
+        assert (flows.dst_blocks() == 42).all()
+
+    def test_active_days_gating(self, rng):
+        actor = BackscatterActor(
+            victims=[Victim(ip=1, asn=2, service_port=80)],
+            packets_per_day=500,
+            active_days=frozenset({0}),
+        )
+        assert len(actor.generate(0, rng)) > 0
+        assert len(actor.generate(1, rng)) == 0
+
+    def test_needs_victims(self):
+        with pytest.raises(ValueError):
+            BackscatterActor(victims=[], packets_per_day=10)
+
+
+class TestSpoofing:
+    def make_actor(self, **overrides):
+        defaults = dict(
+            attacker_asns=np.array([9]),
+            victim_ips=np.array([0x0A000001], dtype=np.uint32),
+            victim_asns=np.array([77], dtype=np.int32),
+            uniform_source_blocks=np.arange(1000, 2000),
+            uniform_packets_per_day=2000,
+            subnet_anchors=np.array([7]),
+            floods_per_day=0,
+        )
+        defaults.update(overrides)
+        return SpoofedFloodActor(**defaults)
+
+    def test_sources_inside_space(self, rng):
+        flows = self.make_actor().generate(0, rng)
+        assert ((flows.src_blocks() >= 1000) & (flows.src_blocks() < 2000)).all()
+
+    def test_all_marked_spoofed(self, rng):
+        flows = self.make_actor().generate(0, rng)
+        assert flows.spoofed.all()
+
+    def test_destinations_are_victims(self, rng):
+        flows = self.make_actor().generate(0, rng)
+        assert set(flows.dst_ip.tolist()) == {0x0A000001}
+
+    def test_subnet_flood_concentrates(self, rng):
+        actor = self.make_actor(
+            uniform_packets_per_day=0, floods_per_day=2,
+            flood_pkts_per_block=100,
+        )
+        flows = actor.generate(0, rng)
+        # All flood sources sit inside the anchored /16.
+        assert set((flows.src_blocks() >> 8).tolist()) == {7}
+        # Intensity per /24 is far above any tolerance.
+        per_block = flows.packets.sum() / 256
+        assert per_block >= 100
+
+    def test_flood_covers_whole_slash16(self, rng):
+        actor = self.make_actor(
+            uniform_packets_per_day=0, floods_per_day=1,
+            flood_pkts_per_block=100,
+        )
+        flows = actor.generate(0, rng)
+        assert len(np.unique(flows.src_blocks())) == 256
+
+    def test_daily_profile_scales(self, rng):
+        actor = self.make_actor(daily_profile=(1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0))
+        assert len(actor.generate(1, rng)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make_actor(victim_ips=np.array([], dtype=np.uint32),
+                            victim_asns=np.array([], dtype=np.int32))
+        with pytest.raises(ValueError):
+            self.make_actor(uniform_source_blocks=np.array([]))
+        with pytest.raises(ValueError):
+            self.make_actor(floods_per_day=1, subnet_anchors=np.array([]))
+
+
+class TestNoiseActors:
+    def test_udp_actor_udp_only(self, rng):
+        actor = UdpRadiationActor(
+            target_blocks=np.array([7]),
+            source_ips=np.array([1], dtype=np.uint32),
+            source_asns=np.array([1], dtype=np.int32),
+            packets_per_day=100,
+        )
+        flows = actor.generate(0, rng)
+        assert (flows.proto == PROTO_UDP).all()
+        assert (flows.dst_blocks() == 7).all()
+
+    def test_misconfig_large_mean(self, rng):
+        actor = MisconfigurationNoise(
+            target_blocks=np.array([7]),
+            source_ips=np.array([1], dtype=np.uint32),
+            source_asns=np.array([1], dtype=np.int32),
+        )
+        flows = actor.generate(0, rng)
+        tcp = flows.tcp()
+        assert tcp.total_bytes() / tcp.total_packets() > 44
+
+    def test_mix_concatenates(self, rng):
+        mix = DailyTrafficMix()
+        mix.add(
+            UdpRadiationActor(
+                target_blocks=np.array([7]),
+                source_ips=np.array([1], dtype=np.uint32),
+                source_asns=np.array([1], dtype=np.int32),
+                packets_per_day=50,
+            )
+        )
+        mix.add(
+            BackscatterActor(
+                victims=[Victim(ip=1, asn=2, service_port=80)], packets_per_day=50
+            )
+        )
+        flows = mix.generate_day(0, rng)
+        assert isinstance(flows, FlowTable)
+        assert len(flows) > 0
+        assert set(np.unique(flows.proto)) == {PROTO_TCP, PROTO_UDP}

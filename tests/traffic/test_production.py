@@ -1,0 +1,111 @@
+"""Tests for production traffic and the CDN ACK sink."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.production import CdnAckSink, ProductionTraffic
+from repro.traffic.packets import PROTO_TCP
+
+
+def make_production(**overrides):
+    count = overrides.pop("count", 3)
+    defaults = dict(
+        blocks=np.arange(10, 10 + count),
+        asns=np.full(count, 5),
+        inbound_pkts_per_day=np.full(count, 480),
+        outbound_pkts_per_day=np.full(count, 240),
+        ack_share=np.full(count, 0.3),
+        weekend_factor=np.full(count, 0.1),
+        remote_ips=np.array([0x08080808, 0x08080809], dtype=np.uint32),
+        remote_asns=np.array([15, 15], dtype=np.int32),
+    )
+    defaults.update(overrides)
+    return ProductionTraffic(**defaults)
+
+
+class TestProductionTraffic:
+    def test_bidirectional(self, rng):
+        flows = make_production().generate(0, rng)
+        blocks = set(range(10, 13))
+        src_hits = set(flows.src_blocks().tolist()) & blocks
+        dst_hits = set(flows.dst_blocks().tolist()) & blocks
+        assert src_hits and dst_hits
+
+    def test_volume_approximates_budget(self, rng):
+        flows = make_production(count=20).generate(0, rng)
+        expected = 20 * (480 + 240)
+        assert flows.total_packets() == pytest.approx(expected, rel=0.4)
+
+    def test_inbound_mean_size_exceeds_threshold(self, rng):
+        flows = make_production(count=20).generate(0, rng)
+        inbound = flows.toward_blocks(np.arange(10, 30)).tcp()
+        assert inbound.total_bytes() / inbound.total_packets() > 44
+
+    def test_pure_ack_blocks_stay_small(self, rng):
+        flows = make_production(count=20, ack_share=np.full(20, 0.97)).generate(0, rng)
+        inbound = flows.toward_blocks(np.arange(10, 30)).tcp()
+        assert inbound.total_bytes() / inbound.total_packets() <= 44
+
+    def test_weekend_quiet(self, rng):
+        actor = make_production(count=20)
+        weekday = actor.generate(0, np.random.default_rng(1)).total_packets()
+        weekend = actor.generate(5, np.random.default_rng(1)).total_packets()
+        assert weekend < weekday * 0.3
+
+    def test_zero_inbound_generates_no_inbound(self, rng):
+        actor = make_production(inbound_pkts_per_day=np.zeros(3, dtype=np.int64))
+        flows = actor.generate(0, rng)
+        inbound = flows.toward_blocks(np.arange(10, 13))
+        assert len(inbound) == 0
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            make_production(asns=np.array([1]))
+
+    def test_remote_pool_required(self):
+        with pytest.raises(ValueError):
+            make_production(
+                remote_ips=np.array([], dtype=np.uint32),
+                remote_asns=np.array([], dtype=np.int32),
+            )
+
+    def test_empty_blocks_ok(self, rng):
+        actor = make_production(
+            count=0,
+            blocks=np.array([], dtype=np.int64),
+            asns=np.array([], dtype=np.int32),
+            inbound_pkts_per_day=np.array([], dtype=np.int64),
+            outbound_pkts_per_day=np.array([], dtype=np.int64),
+            ack_share=np.array([]),
+            weekend_factor=np.array([]),
+        )
+        assert len(actor.generate(0, rng)) == 0
+
+
+class TestCdnAckSink:
+    def make_sink(self, inbound=4000):
+        return CdnAckSink(
+            blocks=np.array([99]),
+            asns=np.array([12], dtype=np.int32),
+            inbound_pkts_per_day=np.array([inbound], dtype=np.int64),
+            client_ips=np.array([0x0B0B0B0B], dtype=np.uint32),
+            client_asns=np.array([30], dtype=np.int32),
+        )
+
+    def test_pure_acks(self, rng):
+        flows = self.make_sink().generate(0, rng)
+        assert (flows.proto == PROTO_TCP).all()
+        assert flows.total_bytes() / flows.total_packets() <= 44
+
+    def test_high_volume(self, rng):
+        flows = self.make_sink().generate(0, rng)
+        assert flows.total_packets() == pytest.approx(4000, rel=0.4)
+
+    def test_no_outbound(self, rng):
+        flows = self.make_sink().generate(0, rng)
+        assert 99 not in set(flows.src_blocks().tolist())
+
+    def test_sender_is_client(self, rng):
+        flows = self.make_sink().generate(0, rng)
+        assert (flows.sender_asn == 30).all()
+        assert (flows.dst_asn == 12).all()

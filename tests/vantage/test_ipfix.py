@@ -1,0 +1,149 @@
+"""Tests for the IPFIX (RFC 7011) codec."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.flows import FlowTable
+from repro.vantage.ipfix import (
+    FLOW_TEMPLATE_ID,
+    IPFIX_VERSION,
+    IpfixError,
+    decode_ipfix,
+    encode_ipfix,
+)
+
+from _factories import ip, make_flows
+
+
+class TestRoundtrip:
+    def test_basic_roundtrip(self):
+        flows = make_flows(
+            [
+                {"src_ip": ip(5, 1), "dst_ip": ip(9, 2), "dport": 23,
+                 "packets": 3, "bytes": 120, "sender_asn": 42, "dst_asn": 7},
+                {"proto": 17, "dport": 53},
+            ]
+        )
+        messages = encode_ipfix(flows, observation_domain=9, export_time=1234)
+        decoded, infos = decode_ipfix(messages)
+        assert len(decoded) == 2
+        assert decoded.src_ip.tolist() == flows.src_ip.tolist()
+        assert decoded.dst_ip.tolist() == flows.dst_ip.tolist()
+        assert decoded.dport.tolist() == flows.dport.tolist()
+        assert decoded.packets.tolist() == flows.packets.tolist()
+        assert decoded.bytes.tolist() == flows.bytes.tolist()
+        assert decoded.sender_asn.tolist() == flows.sender_asn.tolist()
+        assert infos[0].observation_domain == 9
+        assert infos[0].export_time == 1234
+        assert infos[0].num_records == 2
+
+    def test_unknown_asn_roundtrips_as_minus_one(self):
+        flows = make_flows([{"sender_asn": -1, "dst_asn": -1}])
+        decoded, _ = decode_ipfix(encode_ipfix(flows))
+        assert decoded.sender_asn[0] == -1
+        assert decoded.dst_asn[0] == -1
+
+    def test_spoofed_flag_not_exported(self):
+        flows = make_flows([{"spoofed": True}])
+        decoded, _ = decode_ipfix(encode_ipfix(flows))
+        assert not decoded.spoofed[0]
+
+    def test_empty_table(self):
+        messages = encode_ipfix(FlowTable.empty())
+        assert len(messages) == 1
+        decoded, infos = decode_ipfix(messages)
+        assert len(decoded) == 0
+        assert infos[0].num_records == 0
+
+    def test_large_table_splits_messages(self):
+        flows = make_flows([{"packets": 1}] * 5000)
+        messages = encode_ipfix(flows)
+        assert len(messages) >= 2
+        assert all(len(m) <= 65535 for m in messages)
+        decoded, infos = decode_ipfix(messages)
+        assert len(decoded) == 5000
+        # Sequence numbers accumulate record counts (RFC 7011 §3.1).
+        assert infos[1].sequence == infos[0].num_records
+
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, count, seed):
+        rng = np.random.default_rng(seed)
+        flows = make_flows(
+            [
+                {
+                    "src_ip": int(rng.integers(0, 2**32)),
+                    "dst_ip": int(rng.integers(0, 2**32)),
+                    "proto": int(rng.integers(0, 256)),
+                    "dport": int(rng.integers(0, 65536)),
+                    "packets": int(rng.integers(1, 10**6)),
+                    "bytes": int(rng.integers(20, 10**9)),
+                    "sender_asn": int(rng.integers(1, 2**31 - 1)),
+                    "dst_asn": int(rng.integers(1, 2**31 - 1)),
+                }
+                for _ in range(count)
+            ]
+        )
+        decoded, _ = decode_ipfix(encode_ipfix(flows))
+        for column in ("src_ip", "dst_ip", "proto", "dport", "packets",
+                       "bytes", "sender_asn", "dst_asn"):
+            assert getattr(decoded, column).tolist() == getattr(
+                flows, column
+            ).tolist(), column
+
+
+class TestWireFormat:
+    def test_message_header(self):
+        message = encode_ipfix(make_flows([{}]))[0]
+        version, length, _, _, _ = struct.unpack("!HHIII", message[:16])
+        assert version == IPFIX_VERSION
+        assert length == len(message)
+
+    def test_template_set_first(self):
+        message = encode_ipfix(make_flows([{}]))[0]
+        set_id, _ = struct.unpack("!HH", message[16:20])
+        assert set_id == 2  # template set
+
+    def test_rejects_wrong_version(self):
+        message = bytearray(encode_ipfix(make_flows([{}]))[0])
+        message[0:2] = (9).to_bytes(2, "big")
+        with pytest.raises(IpfixError):
+            decode_ipfix([bytes(message)])
+
+    def test_rejects_truncation(self):
+        message = encode_ipfix(make_flows([{}]))[0]
+        with pytest.raises(IpfixError):
+            decode_ipfix([message[:10]])
+        with pytest.raises(IpfixError):
+            decode_ipfix([message[:-3]])
+
+    def test_rejects_unknown_template_data(self):
+        message = encode_ipfix(make_flows([{}]))[0]
+        # Strip the template set: header(16) + template set, data set.
+        template_length = struct.unpack("!HH", message[16:20])[1]
+        data_only = message[:16] + message[16 + template_length:]
+        patched = bytearray(data_only)
+        patched[2:4] = len(data_only).to_bytes(2, "big")
+        with pytest.raises(IpfixError):
+            decode_ipfix([bytes(patched)])
+
+    def test_rejects_unsupported_set_id(self):
+        message = bytearray(encode_ipfix(make_flows([{}]))[0])
+        # Rewrite the data set id (offset 16 + template set length).
+        template_length = struct.unpack("!HH", bytes(message[16:20]))[1]
+        offset = 16 + template_length
+        message[offset : offset + 2] = (FLOW_TEMPLATE_ID + 7).to_bytes(2, "big")
+        with pytest.raises(IpfixError):
+            decode_ipfix([bytes(message)])
+
+    def test_view_level_roundtrip(self, day0):
+        """A real IXP view survives the wire format."""
+        flows = day0.ixp_views["CE1"].flows
+        decoded, _ = decode_ipfix(encode_ipfix(flows))
+        assert len(decoded) == len(flows)
+        assert decoded.total_packets() == flows.total_packets()
+        assert decoded.dst_blocks().tolist() == flows.dst_blocks().tolist()

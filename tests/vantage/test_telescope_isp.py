@@ -1,0 +1,118 @@
+"""Tests for telescope and ISP vantage points."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.packets import PROTO_TCP, PROTO_UDP
+from repro.vantage.isp import IspVantage
+from repro.vantage.telescope import Telescope
+
+from _factories import ip, make_flows
+
+
+class TestTelescope:
+    def test_capture_restricts_to_blocks(self):
+        telescope = Telescope(code="T", region="NA", blocks=np.array([5, 6]))
+        flows = make_flows([{"dst_ip": ip(5)}, {"dst_ip": ip(9)}])
+        view = telescope.capture(flows, day=0)
+        assert view.flows.dst_blocks().tolist() == [5]
+        assert view.sampling_factor == 1.0
+
+    def test_blocked_ports_filtered(self):
+        telescope = Telescope(
+            code="T", region="CE", blocks=np.array([5]),
+            blocked_ports=frozenset({23, 445}),
+        )
+        flows = make_flows(
+            [{"dst_ip": ip(5), "dport": 23}, {"dst_ip": ip(5), "dport": 80}]
+        )
+        view = telescope.capture(flows, day=0)
+        assert view.flows.dport.tolist() == [80]
+
+    def test_lent_blocks_not_dark(self):
+        telescope = Telescope(
+            code="T", region="CE", blocks=np.array([5, 6, 7]),
+            lent_blocks_by_day={0: np.array([6])},
+        )
+        assert telescope.dark_blocks_on(0).tolist() == [5, 7]
+        assert telescope.dark_blocks_on(1).tolist() == [5, 6, 7]
+
+    def test_needs_blocks(self):
+        with pytest.raises(ValueError):
+            Telescope(code="T", region="NA", blocks=np.array([]))
+
+    def test_blocks_deduplicated(self):
+        telescope = Telescope(code="T", region="NA", blocks=np.array([5, 5, 6]))
+        assert telescope.size() == 2
+
+    def test_daily_stats(self):
+        telescope = Telescope(code="T", region="NA", blocks=np.array([5]))
+        flows = make_flows(
+            [
+                {"dst_ip": ip(5), "proto": PROTO_TCP, "packets": 9, "bytes": 9 * 40},
+                {"dst_ip": ip(5), "proto": PROTO_UDP, "packets": 1, "bytes": 100},
+            ]
+        )
+        stats = telescope.daily_stats(telescope.capture(flows, day=0))
+        assert stats.size_blocks == 1
+        assert stats.packets_per_block == 10
+        assert stats.tcp_share == pytest.approx(0.9)
+        assert stats.avg_tcp_packet_size == pytest.approx(40.0)
+
+
+class TestIspVantage:
+    def test_capture_both_directions(self):
+        isp = IspVantage(code="ISP", asn=7, blocks=np.array([5]))
+        flows = make_flows(
+            [
+                {"dst_ip": ip(5), "src_ip": ip(9)},                    # inbound
+                {"src_ip": ip(5), "dst_ip": ip(9), "sender_asn": 7},   # outbound
+                {"src_ip": ip(8), "dst_ip": ip(9)},                    # unrelated
+            ]
+        )
+        view = isp.capture(flows, day=0)
+        assert len(view.flows) == 2
+
+    def test_inbound_outbound_split(self):
+        isp = IspVantage(code="ISP", asn=7, blocks=np.array([5]))
+        flows = make_flows(
+            [
+                {"dst_ip": ip(5), "src_ip": ip(9)},
+                {"src_ip": ip(5, 3), "dst_ip": ip(9), "sender_asn": 7},
+            ]
+        )
+        view = isp.capture(flows, day=0)
+        assert len(isp.inbound(view)) == 1
+        assert len(isp.outbound(view)) == 1
+
+    def test_spoofed_claims_dropped_at_border(self):
+        # Packets merely *claiming* ISP sources never cross the border
+        # (spoofed elsewhere), and inbound packets with internal
+        # sources are dropped by uRPF.
+        isp = IspVantage(code="ISP", asn=7, blocks=np.array([5]))
+        flows = make_flows(
+            [
+                # spoofed toward a third party: not on the ISP's path
+                {"src_ip": ip(5, 9), "dst_ip": ip(99), "sender_asn": 3,
+                 "spoofed": True},
+                # spoofed toward the ISP itself: dropped by uRPF
+                {"src_ip": ip(5, 9), "dst_ip": ip(5, 1), "sender_asn": 3,
+                 "spoofed": True},
+            ]
+        )
+        view = isp.capture(flows, day=0)
+        assert len(view.flows) == 0
+
+    def test_lent_telescope_blocks_not_captured(self):
+        from repro.vantage.telescope import Telescope as _T
+        telescope = _T(
+            code="T", region="CE", blocks=np.array([5, 6]),
+            lent_blocks_by_day={0: np.array([6])},
+        )
+        flows = make_flows([{"dst_ip": ip(5)}, {"dst_ip": ip(6)}])
+        view = telescope.capture(flows, day=0)
+        assert view.flows.dst_blocks().tolist() == [5]
+
+    def test_needs_blocks(self):
+        with pytest.raises(ValueError):
+            IspVantage(code="ISP", asn=7, blocks=np.array([]))

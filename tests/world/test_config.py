@@ -1,0 +1,72 @@
+"""Tests for world configuration and RNG derivation."""
+
+import dataclasses
+
+import pytest
+
+from repro.world.config import (
+    DEFAULT_IXPS,
+    IXP_REGION_CONTINENTS,
+    WorldConfig,
+    micro_config,
+    paper_config,
+    small_config,
+)
+
+
+class TestConfig:
+    def test_default_has_14_ixps(self):
+        assert len(DEFAULT_IXPS) == 14
+
+    def test_ixp_codes_match_paper(self):
+        codes = {spec.code for spec in DEFAULT_IXPS}
+        assert codes == {
+            "CE1", "CE2", "CE3", "CE4",
+            "NA1", "NA2", "NA3", "NA4",
+            "SE1", "SE2", "SE3", "SE4", "SE5", "SE6",
+        }
+
+    def test_region_continents_cover_regions(self):
+        regions = {spec.region for spec in DEFAULT_IXPS}
+        assert regions <= set(IXP_REGION_CONTINENTS)
+
+    def test_ce1_largest(self):
+        ce1 = next(s for s in DEFAULT_IXPS if s.code == "CE1")
+        assert ce1.member_share == max(s.member_share for s in DEFAULT_IXPS)
+
+    def test_frozen(self):
+        config = WorldConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.seed = 9  # type: ignore[misc]
+
+    def test_scaled_copy(self):
+        config = WorldConfig().scaled(seed=42)
+        assert config.seed == 42
+
+    def test_child_rng_deterministic(self):
+        config = WorldConfig(seed=5)
+        a = config.child_rng("x").integers(0, 1000, 5)
+        b = config.child_rng("x").integers(0, 1000, 5)
+        assert a.tolist() == b.tolist()
+
+    def test_child_rng_name_separates(self):
+        config = WorldConfig(seed=5)
+        a = config.child_rng("x").integers(0, 1000, 5)
+        b = config.child_rng("y").integers(0, 1000, 5)
+        assert a.tolist() != b.tolist()
+
+    def test_scales_ordered(self):
+        paper = paper_config()
+        small = small_config()
+        micro = micro_config()
+        assert paper.general_blocks > small.general_blocks > micro.general_blocks
+        assert paper.isp_blocks > small.isp_blocks > micro.isp_blocks
+
+    def test_telescope_paper_sizes(self):
+        config = paper_config()
+        assert config.tus1_blocks == 1856
+        assert config.teu1_blocks == 768
+        assert config.teu2_blocks == 8
+
+    def test_teu2_peers_at_ten_ixps(self):
+        assert len(paper_config().teu2_member_ixps) == 10
