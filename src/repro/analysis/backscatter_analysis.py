@@ -20,7 +20,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.traffic.flows import FlowTable, aggregate_sums
-from repro.traffic.packets import PROTO_TCP
 
 #: Ports below this are "service" ports; backscatter destination ports
 #: are ephemeral (the spoofer picked them randomly).

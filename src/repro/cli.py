@@ -9,7 +9,9 @@ Commands:
 * ``funnel``    — print only the Figure-2 funnel;
 * ``telescopes``— print telescope coverage (Table 4 style);
 * ``ports``     — print the top targeted ports of the captured IBR;
-* ``report``    — write the full markdown operator report.
+* ``report``    — write the full markdown operator report;
+* ``faults``    — run the online telescope through an injected fault
+                  plan and print the degraded-operation log.
 
 All commands accept ``--scale {micro,small,paper}``, ``--seed``,
 ``--days`` and ``--vantage`` (an IXP code or ``All``).
@@ -23,7 +25,9 @@ import sys
 from repro.analysis.ports import top_ports
 from repro.core import MetaTelescope
 from repro.core.evaluation import confusion_against_truth, telescope_coverage
+from repro.core.online import OnlineMetaTelescope, POLICIES
 from repro.core.pipeline import PipelineConfig
+from repro.faults import STANDARD_FAULTS, FaultPlan, standard_injector
 from repro.io import write_prefix_list
 from repro.reporting.report import generate_report
 from repro.reporting.tables import format_table
@@ -151,6 +155,72 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _day_views(world, observatory, args: argparse.Namespace, day: int):
+    observation = observatory.day(day)
+    if args.vantage == "All":
+        return list(observation.ixp_views.values())
+    return [observation.ixp_views[args.vantage]]
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    world, observatory, telescope = _build(args)
+    days = min(args.days, world.config.num_days)
+    fault_day = args.fault_day if args.fault_day is not None else days // 2
+    chosen = args.fault or ["all"]
+    names = list(STANDARD_FAULTS) if "all" in chosen else chosen
+    plan = FaultPlan(seed=args.seed)
+    for name in dict.fromkeys(names):
+        if name == "none":
+            continue
+        plan.add(standard_injector(name, days=frozenset({fault_day})))
+    telescope.replace_collector(plan.wrap_collector(telescope.collector))
+
+    online = OnlineMetaTelescope(
+        telescope=telescope,
+        window_days=min(args.window, days),
+        min_stable_days=min(2, min(args.window, days)),
+        use_spoofing_tolerance=not args.no_tolerance,
+        policy=args.policy,
+    )
+    rows = []
+    events = []
+    for day in range(days):
+        faulted = plan.apply(day, _day_views(world, observatory, args, day))
+        events.extend(faulted.events)
+        update = online.update(day, list(faulted.views))
+        confusion = confusion_against_truth(online.current_prefixes(), world.index)
+        rows.append(
+            (
+                day,
+                update.action,
+                f"{update.quality.score:.2f}",
+                len(faulted.views),
+                update.serving_size,
+                update.staleness,
+                f"{1 - confusion.false_positive_rate_of_inferred():.1%}",
+                f"{confusion.recall():.1%}",
+            )
+        )
+    print(
+        format_table(
+            ["day", "action", "quality", "#views", "serving", "stale",
+             "precision", "recall"],
+            rows,
+            title=f"degraded operation — policy={args.policy}, "
+            f"faults on day {fault_day}: {', '.join(names)}",
+        )
+    )
+    report = online.health_report()
+    print(f"\n{report.summary()}")
+    for record in report.records:
+        for reason in record.reasons:
+            print(f"  day {record.day}: {reason}")
+    for event in events:
+        print(f"  injected day {event.day} @ {event.vantage}: "
+              f"{event.fault} ({event.detail})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -164,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
         "telescopes": cmd_telescopes,
         "ports": cmd_ports,
         "report": cmd_report,
+        "faults": cmd_faults,
     }
     for name, handler in commands.items():
         p = sub.add_parser(name)
@@ -185,6 +256,26 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--count", type=int, default=10)
         if name == "report":
             p.add_argument("--output", default="meta-telescope-report.md")
+        if name == "faults":
+            p.set_defaults(days=5)
+            p.add_argument(
+                "--fault", action="append",
+                choices=sorted(STANDARD_FAULTS) + ["all", "none"],
+                default=None,
+                help="fault class to inject (repeatable; default: all)",
+            )
+            p.add_argument(
+                "--fault-day", type=int, default=None,
+                help="day the faults strike (default: the middle day)",
+            )
+            p.add_argument(
+                "--policy", choices=POLICIES, default="carry",
+                help="missing/degraded-day policy (default: carry)",
+            )
+            p.add_argument(
+                "--window", type=int, default=3,
+                help="rolling-window length in days",
+            )
         p.set_defaults(handler=handler)
     return parser
 

@@ -28,7 +28,10 @@ from repro.core.federation import (
     FederatedResult,
     MarkingRegistry,
     OperatorReport,
+    QuorumError,
+    ReportValidation,
     federate,
+    validate_reports,
 )
 from repro.core.metatelescope import MetaTelescope, MetaTelescopeResult
 from repro.core.evaluation import telescope_coverage, confusion_against_truth
@@ -48,7 +51,10 @@ __all__ = [
     "FederatedResult",
     "MarkingRegistry",
     "OperatorReport",
+    "QuorumError",
+    "ReportValidation",
     "federate",
+    "validate_reports",
     "MetaTelescope",
     "MetaTelescopeResult",
     "telescope_coverage",

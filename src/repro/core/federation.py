@@ -14,6 +14,13 @@ The paper sketches two cooperation mechanisms between operators:
 Both are implemented here.  Votes make the federation robust to one
 member's spoofing-polluted or sampling-starved view; the marking
 registry short-circuits inference for space whose owners opted in.
+
+Because members are other operators' infrastructure, reports are
+sanity-checked before they vote: a member whose dark list is not
+(essentially) a subset of what it claims to have observed is excluded,
+an implausibly oversized dark list is down-weighted, and a ``min_quorum``
+of credible members must remain or the combination refuses to produce
+a list at all (:class:`QuorumError`).
 """
 
 from __future__ import annotations
@@ -80,6 +87,30 @@ class MarkingRegistry:
         return len(self._marked)
 
 
+@dataclass(frozen=True, slots=True)
+class ReportValidation:
+    """Sanity verdict for one member's report."""
+
+    operator: str
+    #: Share of the dark list never claimed as observed (impossible
+    #: votes — an honest member can only call observed space dark).
+    foreign_dark_share: float
+    #: Dark-list size relative to the median member's (spoofing
+    #: pollution inflates a single member's list far beyond its peers).
+    size_ratio: float
+    #: 1.0 full vote, 0.5 down-weighted, 0.0 excluded.
+    weight: float
+    reasons: tuple[str, ...] = ()
+
+    def excluded(self) -> bool:
+        """Whether the member's votes were discarded entirely."""
+        return self.weight == 0.0
+
+
+class QuorumError(ValueError):
+    """Too few credible members remained to federate."""
+
+
 @dataclass(frozen=True)
 class FederatedResult:
     """Outcome of a federated combination."""
@@ -90,41 +121,135 @@ class FederatedResult:
     #: Of which: contributed by the opt-in marking registry.
     marked_blocks: np.ndarray
     votes_for: dict[int, int] = field(default_factory=dict)
+    validations: tuple[ReportValidation, ...] = ()
 
     def num_prefixes(self) -> int:
         """Size of the federated meta-telescope."""
         return len(self.prefixes)
+
+    def excluded_members(self) -> tuple[str, ...]:
+        """Operators whose reports failed the sanity checks."""
+        return tuple(v.operator for v in self.validations if v.excluded())
+
+
+def validate_reports(
+    reports: list[OperatorReport],
+    max_foreign_dark_share: float = 0.1,
+    max_size_ratio: float = 20.0,
+) -> list[ReportValidation]:
+    """Sanity-check member reports before they may vote.
+
+    Two invariants are checked: *dark ⊆ observed* (a member can only
+    judge space it saw traffic for; a report violating this beyond
+    ``max_foreign_dark_share`` is fabricated or corrupted and is
+    excluded) and *plausible size* (a dark list more than
+    ``max_size_ratio`` times the median member's suggests a
+    spoofing-polluted view and is down-weighted, not trusted fully).
+    """
+    sizes = np.array([len(r.dark_blocks) for r in reports], dtype=np.float64)
+    median_size = float(np.median(sizes)) if len(sizes) else 0.0
+    validations = []
+    for report in reports:
+        reasons: list[str] = []
+        weight = 1.0
+        dark_size = len(report.dark_blocks)
+        foreign = (
+            len(np.setdiff1d(report.dark_blocks, report.observed_blocks))
+            / dark_size
+            if dark_size
+            else 0.0
+        )
+        if foreign > max_foreign_dark_share:
+            weight = 0.0
+            reasons.append(
+                f"{foreign:.0%} of dark blocks were never observed"
+            )
+        size_ratio = dark_size / max(median_size, 1.0)
+        if weight > 0.0 and size_ratio > max_size_ratio:
+            weight = 0.5
+            reasons.append(
+                f"dark list {size_ratio:.0f}x the median member's"
+            )
+        validations.append(
+            ReportValidation(
+                operator=report.operator,
+                foreign_dark_share=float(foreign),
+                size_ratio=float(size_ratio),
+                weight=weight,
+                reasons=tuple(reasons),
+            )
+        )
+    return validations
 
 
 def federate(
     reports: list[OperatorReport],
     registry: MarkingRegistry | None = None,
     min_vote_share: float = 0.5,
+    *,
+    validate: bool = True,
+    max_foreign_dark_share: float = 0.1,
+    max_size_ratio: float = 20.0,
+    min_quorum: int = 1,
 ) -> FederatedResult:
     """Combine member reports (and the marking registry) into one list.
 
     A block joins the federated meta-telescope when at least
-    ``min_vote_share`` of the members that *observed* it inferred it
-    dark, or when its owner tagged it in the registry.  Abstentions
-    (members that never observed the block) do not count against it.
+    ``min_vote_share`` of the (weighted) members that *observed* it
+    inferred it dark, or when its owner tagged it in the registry.
+    Abstentions (members that never observed the block) do not count
+    against it.
+
+    With ``validate`` (the default) each report is sanity-checked
+    first — see :func:`validate_reports` — and failing members vote
+    with reduced or zero weight.  If fewer than ``min_quorum`` credible
+    members remain, :class:`QuorumError` is raised rather than serving
+    a list nobody stands behind.
     """
     if not reports:
         raise ValueError("a federation needs at least one member")
     if not 0.0 < min_vote_share <= 1.0:
         raise ValueError(f"min_vote_share out of range: {min_vote_share}")
+    if min_quorum < 1:
+        raise ValueError(f"min_quorum must be >= 1: {min_quorum}")
+
+    if validate:
+        validations = validate_reports(
+            reports,
+            max_foreign_dark_share=max_foreign_dark_share,
+            max_size_ratio=max_size_ratio,
+        )
+    else:
+        validations = [
+            ReportValidation(
+                operator=report.operator,
+                foreign_dark_share=0.0,
+                size_ratio=1.0,
+                weight=1.0,
+            )
+            for report in reports
+        ]
+    weights = {v.operator: v.weight for v in validations}
+    credible = [r for r in reports if weights[r.operator] > 0.0]
+    if len(credible) < min_quorum:
+        raise QuorumError(
+            f"only {len(credible)} credible member(s) of {len(reports)} "
+            f"remain; quorum is {min_quorum}"
+        )
 
     all_candidates = np.unique(
-        np.concatenate([report.dark_blocks for report in reports])
+        np.concatenate([report.dark_blocks for report in credible])
     )
-    votes_for = np.zeros(len(all_candidates), dtype=np.int64)
-    observers = np.zeros(len(all_candidates), dtype=np.int64)
-    for report in reports:
-        observers += np.isin(all_candidates, report.observed_blocks)
-        votes_for += np.isin(all_candidates, report.dark_blocks)
+    votes_for = np.zeros(len(all_candidates), dtype=np.float64)
+    observers = np.zeros(len(all_candidates), dtype=np.float64)
+    for report in credible:
+        weight = weights[report.operator]
+        observers += weight * np.isin(all_candidates, report.observed_blocks)
+        votes_for += weight * np.isin(all_candidates, report.dark_blocks)
     # Every vote comes from an observer even if the member's observed
-    # set was reported sloppily.
+    # set was reported sloppily (within the validation tolerance).
     observers = np.maximum(observers, votes_for)
-    share = votes_for / np.maximum(observers, 1)
+    share = votes_for / np.maximum(observers, 1e-12)
     voted = all_candidates[share >= min_vote_share]
 
     marked = (
@@ -137,7 +262,8 @@ def federate(
         voted_blocks=voted,
         marked_blocks=marked,
         votes_for={
-            int(block): int(count)
+            int(block): int(round(count))
             for block, count in zip(all_candidates, votes_for)
         },
+        validations=tuple(validations),
     )

@@ -60,6 +60,15 @@ class MetaTelescope:
         default_factory=dict, repr=False
     )
 
+    def replace_collector(self, collector) -> None:
+        """Swap the RIB feed (e.g. for a fault-plan's stale-RIB proxy).
+
+        The per-day routing cache is dropped: entries built from the old
+        feed would otherwise silently serve the new one.
+        """
+        self.collector = collector
+        self._routing_cache.clear()
+
     def routing_for_days(self, days: list[int]) -> RoutingTable:
         """Union routing table over the involved days' RIB dumps."""
         key = tuple(sorted(set(days)))

@@ -14,6 +14,23 @@ operational loop:
   intersected with the stability requirement);
 * churn between consecutive days is reported so the operator can see
   allocation changes.
+
+Because the feeds live on infrastructure the operator does not control,
+the loop must *operate through failure*: every day is feed-quality
+scored (:mod:`repro.faults.quality`), and a configurable policy decides
+what a missing or degraded day does to the serving list:
+
+* ``"strict"`` (default) — the historical behaviour: an empty day
+  raises, degraded days are folded in unquestioned;
+* ``"skip"`` — missing/degraded days are skipped and flagged; the
+  window only ever contains clean days and the serving list carries
+  forward with staleness accounting;
+* ``"carry"`` — missing days carry the serving list forward; degraded
+  days are still folded in, but prefixes that flap under degraded
+  input are quarantined until they survive ``quarantine_days`` clean
+  days.
+
+:meth:`health_report` returns the structured operational record.
 """
 
 from __future__ import annotations
@@ -24,7 +41,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.metatelescope import MetaTelescope
+from repro.faults.quality import FeedQuality, score_feed
 from repro.vantage.sampling import VantageDayView
+
+#: Degraded-day policies accepted by :class:`OnlineMetaTelescope`.
+POLICIES = ("strict", "skip", "carry")
+
+#: How many clean-day volume totals the quality baseline remembers.
+_VOLUME_HISTORY = 30
+
+
+def _empty_blocks() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,10 +63,72 @@ class DayUpdate:
     serving_size: int
     added_blocks: np.ndarray
     removed_blocks: np.ndarray
+    #: ``"inferred"`` (clean fold), ``"degraded"`` (folded under a
+    #: degraded feed), ``"skipped"`` (day dropped by policy), or
+    #: ``"carried"`` (no data; serving list carried forward).
+    action: str = "inferred"
+    #: Days since the serving list last came out of a clean inference.
+    staleness: int = 0
+    quality: FeedQuality | None = None
+    quarantined_blocks: np.ndarray = field(default_factory=_empty_blocks)
 
     def churn(self) -> int:
         """Total blocks added plus removed vs the previous serving list."""
         return len(self.added_blocks) + len(self.removed_blocks)
+
+
+@dataclass(frozen=True, slots=True)
+class DayRecord:
+    """One line of the operational log."""
+
+    day: int
+    action: str
+    score: float
+    serving_size: int
+    staleness: int
+    num_quarantined: int
+    reasons: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Structured health of a continuously operated meta-telescope."""
+
+    records: tuple[DayRecord, ...]
+    current_staleness: int
+    quarantined_blocks: np.ndarray
+    serving_size: int
+
+    def days_processed(self) -> int:
+        """Total days fed to the instance."""
+        return len(self.records)
+
+    def days_by_action(self) -> dict[str, int]:
+        """How many days ended in each action."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.action] = counts.get(record.action, 0) + 1
+        return counts
+
+    def max_staleness_seen(self) -> int:
+        """Worst staleness over the whole operation."""
+        return max((record.staleness for record in self.records), default=0)
+
+    def ok(self) -> bool:
+        """Fresh serving list and nothing in quarantine."""
+        return self.current_staleness == 0 and len(self.quarantined_blocks) == 0
+
+    def summary(self) -> str:
+        """One-paragraph operator summary."""
+        actions = ", ".join(
+            f"{count} {action}" for action, count in sorted(self.days_by_action().items())
+        )
+        return (
+            f"{self.days_processed()} day(s) processed ({actions}); "
+            f"serving {self.serving_size:,} prefixes, "
+            f"staleness {self.current_staleness} day(s), "
+            f"{len(self.quarantined_blocks):,} quarantined"
+        )
 
 
 @dataclass
@@ -51,32 +141,135 @@ class OnlineMetaTelescope:
     #: window's *individual* days to be served (paper §7.1).
     min_stable_days: int = 2
     use_spoofing_tolerance: bool = True
+    #: Missing/degraded-day policy; see the module docstring.
+    policy: str = "strict"
+    #: Quality score below which a day counts as degraded.
+    min_quality: float = 0.5
+    #: Clean days a flapping prefix sits out under the ``carry`` policy.
+    quarantine_days: int = 2
+    #: Feeds expected per day (None: learned as the max seen so far).
+    expected_views: int | None = None
+    #: With ``skip``/``carry``: staleness beyond which the carried
+    #: serving list is considered expired and cleared (None: never).
+    max_staleness: int | None = None
     _window: deque = field(default_factory=deque, repr=False)
     _daily_dark: deque = field(default_factory=deque, repr=False)
-    _serving: np.ndarray = field(
-        default_factory=lambda: np.empty(0, dtype=np.int64), repr=False
-    )
+    _serving: np.ndarray = field(default_factory=_empty_blocks, repr=False)
+    _last_day: int | None = field(default=None, repr=False)
+    _staleness: int = field(default=0, repr=False)
+    _quarantine: dict[int, int] = field(default_factory=dict, repr=False)
+    _records: list[DayRecord] = field(default_factory=list, repr=False)
+    _volume_history: list[float] = field(default_factory=list, repr=False)
+    _typical_factors: dict[str, float] = field(default_factory=dict, repr=False)
+    _views_seen_max: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.window_days < 1:
             raise ValueError("window_days must be >= 1")
         if not 1 <= self.min_stable_days <= self.window_days:
             raise ValueError("min_stable_days must be in [1, window_days]")
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; choose from {', '.join(POLICIES)}"
+            )
+        if not 0.0 <= self.min_quality <= 1.0:
+            raise ValueError(f"min_quality out of range: {self.min_quality}")
+        if self.quarantine_days < 0:
+            raise ValueError("quarantine_days must be >= 0")
+
+    # -- the daily loop ------------------------------------------------
 
     def update(self, day: int, views: list[VantageDayView]) -> DayUpdate:
         """Fold one day of views in and refresh the serving list."""
-        if not views:
-            raise ValueError("need views for the day")
+        if self._last_day is not None and day <= self._last_day:
+            raise ValueError(
+                f"day {day} is not after the last fed day {self._last_day}; "
+                "days must arrive strictly increasing (no duplicates, no replays)"
+            )
+        quality = self._score(day, views)
+        degraded = quality.degraded(self.min_quality)
+
+        if self.policy == "strict":
+            if not views:
+                raise ValueError("need views for the day")
+            update = self._fold(day, views, quality, action="inferred")
+        elif not views:
+            action = "carried" if self.policy == "carry" else "skipped"
+            update = self._hold(day, quality, action=action)
+        elif degraded and self.policy == "skip":
+            update = self._hold(day, quality, action="skipped")
+        elif degraded and self.policy == "carry":
+            update = self._fold(day, views, quality, action="degraded")
+        else:
+            update = self._fold(day, views, quality, action="inferred")
+
+        self._last_day = day
+        if views and not degraded:
+            self._learn(views)
+        self._records.append(
+            DayRecord(
+                day=day,
+                action=update.action,
+                score=quality.score,
+                serving_size=update.serving_size,
+                staleness=update.staleness,
+                num_quarantined=len(self._quarantine),
+                reasons=quality.reasons,
+            )
+        )
+        return update
+
+    # -- internals -----------------------------------------------------
+
+    def _score(self, day: int, views: list[VantageDayView]) -> FeedQuality:
+        expected = self.expected_views
+        if expected is None and self._views_seen_max:
+            expected = self._views_seen_max
+        return score_feed(
+            day,
+            views,
+            history_packets=self._volume_history,
+            expected_views=expected,
+            typical_factors=self._typical_factors,
+        )
+
+    def _learn(self, views: list[VantageDayView]) -> None:
+        self._volume_history.append(
+            sum(view.estimated_packets() for view in views)
+        )
+        del self._volume_history[:-_VOLUME_HISTORY]
+        for view in views:
+            self._typical_factors[view.vantage] = view.sampling_factor
+        self._views_seen_max = max(self._views_seen_max, len(views))
+
+    def _fold(
+        self,
+        day: int,
+        views: list[VantageDayView],
+        quality: FeedQuality,
+        action: str,
+    ) -> DayUpdate:
+        previous_dark = self._daily_dark[-1] if self._daily_dark else None
         self._window.append((day, views))
         day_result = self.telescope.infer(
             views,
             use_spoofing_tolerance=self.use_spoofing_tolerance,
             refine=False,
         )
-        self._daily_dark.append(day_result.pipeline.dark_blocks)
+        day_dark = day_result.pipeline.dark_blocks
+        self._daily_dark.append(day_dark)
         while len(self._window) > self.window_days:
             self._window.popleft()
             self._daily_dark.popleft()
+
+        if action == "degraded":
+            self._staleness += 1
+            if previous_dark is not None and self.quarantine_days > 0:
+                for block in np.setxor1d(day_dark, previous_dark):
+                    self._quarantine[int(block)] = self.quarantine_days
+        else:
+            self._staleness = 0
+            self._tick_quarantine()
 
         pooled_views = [view for _, day_views in self._window for view in day_views]
         window_result = self.telescope.infer(
@@ -85,6 +278,9 @@ class OnlineMetaTelescope:
         )
         stable = self._stable_blocks()
         serving = np.intersect1d(window_result.prefixes, stable)
+        quarantined = self.quarantined_blocks()
+        if len(quarantined):
+            serving = np.setdiff1d(serving, quarantined)
 
         added = np.setdiff1d(serving, self._serving)
         removed = np.setdiff1d(self._serving, serving)
@@ -94,19 +290,53 @@ class OnlineMetaTelescope:
             serving_size=len(serving),
             added_blocks=added,
             removed_blocks=removed,
+            action=action,
+            staleness=self._staleness,
+            quality=quality,
+            quarantined_blocks=quarantined,
         )
+
+    def _hold(self, day: int, quality: FeedQuality, action: str) -> DayUpdate:
+        """Keep serving the current list; account for its staleness."""
+        self._staleness += 1
+        removed = _empty_blocks()
+        if (
+            self.max_staleness is not None
+            and self._staleness > self.max_staleness
+            and len(self._serving)
+        ):
+            removed = self._serving
+            self._serving = _empty_blocks()
+        return DayUpdate(
+            day=day,
+            serving_size=len(self._serving),
+            added_blocks=_empty_blocks(),
+            removed_blocks=removed,
+            action=action,
+            staleness=self._staleness,
+            quality=quality,
+            quarantined_blocks=self.quarantined_blocks(),
+        )
+
+    def _tick_quarantine(self) -> None:
+        for block in list(self._quarantine):
+            self._quarantine[block] -= 1
+            if self._quarantine[block] <= 0:
+                del self._quarantine[block]
 
     def _stable_blocks(self) -> np.ndarray:
         required = min(self.min_stable_days, len(self._daily_dark))
         union = (
             np.unique(np.concatenate(list(self._daily_dark)))
             if self._daily_dark
-            else np.empty(0, dtype=np.int64)
+            else _empty_blocks()
         )
         counts = np.zeros(len(union), dtype=np.int64)
         for daily in self._daily_dark:
             counts += np.isin(union, daily)
         return union[counts >= required]
+
+    # -- operator views ------------------------------------------------
 
     def current_prefixes(self) -> np.ndarray:
         """The serving meta-telescope prefix list."""
@@ -115,3 +345,20 @@ class OnlineMetaTelescope:
     def days_in_window(self) -> list[int]:
         """Days currently inside the rolling window."""
         return [day for day, _ in self._window]
+
+    def staleness(self) -> int:
+        """Days since the serving list last came out of a clean fold."""
+        return self._staleness
+
+    def quarantined_blocks(self) -> np.ndarray:
+        """Blocks currently excluded for flapping under degraded input."""
+        return np.array(sorted(self._quarantine), dtype=np.int64)
+
+    def health_report(self) -> HealthReport:
+        """The structured operational record so far."""
+        return HealthReport(
+            records=tuple(self._records),
+            current_staleness=self._staleness,
+            quarantined_blocks=self.quarantined_blocks(),
+            serving_size=len(self._serving),
+        )

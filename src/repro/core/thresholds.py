@@ -19,7 +19,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.traffic.flows import FlowTable, aggregate_sums, weighted_median
-from repro.traffic.packets import PROTO_TCP
 from repro.vantage.sampling import VantageDayView
 
 

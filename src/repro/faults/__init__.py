@@ -1,0 +1,52 @@
+"""Fault injection and feed-quality scoring (operating through failure).
+
+The paper's Section 9 service vision means running on infrastructure
+the operator does not control; this package makes the resulting failure
+modes first-class, reproducible experiment inputs:
+
+* :mod:`repro.faults.injectors` — the fault classes (outages, truncated
+  or duplicated exports, corrupted fields, misreported sampling rates,
+  stale RIB mirrors);
+* :mod:`repro.faults.plan` — seeded, composable :class:`FaultPlan`\\ s;
+* :mod:`repro.faults.quality` — per-day feed-quality scoring the online
+  operator uses to decide whether to trust a day.
+"""
+
+from repro.faults.injectors import (
+    MIN_BYTES_PER_PACKET,
+    CorruptedFields,
+    DuplicatedRecords,
+    FaultEvent,
+    FaultInjector,
+    MisreportedSampling,
+    SiteOutage,
+    StaleRib,
+    StaleRibCollector,
+    TruncatedDay,
+)
+from repro.faults.plan import (
+    STANDARD_FAULTS,
+    FaultedDay,
+    FaultPlan,
+    standard_injector,
+)
+from repro.faults.quality import FeedQuality, score_feed
+
+__all__ = [
+    "MIN_BYTES_PER_PACKET",
+    "CorruptedFields",
+    "DuplicatedRecords",
+    "FaultEvent",
+    "FaultInjector",
+    "MisreportedSampling",
+    "SiteOutage",
+    "StaleRib",
+    "StaleRibCollector",
+    "TruncatedDay",
+    "STANDARD_FAULTS",
+    "FaultedDay",
+    "FaultPlan",
+    "standard_injector",
+    "FeedQuality",
+    "score_feed",
+]

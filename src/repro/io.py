@@ -9,19 +9,80 @@ operator can feed them into firewalls, IDSs or a CERT report:
   construction).
 
 Both round-trip losslessly.
+
+Readers come in two modes.  The default (strict) readers raise on the
+first malformed row, naming the file and 1-based line number.  The
+``*_lenient`` variants never raise on row-level damage: bad rows are
+skipped and collected into a :class:`ParseReport`, so a mostly-good
+day survives a corrupted export instead of being lost entirely.
 """
 
 from __future__ import annotations
 
 import csv
-import io as _io
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.net.blocksets import aggregate_blocks, expand_prefixes
-from repro.net.ipv4 import Prefix, block_to_prefix, parse_ip
+from repro.net.ipv4 import Prefix, block_to_prefix
 from repro.traffic.flows import FLOW_COLUMNS, FlowTable
+
+
+@dataclass(frozen=True, slots=True)
+class RowError:
+    """One malformed row, by position."""
+
+    line: int
+    message: str
+    text: str
+
+
+@dataclass
+class ParseReport:
+    """Row-level damage collected by a lenient read."""
+
+    path: str
+    total_rows: int = 0
+    good_rows: int = 0
+    errors: list[RowError] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        """Whether every row parsed."""
+        return not self.errors
+
+    def error_fraction(self) -> float:
+        """Share of rows that failed to parse."""
+        return len(self.errors) / self.total_rows if self.total_rows else 0.0
+
+    def summary(self) -> str:
+        """One-line operator summary."""
+        if self.ok():
+            return f"{self.path}: {self.good_rows} row(s), no errors"
+        first = self.errors[0]
+        return (
+            f"{self.path}: {len(self.errors)} of {self.total_rows} row(s) "
+            f"malformed (first at line {first.line}: {first.message})"
+        )
+
+
+# -- prefix lists -------------------------------------------------------
+
+
+def _format_prefix_lines(
+    blocks: np.ndarray, comment: str | None, aggregate: bool
+) -> list[str]:
+    """The one true prefix-list rendering (writers must not diverge)."""
+    lines = []
+    if comment:
+        lines.extend(f"# {line}" for line in comment.splitlines())
+    unique = np.unique(np.asarray(blocks, dtype=np.int64))
+    if aggregate:
+        lines.extend(str(prefix) for prefix in aggregate_blocks(unique))
+    else:
+        lines.extend(str(block_to_prefix(int(block))) for block in unique)
+    return lines
 
 
 def write_prefix_list(
@@ -35,33 +96,73 @@ def write_prefix_list(
     With ``aggregate=True`` contiguous runs collapse into their minimal
     CIDR cover (what an operator actually ships to routers/ACLs).
     """
-    lines = []
-    if comment:
-        lines.extend(f"# {line}" for line in comment.splitlines())
-    unique = np.unique(np.asarray(blocks, dtype=np.int64))
-    if aggregate:
-        lines.extend(str(prefix) for prefix in aggregate_blocks(unique))
-    else:
-        lines.extend(str(block_to_prefix(int(block))) for block in unique)
+    lines = _format_prefix_lines(blocks, comment, aggregate)
     Path(path).write_text("\n".join(lines) + "\n")
+
+
+def prefix_list_text(
+    blocks: np.ndarray,
+    comment: str | None = None,
+    aggregate: bool = False,
+) -> str:
+    """The prefix list as a string (for pipes and tests).
+
+    Renders through the same path as :func:`write_prefix_list`, so the
+    two can never drift apart — including the ``aggregate`` option.
+    """
+    return "\n".join(_format_prefix_lines(blocks, comment, aggregate)) + "\n"
+
+
+def _parse_prefix_lines(
+    path: str | Path, strict: bool
+) -> tuple[list[Prefix], ParseReport]:
+    report = ParseReport(path=str(path))
+    prefixes = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        report.total_rows += 1
+        try:
+            prefix = Prefix.parse(line)
+            if prefix.length > 24:
+                raise ValueError(f"finer than /24: {line!r}")
+        except ValueError as error:
+            if strict:
+                raise ValueError(f"{path}:{lineno}: {error}") from None
+            report.errors.append(
+                RowError(line=lineno, message=str(error), text=line)
+            )
+            continue
+        report.good_rows += 1
+        prefixes.append(prefix)
+    return prefixes, report
 
 
 def read_prefix_list(path: str | Path) -> np.ndarray:
     """Read a CIDR list written by :func:`write_prefix_list`.
 
-    Entries of /24 or shorter are expanded back to /24 block ids;
-    blank lines and ``#`` comments are skipped.
+    Entries of /24 or shorter are expanded back to /24 block ids; blank
+    lines and ``#`` comments are skipped.  Malformed entries raise with
+    the file name and line number.
     """
-    prefixes = []
-    for raw in Path(path).read_text().splitlines():
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        prefix = Prefix.parse(line)
-        if prefix.length > 24:
-            raise ValueError(f"finer than /24: {line!r}")
-        prefixes.append(prefix)
+    prefixes, _ = _parse_prefix_lines(path, strict=True)
     return expand_prefixes(prefixes)
+
+
+def read_prefix_list_lenient(
+    path: str | Path,
+) -> tuple[np.ndarray, ParseReport]:
+    """Like :func:`read_prefix_list`, but bad lines are collected.
+
+    Returns the blocks that did parse, plus the :class:`ParseReport`
+    naming every skipped line.
+    """
+    prefixes, report = _parse_prefix_lines(path, strict=False)
+    return expand_prefixes(prefixes), report
+
+
+# -- flow tables --------------------------------------------------------
 
 
 def write_flows_csv(flows: FlowTable, path: str | Path) -> None:
@@ -73,14 +174,43 @@ def write_flows_csv(flows: FlowTable, path: str | Path) -> None:
             writer.writerow([int(v) for v in row])
 
 
-def read_flows_csv(path: str | Path) -> FlowTable:
-    """Read a flow table written by :func:`write_flows_csv`."""
+def _parse_flow_rows(
+    path: str | Path, strict: bool
+) -> tuple[list[tuple[int, ...]], ParseReport]:
+    report = ParseReport(path=str(path))
+    expected = len(FLOW_COLUMNS)
+    rows: list[tuple[int, ...]] = []
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
-        header = next(reader)
+        header = next(reader, None)
         if header != list(FLOW_COLUMNS):
             raise ValueError(f"unexpected flow CSV header: {header}")
-        rows = [tuple(int(v) for v in row) for row in reader]
+        for row in reader:
+            # Trailing blank lines (and stray empty records) are not
+            # data; skip them in both modes.
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            report.total_rows += 1
+            lineno = reader.line_num
+            try:
+                if len(row) != expected:
+                    raise ValueError(
+                        f"expected {expected} fields, got {len(row)}"
+                    )
+                parsed = tuple(int(v) for v in row)
+            except ValueError as error:
+                if strict:
+                    raise ValueError(f"{path}:{lineno}: {error}") from None
+                report.errors.append(
+                    RowError(line=lineno, message=str(error), text=",".join(row))
+                )
+                continue
+            report.good_rows += 1
+            rows.append(parsed)
+    return rows, report
+
+
+def _rows_to_table(rows: list[tuple[int, ...]]) -> FlowTable:
     if not rows:
         return FlowTable.empty()
     columns = list(zip(*rows))
@@ -92,15 +222,24 @@ def read_flows_csv(path: str | Path) -> FlowTable:
     )
 
 
-def prefix_list_text(blocks: np.ndarray, comment: str | None = None) -> str:
-    """The prefix list as a string (for pipes and tests)."""
-    buffer = _io.StringIO()
-    lines = []
-    if comment:
-        lines.extend(f"# {line}" for line in comment.splitlines())
-    lines.extend(
-        str(block_to_prefix(int(block)))
-        for block in np.unique(np.asarray(blocks, dtype=np.int64))
-    )
-    buffer.write("\n".join(lines) + "\n")
-    return buffer.getvalue()
+def read_flows_csv(path: str | Path) -> FlowTable:
+    """Read a flow table written by :func:`write_flows_csv`.
+
+    Malformed rows raise with the file name and line number; trailing
+    blank lines are tolerated.
+    """
+    rows, _ = _parse_flow_rows(path, strict=True)
+    return _rows_to_table(rows)
+
+
+def read_flows_csv_lenient(
+    path: str | Path,
+) -> tuple[FlowTable, ParseReport]:
+    """Like :func:`read_flows_csv`, but damaged rows are collected.
+
+    Row-level damage (wrong arity, non-integer fields) is skipped and
+    reported; a wrong header is still fatal, because then *nothing*
+    about the file can be trusted.
+    """
+    rows, report = _parse_flow_rows(path, strict=False)
+    return _rows_to_table(rows), report

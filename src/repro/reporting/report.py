@@ -9,8 +9,6 @@ it drops straight into a ticket or wiki.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.as_dark_share import dark_share_by_as
 from repro.analysis.backscatter_analysis import detect_victims
 from repro.analysis.geo_dist import country_counts

@@ -231,14 +231,12 @@ def _split_budget(
     day_pkts: np.ndarray, flows_per_block: np.ndarray, rng: np.random.Generator
 ) -> np.ndarray:
     """Distribute each block's packet budget across its flows (>=1 each)."""
-    block_index = np.repeat(np.arange(len(day_pkts)), flows_per_block)
     base = np.repeat(
         np.where(flows_per_block > 0, day_pkts // np.maximum(flows_per_block, 1), 0),
         flows_per_block,
     )
     jitter = rng.poisson(np.maximum(base * 0.25, 0.5))
     packets = np.maximum(base + jitter - (base // 4), 1)
-    del block_index
     return packets.astype(np.int64)
 
 

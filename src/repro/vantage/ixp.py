@@ -15,7 +15,7 @@ exactly the input the paper's methodology assumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

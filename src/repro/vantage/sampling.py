@@ -85,6 +85,28 @@ class VantageDayView:
             sampling_factor=self.sampling_factor * factor,
         )
 
+    def with_flows(
+        self, flows: FlowTable, sampling_factor: float | None = None
+    ) -> "VantageDayView":
+        """A copy carrying different flows (aggregate cache reset).
+
+        Fault injectors and replay tools rewrite a view's records; the
+        cached :class:`BlockAggregates` would silently describe the old
+        table, so a fresh view is the only safe way to swap flows.
+        """
+        return VantageDayView(
+            vantage=self.vantage,
+            day=self.day,
+            flows=flows,
+            sampling_factor=(
+                self.sampling_factor if sampling_factor is None else sampling_factor
+            ),
+        )
+
+    def estimated_packets(self) -> float:
+        """Estimated true packet count (sampled count x sampling factor)."""
+        return float(self.flows.packets.sum()) * self.sampling_factor
+
 
 def compute_block_aggregates(flows: FlowTable) -> BlockAggregates:
     """Aggregate a flow table into :class:`BlockAggregates`."""

@@ -28,7 +28,7 @@ from repro.traffic.flows import FlowTable
 from repro.traffic.mix import DailyTrafficMix, MisconfigurationNoise, UdpRadiationActor
 from repro.traffic.packets import PacketSizeModel
 from repro.traffic.production import CdnAckSink, ProductionTraffic
-from repro.traffic.scanners import ScanCampaign, ScanSource, make_sources
+from repro.traffic.scanners import ScanCampaign, make_sources
 from repro.traffic.spoofing import SpoofedFloodActor
 from repro.vantage.isp import IspVantage
 from repro.vantage.ixp import Ixp, IxpFabric
@@ -711,7 +711,6 @@ class _WorldBuilder:
         telescopes: dict[str, Telescope],
         rng: np.random.Generator,
     ) -> DailyTrafficMix:
-        config = self.config
         mix = DailyTrafficMix()
         active_blocks = index.blocks_in_state(BlockState.ACTIVE, BlockState.MIXED)
         active_asns = index.asn_of(active_blocks)

@@ -7,7 +7,9 @@ from repro.core.federation import (
     FederatedResult,
     MarkingRegistry,
     OperatorReport,
+    QuorumError,
     federate,
+    validate_reports,
 )
 
 
@@ -78,6 +80,107 @@ class TestVoting:
         assert len(strict.prefixes) <= len(loose.prefixes)
         assert 1 in strict.prefixes
         assert 2 not in strict.prefixes
+
+
+class TestVotingEdgeCases:
+    def test_single_member_federation(self):
+        result = federate([report("solo", [1, 2, 3])])
+        assert result.prefixes.tolist() == [1, 2, 3]
+        assert result.votes_for == {1: 1, 2: 1, 3: 1}
+
+    def test_member_with_empty_dark_blocks(self):
+        members = [
+            report("a", [4], observed=[4]),
+            report("b", [], observed=[4]),
+        ]
+        result = federate(members, min_vote_share=0.6)
+        # b observed 4 and voted "not dark": 1 of 2 observers -> out.
+        assert 4 not in result.prefixes
+
+    def test_all_members_empty(self):
+        result = federate([report("a", []), report("b", [])])
+        assert result.num_prefixes() == 0
+
+    def test_vote_share_exactly_at_threshold_included(self):
+        # Block 9: 2 observers, 1 vote -> share is exactly 0.5.
+        members = [
+            report("a", [9], observed=[9]),
+            report("b", [], observed=[9]),
+        ]
+        result = federate(members, min_vote_share=0.5)
+        assert 9 in result.prefixes
+
+    def test_registry_marks_overlapping_voted_blocks(self):
+        registry = MarkingRegistry()
+        registry.mark(np.array([1, 2]), owner="op-a")
+        result = federate(
+            [report("a", [1]), report("b", [1])], registry=registry
+        )
+        # Block 1 is both voted and marked; the union must not double it.
+        assert result.prefixes.tolist() == [1, 2]
+        assert 1 in result.voted_blocks
+        assert 1 in result.marked_blocks
+
+
+class TestSanityChecking:
+    def test_fabricated_report_excluded(self):
+        # c claims dark space it never observed: an impossible report.
+        members = [
+            report("a", [1], observed=[1, 2]),
+            report("b", [1], observed=[1, 2]),
+            report("c", [5, 6, 7], observed=[]),
+        ]
+        result = federate(members)
+        assert result.excluded_members() == ("c",)
+        assert 5 not in result.prefixes
+        assert 1 in result.prefixes
+
+    def test_small_foreign_share_tolerated(self):
+        # One sloppy extra block in 20 stays within tolerance.
+        dark = list(range(20))
+        members = [report("a", dark, observed=dark[:-1])]
+        result = federate(members)
+        assert result.excluded_members() == ()
+        assert len(result.prefixes) == 20
+
+    def test_oversized_report_down_weighted(self):
+        # b's dark list dwarfs its peers (spoofing pollution): its lone
+        # "dark" vote on block 1 no longer outvotes a's clean "active".
+        big = list(range(100, 200))
+        members = [
+            report("a", [], observed=[1]),
+            report("b", [1] + big, observed=[1] + big),
+            report("c", [2], observed=[2]),
+            report("d", [2], observed=[2]),
+        ]
+        validations = {
+            v.operator: v for v in validate_reports(members, max_size_ratio=20.0)
+        }
+        assert validations["b"].weight == 0.5
+        result = federate(members)
+        assert 1 not in result.prefixes
+        assert federate(members, validate=False).prefixes.tolist()[0] == 1
+
+    def test_quorum_enforced(self):
+        fabricated = [report("x", [1, 2, 3], observed=[])]
+        with pytest.raises(QuorumError):
+            federate(fabricated)
+        healthy = [report("a", [1]), report("b", [1])]
+        with pytest.raises(QuorumError):
+            federate(healthy, min_quorum=3)
+        assert federate(healthy, min_quorum=2).num_prefixes() == 1
+
+    def test_min_quorum_validated(self):
+        with pytest.raises(ValueError):
+            federate([report("a", [1])], min_quorum=0)
+
+    def test_validations_reported_for_all_members(self):
+        members = [report("a", [1]), report("b", [1], observed=[])]
+        result = federate(members)
+        assert [v.operator for v in result.validations] == ["a", "b"]
+        assert result.validations[0].weight == 1.0
+        assert result.validations[1].excluded()
+        assert result.validations[1].reasons
 
 
 class TestMarkingRegistry:

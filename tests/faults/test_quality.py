@@ -1,0 +1,110 @@
+"""Tests for per-day feed-quality scoring."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CorruptedFields,
+    DuplicatedRecords,
+    FaultPlan,
+    TruncatedDay,
+    score_feed,
+)
+
+from _factories import ip, make_view
+
+BASE = 0x140000
+
+
+def clean_view(rows=60, vantage="V", sampling_factor=10.0):
+    return make_view(
+        [
+            {"dst_ip": ip(BASE + i % 5, host=1 + i % 200), "packets": 2}
+            for i in range(rows)
+        ],
+        vantage=vantage,
+        sampling_factor=sampling_factor,
+    )
+
+
+class TestScoreFeed:
+    def test_clean_day_scores_one(self):
+        quality = score_feed(0, [clean_view()])
+        assert quality.score == pytest.approx(1.0)
+        assert quality.reasons == ()
+        assert not quality.degraded(0.5)
+
+    def test_empty_day_scores_zero(self):
+        quality = score_feed(3, [])
+        assert quality.score == 0.0
+        assert quality.reasons == ("no views",)
+        assert quality.degraded(0.5)
+
+    def test_missing_feeds_lower_presence(self):
+        quality = score_feed(0, [clean_view()], expected_views=4)
+        assert quality.score == pytest.approx(0.25)
+        assert any("expected feeds" in reason for reason in quality.reasons)
+
+    def test_volume_collapse_detected(self):
+        history = [score_feed(0, [clean_view()]).estimated_packets] * 3
+        truncated = FaultPlan(seed=1).add(
+            TruncatedDay(keep_fraction=0.2)
+        ).apply(1, [clean_view()])
+        quality = score_feed(1, list(truncated.views), history_packets=history)
+        assert quality.volume_ratio == pytest.approx(0.2, abs=0.05)
+        assert quality.degraded(0.5)
+
+    def test_volume_inflation_detected(self):
+        history = [clean_view().estimated_packets() / 4] * 3
+        quality = score_feed(1, [clean_view()], history_packets=history)
+        assert quality.volume_ratio == pytest.approx(4.0)
+        assert quality.degraded(0.5)
+
+    def test_duplicates_detected(self):
+        doubled = FaultPlan(seed=1).add(
+            DuplicatedRecords(duplicate_fraction=0.8)
+        ).apply(0, [clean_view()])
+        quality = score_feed(0, list(doubled.views))
+        assert quality.duplicate_fraction > 0.3
+        assert quality.degraded(0.5)
+
+    def test_corruption_detected(self):
+        corrupted = FaultPlan(seed=1).add(
+            CorruptedFields(corrupt_fraction=0.4)
+        ).apply(0, [clean_view()])
+        quality = score_feed(0, list(corrupted.views))
+        assert quality.invalid_fraction == pytest.approx(0.4, abs=0.02)
+        assert quality.degraded(0.5)
+
+    def test_sub_unity_sampling_factor_is_implausible(self):
+        quality = score_feed(0, [clean_view(sampling_factor=0.5)])
+        assert quality.score == pytest.approx(0.3)
+        assert any("< 1" in reason for reason in quality.reasons)
+
+    def test_factor_deviation_from_typical(self):
+        quality = score_feed(
+            0,
+            [clean_view(sampling_factor=1000.0)],
+            typical_factors={"V": 10.0},
+        )
+        assert quality.score == pytest.approx(0.3)
+        assert any("typical" in reason for reason in quality.reasons)
+
+    def test_factor_within_tolerance_is_fine(self):
+        quality = score_feed(
+            0,
+            [clean_view(sampling_factor=20.0)],
+            typical_factors={"V": 10.0},
+        )
+        assert quality.score == pytest.approx(1.0)
+
+    def test_all_empty_views_degraded(self):
+        quality = score_feed(0, [make_view([])])
+        assert quality.degraded(0.5)
+        assert any("empty" in reason for reason in quality.reasons)
+
+    def test_scoring_never_mutates_views(self):
+        view = clean_view()
+        before = view.flows.packets.copy()
+        score_feed(0, [view], history_packets=[1.0], expected_views=2)
+        assert np.array_equal(view.flows.packets, before)

@@ -6,7 +6,9 @@ import pytest
 from repro.io import (
     prefix_list_text,
     read_flows_csv,
+    read_flows_csv_lenient,
     read_prefix_list,
+    read_prefix_list_lenient,
     write_flows_csv,
     write_prefix_list,
 )
@@ -58,6 +60,47 @@ class TestPrefixList:
         text = prefix_list_text(np.array([5]), comment="c")
         assert text == "# c\n0.0.5.0/24\n"
 
+    def test_text_matches_file_output(self, tmp_path):
+        blocks = np.arange(40, 48)
+        for aggregate in (False, True):
+            path = tmp_path / "p.txt"
+            write_prefix_list(blocks, path, comment="hdr", aggregate=aggregate)
+            assert path.read_text() == prefix_list_text(
+                blocks, comment="hdr", aggregate=aggregate
+            )
+
+    def test_text_supports_aggregation(self):
+        text = prefix_list_text(np.arange(40, 48), aggregate=True)
+        assert text == "0.0.40.0/21\n"
+
+    def test_parse_error_names_the_line(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("# header\n0.0.5.0/24\nnot-a-prefix\n")
+        with pytest.raises(ValueError, match=r"p\.txt:3:"):
+            read_prefix_list(path)
+
+    def test_too_fine_error_names_the_line(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("0.0.5.0/24\n10.0.0.0/25\n")
+        with pytest.raises(ValueError, match=r"p\.txt:2: finer than /24"):
+            read_prefix_list(path)
+
+    def test_trailing_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("0.0.5.0/24\n\n\n")
+        assert read_prefix_list(path).tolist() == [5]
+
+    def test_lenient_collects_bad_lines(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("0.0.5.0/24\ngarbage\n0.0.6.0/24\n10.0.0.0/30\n")
+        blocks, report = read_prefix_list_lenient(path)
+        assert blocks.tolist() == [5, 6]
+        assert not report.ok()
+        assert [error.line for error in report.errors] == [2, 4]
+        assert report.good_rows == 2
+        assert report.total_rows == 4
+        assert "line 2" in report.summary()
+
 
 class TestFlowsCsv:
     def test_roundtrip(self, tmp_path):
@@ -86,6 +129,48 @@ class TestFlowsCsv:
         path.write_text("a,b\n1,2\n")
         with pytest.raises(ValueError):
             read_flows_csv(path)
+
+    def test_trailing_blank_lines_tolerated(self, tmp_path):
+        flows = make_flows([{"packets": 3}])
+        path = tmp_path / "flows.csv"
+        write_flows_csv(flows, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_flows_csv(path)) == 1
+
+    def test_strict_error_names_the_line(self, tmp_path):
+        path = tmp_path / "flows.csv"
+        write_flows_csv(make_flows([{}, {}]), path)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2].replace(",", ",oops,", 1)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"flows\.csv:3:"):
+            read_flows_csv(path)
+
+    def test_lenient_skips_damaged_rows(self, tmp_path):
+        path = tmp_path / "flows.csv"
+        write_flows_csv(make_flows([{"packets": 1}, {"packets": 2},
+                                    {"packets": 3}]), path)
+        lines = path.read_text().splitlines()
+        lines[2] = "garbage"
+        path.write_text("\n".join(lines) + "\n")
+        flows, report = read_flows_csv_lenient(path)
+        assert flows.packets.tolist() == [1, 3]
+        assert [error.line for error in report.errors] == [3]
+        assert report.error_fraction() == pytest.approx(1 / 3)
+
+    def test_lenient_header_mismatch_still_fatal(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            read_flows_csv_lenient(path)
+
+    def test_lenient_clean_file_reports_ok(self, tmp_path):
+        path = tmp_path / "flows.csv"
+        write_flows_csv(make_flows([{}]), path)
+        flows, report = read_flows_csv_lenient(path)
+        assert len(flows) == 1
+        assert report.ok()
+        assert "no errors" in report.summary()
 
 
 class TestCli:
@@ -137,3 +222,32 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["funnel", "--scale", "micro", "--vantage", "NOPE"])
+
+    def test_faults_runs_all_classes(self, capsys):
+        from repro.cli import main
+
+        assert main(["faults", "--scale", "micro", "--days", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "degraded operation" in out
+        assert "carried" in out
+        assert "injected day 1" in out
+
+    def test_faults_single_class_and_policy(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "faults", "--scale", "micro", "--days", "3",
+            "--fault", "corrupt", "--policy", "skip", "--fault-day", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+        assert "CorruptedFields" in out
+
+    def test_faults_strict_policy_crashes_on_outage(self):
+        from repro.cli import main
+
+        with pytest.raises(ValueError, match="need views"):
+            main([
+                "faults", "--scale", "micro", "--days", "3",
+                "--fault", "outage", "--policy", "strict",
+            ])
