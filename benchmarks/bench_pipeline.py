@@ -1,0 +1,197 @@
+"""Batch vs chunked pipeline benchmark (machine-readable).
+
+Times the full seven-step inference twice per world size — once with
+whole-view aggregation (``chunk_size=None``) and once streaming through
+the :class:`~repro.core.accum.PrefixAccumulator` in bounded chunks —
+and records wall time, tracemalloc peak memory of the aggregation
+phase, and whether the classifications are identical (they must be:
+the chunked path is bit-identical by construction).
+
+Results land in ``benchmarks/output/BENCH_pipeline.json`` (override
+with ``--output``).  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --scales micro
+
+CI runs exactly that as a smoke check; the full three-scale run is the
+performance artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import tempfile
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.accum import PrefixAccumulator
+from repro.core.metatelescope import MetaTelescope
+from repro.core.pipeline import (
+    PipelineConfig,
+    accumulate_views,
+    run_pipeline_accumulated,
+)
+from repro.io import iter_flows_csv, read_flows_csv, write_flows_csv
+from repro.world.observe import Observatory
+from repro.world.scenarios import micro_world, paper_world, small_world
+
+_SCALES = {"micro": micro_world, "small": small_world, "paper": paper_world}
+_OUTPUT = pathlib.Path(__file__).resolve().parent / "output" / "BENCH_pipeline.json"
+
+
+def _timed_inference(views, routing, config, special, chunk_size):
+    """(seconds, aggregation peak MiB, PipelineResult) for one mode."""
+    tracemalloc.start()
+    started = time.perf_counter()
+    accumulator = accumulate_views(
+        views,
+        ignore_sources_from_asns=config.ignore_sources_from_asns,
+        chunk_size=chunk_size,
+    )
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    result = run_pipeline_accumulated(accumulator, routing, config, special)
+    return time.perf_counter() - started, peak / 2**20, result
+
+
+def _ingest_peaks(view, chunk_rows: int) -> dict:
+    """Peak memory ingesting the largest view from disk, both ways.
+
+    The batch path must materialise the whole day before aggregating;
+    the streamed path holds one parsed chunk plus the accumulator —
+    this is where O(day) vs O(accumulator) memory shows up.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "day.csv"
+        write_flows_csv(view.flows, path)
+
+        tracemalloc.start()
+        whole = read_flows_csv(path)
+        PrefixAccumulator().update(
+            whole,
+            vantage=view.vantage,
+            day=view.day,
+            sampling_factor=view.sampling_factor,
+        )
+        _, batch_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        del whole
+
+        tracemalloc.start()
+        streamed = PrefixAccumulator()
+        for chunk in iter_flows_csv(path, chunk_rows=chunk_rows):
+            streamed.update(
+                chunk,
+                vantage=view.vantage,
+                day=view.day,
+                sampling_factor=view.sampling_factor,
+            )
+        _, streamed_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return {
+        "rows": int(len(view.flows)),
+        "batch_peak_mib": batch_peak / 2**20,
+        "streamed_peak_mib": streamed_peak / 2**20,
+    }
+
+
+def _identical(a, b) -> bool:
+    return (
+        np.array_equal(a.dark_blocks, b.dark_blocks)
+        and np.array_equal(a.unclean_blocks, b.unclean_blocks)
+        and np.array_equal(a.gray_blocks, b.gray_blocks)
+        and a.funnel == b.funnel
+    )
+
+
+def bench_world(scale: str, seed: int, days: int, chunk_size: int) -> dict:
+    """Benchmark one world size; returns its JSON record."""
+    world = _SCALES[scale](seed)
+    observatory = Observatory(world)
+    days = min(days, world.config.num_days)
+    views = observatory.all_ixp_views(num_days=days)
+    telescope = MetaTelescope(
+        collector=world.collector,
+        config=PipelineConfig(
+            avg_size_threshold=world.config.avg_size_threshold,
+            volume_threshold_pkts_day=world.config.volume_threshold_pkts_day,
+        ),
+    )
+    routing = telescope.routing_for_days([view.day for view in views])
+
+    batch_s, batch_mib, batch = _timed_inference(
+        views, routing, telescope.config, telescope.special, None
+    )
+    chunked_s, chunked_mib, chunked = _timed_inference(
+        views, routing, telescope.config, telescope.special, chunk_size
+    )
+    largest = max(views, key=lambda view: len(view.flows))
+    ingest = _ingest_peaks(largest, chunk_size)
+    return {
+        "scale": scale,
+        "days": days,
+        "views": len(views),
+        "rows": int(sum(len(view.flows) for view in views)),
+        "largest_view_rows": int(max(len(view.flows) for view in views)),
+        "num_dark": int(batch.num_dark()),
+        "identical": _identical(batch, chunked),
+        "batch": {"seconds": batch_s, "agg_peak_mib": batch_mib},
+        "chunked": {
+            "seconds": chunked_s,
+            "agg_peak_mib": chunked_mib,
+            "chunk_size": chunk_size,
+        },
+        "ingest_largest_view": ingest,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales", nargs="+", choices=sorted(_SCALES),
+        default=["micro", "small", "paper"],
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--days", type=int, default=2)
+    parser.add_argument("--chunk-size", type=int, default=4096)
+    parser.add_argument("--output", type=pathlib.Path, default=_OUTPUT)
+    args = parser.parse_args(argv)
+
+    records = []
+    for scale in args.scales:
+        record = bench_world(scale, args.seed, args.days, args.chunk_size)
+        records.append(record)
+        print(
+            f"{scale}: {record['rows']:,} rows, "
+            f"batch {record['batch']['seconds']:.2f}s "
+            f"(agg peak {record['batch']['agg_peak_mib']:.1f} MiB), "
+            f"chunked {record['chunked']['seconds']:.2f}s "
+            f"(agg peak {record['chunked']['agg_peak_mib']:.1f} MiB), "
+            f"identical={record['identical']}"
+        )
+        ingest = record["ingest_largest_view"]
+        print(
+            f"  ingest {ingest['rows']:,} rows from CSV: whole-day peak "
+            f"{ingest['batch_peak_mib']:.1f} MiB vs streamed "
+            f"{ingest['streamed_peak_mib']:.1f} MiB"
+        )
+        if not record["identical"]:
+            raise SystemExit(f"chunked != batch on scale {scale}")
+
+    payload = {
+        "benchmark": "pipeline-batch-vs-chunked",
+        "seed": args.seed,
+        "chunk_size": args.chunk_size,
+        "worlds": records,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

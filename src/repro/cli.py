@@ -14,7 +14,10 @@ Commands:
                   plan and print the degraded-operation log.
 
 All commands accept ``--scale {micro,small,paper}``, ``--seed``,
-``--days`` and ``--vantage`` (an IXP code or ``All``).
+``--days``, ``--vantage`` (an IXP code or ``All``) and ``--chunk-size``
+(rows per ingestion chunk; classification is identical at any value —
+the flag only bounds aggregation memory).  Commands that run the
+pipeline print a per-stage funnel timing table.
 """
 
 from __future__ import annotations
@@ -68,8 +71,20 @@ def _views(world, observatory, args: argparse.Namespace):
 def _infer(world, observatory, telescope, args: argparse.Namespace):
     views = _views(world, observatory, args)
     return views, telescope.infer(
-        views, use_spoofing_tolerance=not args.no_tolerance
+        views,
+        use_spoofing_tolerance=not args.no_tolerance,
+        chunk_size=args.chunk_size,
     )
+
+
+def _print_stage_timings(timings) -> None:
+    if not timings:
+        return
+    rows = [
+        (t.stage, f"{t.seconds * 1e3:.2f}", t.surviving) for t in timings
+    ]
+    print()
+    print(format_table(["stage", "ms", "surviving"], rows))
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -87,6 +102,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
         f"ground truth: FP {confusion.false_positive_rate_of_inferred():.2%}, "
         f"recall {confusion.recall():.1%}"
     )
+    _print_stage_timings(result.pipeline.stage_timings)
     return 0
 
 
@@ -108,6 +124,7 @@ def cmd_funnel(args: argparse.Namespace) -> int:
     world, observatory, telescope = _build(args)
     _, result = _infer(world, observatory, telescope, args)
     print(format_table(["step", "#/24s"], result.pipeline.funnel.as_rows()))
+    _print_stage_timings(result.pipeline.stage_timings)
     return 0
 
 
@@ -181,6 +198,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         min_stable_days=min(2, min(args.window, days)),
         use_spoofing_tolerance=not args.no_tolerance,
         policy=args.policy,
+        chunk_size=args.chunk_size,
     )
     rows = []
     events = []
@@ -218,6 +236,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
     for event in events:
         print(f"  injected day {event.day} @ {event.vantage}: "
               f"{event.fault} ({event.detail})")
+    _print_stage_timings(online.last_stage_timings())
     return 0
 
 
@@ -245,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--no-tolerance", action="store_true",
             help="disable the spoofing tolerance",
+        )
+        p.add_argument(
+            "--chunk-size", type=int, default=None,
+            help="rows per ingestion chunk (bounds aggregation memory; "
+            "classification is identical at any value)",
         )
         if name == "infer":
             p.add_argument("--output", default="meta-telescope-prefixes.txt")

@@ -1,6 +1,8 @@
 """Core: the meta-telescope inference methodology (the paper's Section 4).
 
 * :mod:`repro.core.thresholds` — packet-size fingerprint tuning (Table 3);
+* :mod:`repro.core.accum` — mergeable per-/24 streaming aggregation;
+* :mod:`repro.core.stages` — the funnel as explicit stage objects;
 * :mod:`repro.core.pipeline` — the seven-step inference pipeline (Figure 2);
 * :mod:`repro.core.spoofing_tolerance` — the unrouted-space tolerance (§7.2);
 * :mod:`repro.core.combine` — multi-day / multi-vantage composition;
@@ -10,18 +12,35 @@
 * :mod:`repro.core.evaluation` — coverage and ground-truth metrics (§4.3).
 """
 
+from repro.core.accum import (
+    FinalizedAggregates,
+    PrefixAccumulator,
+    accumulate_views,
+)
 from repro.core.pipeline import (
     FunnelCounts,
     PipelineConfig,
     PipelineResult,
     run_pipeline,
+    run_pipeline_accumulated,
+    run_pipeline_chunked,
+)
+from repro.core.stages import (
+    DEFAULT_STAGES,
+    Stage,
+    StageEngine,
+    StageTiming,
 )
 from repro.core.thresholds import (
     ClassifierEvaluation,
     evaluate_thresholds,
     label_isp_blocks,
 )
-from repro.core.spoofing_tolerance import tolerance_for_view, tolerances_for_views
+from repro.core.spoofing_tolerance import (
+    tolerance_for_view,
+    tolerances_for_views,
+    tolerances_from_accumulator,
+)
 from repro.core.combine import stable_dark_blocks
 from repro.core.refine import refine_with_liveness
 from repro.core.federation import (
@@ -37,15 +56,25 @@ from repro.core.metatelescope import MetaTelescope, MetaTelescopeResult
 from repro.core.evaluation import telescope_coverage, confusion_against_truth
 
 __all__ = [
+    "FinalizedAggregates",
+    "PrefixAccumulator",
+    "accumulate_views",
     "FunnelCounts",
     "PipelineConfig",
     "PipelineResult",
     "run_pipeline",
+    "run_pipeline_accumulated",
+    "run_pipeline_chunked",
+    "DEFAULT_STAGES",
+    "Stage",
+    "StageEngine",
+    "StageTiming",
     "ClassifierEvaluation",
     "evaluate_thresholds",
     "label_isp_blocks",
     "tolerance_for_view",
     "tolerances_for_views",
+    "tolerances_from_accumulator",
     "stable_dark_blocks",
     "refine_with_liveness",
     "FederatedResult",

@@ -1,0 +1,431 @@
+"""Mergeable per-/24 aggregation state for streaming inference.
+
+The batch pipeline used to re-aggregate a whole vantage-day on every
+run.  A :class:`PrefixAccumulator` replaces that with bounded-memory
+streaming semantics:
+
+* ``update(chunk, vantage=..., day=..., sampling_factor=...)`` folds a
+  bounded-size :class:`~repro.traffic.flows.FlowTable` chunk in;
+* ``merge(other)`` combines two accumulators (associative — partial
+  aggregates from different chunk orders, days or federation members
+  combine into the same state);
+* ``finalize(spoof_tolerance)`` emits the columnar
+  :class:`FinalizedAggregates` the stage engine classifies from.
+
+Every statistic the seven-step pipeline needs is kept in mergeable
+struct-of-arrays form: per-destination-IP TCP packet/byte and total
+packet estimates (the per-IP survival fingerprint), per-source-IP
+sampled sightings, per-vantage per-/24 source packets (both with and
+without the ignored-sender filter, so the spoofing tolerance can be
+derived from the accumulator itself), and per-day per-/24 volume
+estimates (the across-days median of the volume filter).
+
+All counts are integers (or integer-valued floats after sampling-factor
+rescaling), so the partial sums are exact in float64 and the chunked
+path classifies **bit-identically** to the batch path — at chunk size
+1, 97 or a whole day.
+
+Internally each keyed column family is a small log-structured store:
+chunk aggregates append as sorted *parts* and are compacted (grouped
+and summed) every :data:`_COMPACT_EVERY` parts, so ``update`` stays
+O(chunk) amortised and memory stays O(distinct keys), not O(rows).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.traffic.flows import FlowTable, aggregate_sums
+from repro.traffic.packets import PROTO_TCP
+from repro.vantage.sampling import VantageDayView
+
+#: Pending parts a :class:`_KeyedSums` tolerates before compacting.
+_COMPACT_EVERY = 16
+
+
+def _empty_keys() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+class _KeyedSums:
+    """Mergeable sorted ``int64 key -> float64 sums`` column family."""
+
+    __slots__ = ("num_values", "_parts")
+
+    def __init__(self, num_values: int) -> None:
+        self.num_values = num_values
+        self._parts: list[tuple[np.ndarray, tuple[np.ndarray, ...]]] = []
+
+    def add(self, keys: np.ndarray, *values: np.ndarray) -> None:
+        """Append one keyed part (keys need not be unique or sorted)."""
+        if len(values) != self.num_values:
+            raise ValueError(
+                f"expected {self.num_values} value column(s), got {len(values)}"
+            )
+        keys = np.asarray(keys, dtype=np.int64)
+        if len(keys) == 0:
+            return
+        self._parts.append(
+            (keys, tuple(np.asarray(v, dtype=np.float64) for v in values))
+        )
+        if len(self._parts) >= _COMPACT_EVERY:
+            self.compacted()
+
+    def absorb(self, other: "_KeyedSums") -> None:
+        """Merge another family in (the other is left untouched)."""
+        if other.num_values != self.num_values:
+            raise ValueError("cannot merge column families of different arity")
+        self._parts.extend(other._parts)
+        if len(self._parts) >= _COMPACT_EVERY:
+            self.compacted()
+
+    def copy(self) -> "_KeyedSums":
+        """An independent copy (parts share immutable arrays)."""
+        duplicate = _KeyedSums(self.num_values)
+        duplicate._parts = list(self._parts)
+        return duplicate
+
+    def compacted(self) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+        """Group-by-sum all parts; returns (and keeps) the single part."""
+        if not self._parts:
+            return _empty_keys(), tuple(
+                np.empty(0, dtype=np.float64) for _ in range(self.num_values)
+            )
+        if len(self._parts) > 1:
+            keys = np.concatenate([part[0] for part in self._parts])
+            stacked = [
+                np.concatenate([part[1][i] for part in self._parts])
+                for i in range(self.num_values)
+            ]
+            unique_keys, inverse = np.unique(keys, return_inverse=True)
+            sums = tuple(
+                np.bincount(inverse, weights=column, minlength=len(unique_keys))
+                for column in stacked
+            )
+            self._parts = [(unique_keys, sums)]
+        else:
+            # A lone part may still carry duplicate keys; normalise it.
+            keys, columns = self._parts[0]
+            unique_keys, inverse = np.unique(keys, return_inverse=True)
+            if len(unique_keys) != len(keys):
+                sums = tuple(
+                    np.bincount(inverse, weights=c, minlength=len(unique_keys))
+                    for c in columns
+                )
+                self._parts = [(unique_keys, sums)]
+            elif not np.array_equal(unique_keys, keys):
+                order = np.argsort(keys)
+                self._parts = [(keys[order], tuple(c[order] for c in columns))]
+        return self._parts[0]
+
+
+class FinalizedAggregates:
+    """Columnar output of :meth:`PrefixAccumulator.finalize`.
+
+    The pooled, tolerance-applied statistics the stage engine consumes;
+    the streaming equivalent of what the batch pipeline used to pool
+    from whole vantage-day views.
+    """
+
+    __slots__ = (
+        "dst_ips",
+        "ip_tcp_pkts_est",
+        "ip_tcp_bytes_est",
+        "ip_total_pkts_est",
+        "src_ips",
+        "src_ip_pkts_sampled",
+        "vol_blocks",
+        "vol_median_est",
+        "src_blocks",
+        "src_block_excess",
+        "applied_tolerances",
+    )
+
+    def __init__(
+        self,
+        dst_ips: np.ndarray,
+        ip_tcp_pkts_est: np.ndarray,
+        ip_tcp_bytes_est: np.ndarray,
+        ip_total_pkts_est: np.ndarray,
+        src_ips: np.ndarray,
+        src_ip_pkts_sampled: np.ndarray,
+        vol_blocks: np.ndarray,
+        vol_median_est: np.ndarray,
+        src_blocks: np.ndarray,
+        src_block_excess: np.ndarray,
+        applied_tolerances: dict[str, float],
+    ) -> None:
+        self.dst_ips = dst_ips
+        self.ip_tcp_pkts_est = ip_tcp_pkts_est
+        self.ip_tcp_bytes_est = ip_tcp_bytes_est
+        self.ip_total_pkts_est = ip_total_pkts_est
+        self.src_ips = src_ips
+        self.src_ip_pkts_sampled = src_ip_pkts_sampled
+        self.vol_blocks = vol_blocks
+        self.vol_median_est = vol_median_est
+        self.src_blocks = src_blocks
+        self.src_block_excess = src_block_excess
+        self.applied_tolerances = applied_tolerances
+
+
+class PrefixAccumulator:
+    """Mergeable streaming per-/24 aggregation state."""
+
+    def __init__(
+        self, ignore_sources_from_asns: frozenset[int] = frozenset()
+    ) -> None:
+        self.ignore_sources_from_asns = frozenset(ignore_sources_from_asns)
+        self._ignored_asns = (
+            np.fromiter(self.ignore_sources_from_asns, dtype=np.int32)
+            if self.ignore_sources_from_asns
+            else None
+        )
+        # dst IP -> (tcp pkts est, tcp bytes est, total pkts est)
+        self._dst_ip_sums = _KeyedSums(3)
+        # src IP -> sampled packets (ignored senders filtered out)
+        self._src_ip_sums = _KeyedSums(1)
+        # vantage -> src /24 -> (filtered sampled pkts, raw sampled pkts)
+        self._src_by_vantage: dict[str, _KeyedSums] = {}
+        # day -> dst /24 -> estimated total packets
+        self._volume_by_day: dict[int, _KeyedSums] = {}
+        self._days_by_vantage: dict[str, set[int]] = {}
+        self._rows_ingested = 0
+
+    # -- ingestion -----------------------------------------------------
+
+    def observe(self, vantage: str, day: int) -> None:
+        """Record that a vantage reported on a day (even with no rows).
+
+        Mirrors the batch pipeline, where an empty view still claims a
+        window tolerance and a volume-matrix row for its day.
+        """
+        self._days_by_vantage.setdefault(vantage, set()).add(day)
+        self._src_by_vantage.setdefault(vantage, _KeyedSums(2))
+        self._volume_by_day.setdefault(day, _KeyedSums(1))
+
+    def update(
+        self,
+        chunk: FlowTable,
+        *,
+        vantage: str,
+        day: int,
+        sampling_factor: float = 1.0,
+    ) -> "PrefixAccumulator":
+        """Fold one flow chunk of a vantage-day in; returns ``self``."""
+        self.observe(vantage, day)
+        if len(chunk) == 0:
+            return self
+        factor = float(sampling_factor)
+        self._rows_ingested += len(chunk)
+        packets = chunk.packets
+        is_tcp = chunk.proto == PROTO_TCP
+
+        dst_ips, (tcp_pkts, tcp_bytes, total_pkts) = aggregate_sums(
+            chunk.dst_ip.astype(np.int64),
+            np.where(is_tcp, packets, 0),
+            np.where(is_tcp, chunk.bytes, 0),
+            packets,
+        )
+        self._dst_ip_sums.add(
+            dst_ips, tcp_pkts * factor, tcp_bytes * factor, total_pkts * factor
+        )
+
+        vol_blocks, (vol_pkts,) = aggregate_sums(chunk.dst_blocks(), packets)
+        self._volume_by_day[day].add(vol_blocks, vol_pkts * factor)
+
+        raw_blocks, (raw_pkts,) = aggregate_sums(chunk.src_blocks(), packets)
+        per_vantage = self._src_by_vantage[vantage]
+        if self._ignored_asns is None:
+            src_ips, (src_pkts,) = aggregate_sums(
+                chunk.src_ip.astype(np.int64), packets
+            )
+            per_vantage.add(raw_blocks, raw_pkts, raw_pkts)
+        else:
+            kept = chunk.filter(~np.isin(chunk.sender_asn, self._ignored_asns))
+            src_ips, (src_pkts,) = aggregate_sums(
+                kept.src_ip.astype(np.int64), kept.packets
+            )
+            per_vantage.add(raw_blocks, np.zeros(len(raw_blocks)), raw_pkts)
+            per_vantage.add(src_ips >> 8, src_pkts, np.zeros(len(src_ips)))
+        self._src_ip_sums.add(src_ips, src_pkts)
+        return self
+
+    def update_view(
+        self, view: VantageDayView, chunk_size: int | None = None
+    ) -> "PrefixAccumulator":
+        """Fold a whole vantage-day view in, optionally chunk by chunk."""
+        self.observe(view.vantage, view.day)
+        for chunk in view.iter_chunks(chunk_size):
+            self.update(
+                chunk,
+                vantage=view.vantage,
+                day=view.day,
+                sampling_factor=view.sampling_factor,
+            )
+        return self
+
+    # -- combination ---------------------------------------------------
+
+    def merge(self, other: "PrefixAccumulator") -> "PrefixAccumulator":
+        """Fold another accumulator in (in place); returns ``self``.
+
+        ``other`` is left untouched, so per-day partials can be merged
+        into many different windows.  Merging is associative and
+        commutative up to float summation order — exact for the
+        integer-valued counts the pipeline tracks.
+        """
+        if other.ignore_sources_from_asns != self.ignore_sources_from_asns:
+            raise ValueError(
+                "cannot merge accumulators with different ignored-sender sets"
+            )
+        self._dst_ip_sums.absorb(other._dst_ip_sums)
+        self._src_ip_sums.absorb(other._src_ip_sums)
+        for vantage, theirs in other._src_by_vantage.items():
+            mine = self._src_by_vantage.get(vantage)
+            if mine is None:
+                self._src_by_vantage[vantage] = theirs.copy()
+            else:
+                mine.absorb(theirs)
+        for day, theirs in other._volume_by_day.items():
+            mine = self._volume_by_day.get(day)
+            if mine is None:
+                self._volume_by_day[day] = theirs.copy()
+            else:
+                mine.absorb(theirs)
+        for vantage, days in other._days_by_vantage.items():
+            self._days_by_vantage.setdefault(vantage, set()).update(days)
+        self._rows_ingested += other._rows_ingested
+        return self
+
+    def copy(self) -> "PrefixAccumulator":
+        """An independent copy safe to merge elsewhere."""
+        duplicate = PrefixAccumulator(self.ignore_sources_from_asns)
+        duplicate._dst_ip_sums = self._dst_ip_sums.copy()
+        duplicate._src_ip_sums = self._src_ip_sums.copy()
+        duplicate._src_by_vantage = {
+            vantage: sums.copy() for vantage, sums in self._src_by_vantage.items()
+        }
+        duplicate._volume_by_day = {
+            day: sums.copy() for day, sums in self._volume_by_day.items()
+        }
+        duplicate._days_by_vantage = {
+            vantage: set(days) for vantage, days in self._days_by_vantage.items()
+        }
+        duplicate._rows_ingested = self._rows_ingested
+        return duplicate
+
+    # -- introspection -------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True when no vantage-day has been observed at all."""
+        return not self._days_by_vantage
+
+    def days(self) -> list[int]:
+        """Sorted days with at least one observation."""
+        return sorted(self._volume_by_day)
+
+    def vantages(self) -> list[str]:
+        """Sorted vantage codes that have reported."""
+        return sorted(self._days_by_vantage)
+
+    def days_by_vantage(self) -> dict[str, frozenset[int]]:
+        """Days each vantage contributed (window-tolerance scaling)."""
+        return {
+            vantage: frozenset(days)
+            for vantage, days in self._days_by_vantage.items()
+        }
+
+    def rows_ingested(self) -> int:
+        """Total flow rows folded in so far (diagnostic)."""
+        return self._rows_ingested
+
+    def observed_blocks(self) -> np.ndarray:
+        """Sorted /24 blocks that received any traffic."""
+        dst_ips, _ = self._dst_ip_sums.compacted()
+        return np.unique(dst_ips >> 8)
+
+    def vantage_source_blocks(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Per vantage: (src /24 blocks, *raw* pooled sampled packets).
+
+        Raw means before the ignored-sender filter — the input the
+        unrouted-space spoofing tolerance is derived from.
+        """
+        result = {}
+        for vantage, sums in self._src_by_vantage.items():
+            blocks, (_, raw) = sums.compacted()
+            result[vantage] = (blocks, raw)
+        return result
+
+    # -- finalisation --------------------------------------------------
+
+    def finalize(
+        self, spoof_tolerance: float | Mapping[str, float] = 0.0
+    ) -> FinalizedAggregates:
+        """Pool the partial aggregates into classification columns.
+
+        ``spoof_tolerance`` follows the pipeline-config convention: a
+        scalar is a per-day allowance scaled by each vantage's window
+        length; a mapping gives whole-window allowances per vantage.
+        Finalising does not consume the accumulator — more chunks may
+        be folded in and a fresh finalize taken later.
+        """
+        dst_ips, (tcp_pkts, tcp_bytes, total_pkts) = self._dst_ip_sums.compacted()
+        src_ips, (src_ip_pkts,) = self._src_ip_sums.compacted()
+
+        applied: dict[str, float] = {}
+        excess = _KeyedSums(1)
+        for vantage, sums in self._src_by_vantage.items():
+            blocks, (filtered, _) = sums.compacted()
+            tolerance = self._tolerance_of(spoof_tolerance, vantage)
+            applied[vantage] = tolerance
+            excess.add(blocks, np.maximum(filtered - tolerance, 0))
+        src_blocks, (src_excess,) = excess.compacted()
+
+        days = self.days()
+        day_tables = [self._volume_by_day[day].compacted() for day in days]
+        if any(len(blocks) for blocks, _ in day_tables):
+            vol_blocks = np.unique(
+                np.concatenate([blocks for blocks, _ in day_tables])
+            )
+        else:
+            vol_blocks = _empty_keys()
+        volume_matrix = np.zeros((max(len(days), 1), len(vol_blocks)))
+        for row, (blocks, (est,)) in enumerate(day_tables):
+            volume_matrix[row, np.searchsorted(vol_blocks, blocks)] = est
+        vol_median_est = np.median(volume_matrix, axis=0)
+
+        return FinalizedAggregates(
+            dst_ips=dst_ips,
+            ip_tcp_pkts_est=tcp_pkts,
+            ip_tcp_bytes_est=tcp_bytes,
+            ip_total_pkts_est=total_pkts,
+            src_ips=src_ips,
+            src_ip_pkts_sampled=src_ip_pkts,
+            vol_blocks=vol_blocks,
+            vol_median_est=vol_median_est,
+            src_blocks=src_blocks,
+            src_block_excess=src_excess,
+            applied_tolerances=applied,
+        )
+
+    def _tolerance_of(
+        self, spoof_tolerance: float | Mapping[str, float], vantage: str
+    ) -> float:
+        if isinstance(spoof_tolerance, Mapping):
+            return float(spoof_tolerance.get(vantage, 0.0))
+        # A scalar is per day; scale to this vantage's window length.
+        return float(spoof_tolerance) * len(self._days_by_vantage[vantage])
+
+
+def accumulate_views(
+    views: Iterator[VantageDayView] | list[VantageDayView],
+    ignore_sources_from_asns: frozenset[int] = frozenset(),
+    chunk_size: int | None = None,
+) -> PrefixAccumulator:
+    """Accumulator over an iterable of views (the one-liner entry)."""
+    accumulator = PrefixAccumulator(ignore_sources_from_asns)
+    for view in views:
+        accumulator.update_view(view, chunk_size=chunk_size)
+    return accumulator

@@ -26,10 +26,12 @@ a list at all (:class:`QuorumError`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.metatelescope import MetaTelescopeResult
+from repro.core.accum import PrefixAccumulator
+from repro.core.metatelescope import MetaTelescope, MetaTelescopeResult
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,6 +54,25 @@ class OperatorReport:
             dark_blocks=np.unique(np.asarray(result.prefixes, dtype=np.int64)),
             observed_blocks=np.unique(np.asarray(observed, dtype=np.int64)),
         )
+
+    @classmethod
+    def from_accumulator(
+        cls,
+        operator: str,
+        accumulator: PrefixAccumulator,
+        telescope: MetaTelescope,
+        use_spoofing_tolerance: bool = False,
+    ) -> "OperatorReport":
+        """Build a report by classifying streamed partial aggregates.
+
+        The member never has to keep (or share) raw flows: the mergeable
+        accumulator it built chunk by chunk is enough to both infer the
+        dark list and state which blocks it actually observed.
+        """
+        result = telescope.infer_accumulated(
+            accumulator, use_spoofing_tolerance=use_spoofing_tolerance
+        )
+        return cls.from_result(operator, result, accumulator.observed_blocks())
 
 
 @dataclass
@@ -191,6 +212,9 @@ def federate(
     max_foreign_dark_share: float = 0.1,
     max_size_ratio: float = 20.0,
     min_quorum: int = 1,
+    partials: Mapping[str, Sequence[PrefixAccumulator]] | None = None,
+    coordinator: MetaTelescope | None = None,
+    use_spoofing_tolerance: bool = False,
 ) -> FederatedResult:
     """Combine member reports (and the marking registry) into one list.
 
@@ -205,7 +229,35 @@ def federate(
     with reduced or zero weight.  If fewer than ``min_quorum`` credible
     members remain, :class:`QuorumError` is raised rather than serving
     a list nobody stands behind.
+
+    ``partials`` lets members contribute *partial accumulators* (e.g.
+    one per day or per ingestion node) instead of finished reports: for
+    each ``operator -> accumulators`` entry the partials are merged and
+    classified on the ``coordinator`` telescope, and the resulting
+    report votes alongside the pre-built ``reports`` (same validation
+    rules).  An operator may appear in either or both forms.
     """
+    if partials:
+        if coordinator is None:
+            raise ValueError(
+                "partial accumulators require a coordinator telescope"
+            )
+        reports = list(reports)
+        for operator, accumulators in partials.items():
+            accumulators = list(accumulators)
+            if not accumulators:
+                raise ValueError(f"member {operator!r} sent no partials")
+            merged = accumulators[0].copy()
+            for accumulator in accumulators[1:]:
+                merged.merge(accumulator)
+            reports.append(
+                OperatorReport.from_accumulator(
+                    operator,
+                    merged,
+                    coordinator,
+                    use_spoofing_tolerance=use_spoofing_tolerance,
+                )
+            )
     if not reports:
         raise ValueError("a federation needs at least one member")
     if not 0.0 < min_vote_share <= 1.0:

@@ -9,18 +9,20 @@ toward them (the paper's two data products, Section 5).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.bgp.rib import RouteViewsCollector, RoutingTable
+from repro.core.accum import PrefixAccumulator, accumulate_views
 from repro.core.pipeline import (
     PipelineConfig,
     PipelineResult,
-    run_pipeline,
+    run_pipeline_accumulated,
 )
 from repro.core.refine import RefinementResult, refine_with_liveness
-from repro.core.spoofing_tolerance import tolerances_for_views
+from repro.core.spoofing_tolerance import tolerances_from_accumulator
 from repro.datasets.liveness import LivenessDataset
 from repro.net.special import SPECIAL_PURPOSE_REGISTRY, SpecialPurposeRegistry
 from repro.traffic.flows import FlowTable
@@ -83,14 +85,56 @@ class MetaTelescope:
         self._routing_cache[key] = table
         return table
 
+    def accumulate(
+        self,
+        views: list[VantageDayView],
+        chunk_size: int | None = None,
+    ) -> PrefixAccumulator:
+        """Fold views into a mergeable accumulator with this instance's
+        ASN-ignore configuration applied."""
+        return accumulate_views(
+            views,
+            ignore_sources_from_asns=self.config.ignore_sources_from_asns,
+            chunk_size=chunk_size,
+        )
+
     def infer(
         self,
         views: list[VantageDayView],
         use_spoofing_tolerance: bool = False,
         refine: bool = True,
+        chunk_size: int | None = None,
     ) -> MetaTelescopeResult:
-        """Run the full pipeline (+ optional tolerance and refinement)."""
+        """Run the full pipeline (+ optional tolerance and refinement).
+
+        ``chunk_size`` bounds ingestion memory: each view is folded into
+        the per-/24 accumulator ``chunk_size`` rows at a time instead of
+        being aggregated whole.  The classification is bit-identical
+        either way.
+        """
         if not views:
+            raise ValueError("need at least one vantage-day view")
+        accumulator = self.accumulate(views, chunk_size=chunk_size)
+        return self.infer_accumulated(
+            accumulator,
+            use_spoofing_tolerance=use_spoofing_tolerance,
+            refine=refine,
+        )
+
+    def infer_accumulated(
+        self,
+        accumulator: PrefixAccumulator,
+        use_spoofing_tolerance: bool = False,
+        refine: bool = True,
+    ) -> MetaTelescopeResult:
+        """Run inference on already-streamed aggregates.
+
+        This is the incremental entry point: the accumulator may have
+        been built chunk by chunk, merged from partial accumulators, or
+        carried over from earlier days — the views themselves are no
+        longer needed.
+        """
+        if accumulator.is_empty():
             raise ValueError("need at least one vantage-day view")
         config = self.config
         if use_spoofing_tolerance:
@@ -98,15 +142,14 @@ class MetaTelescope:
                 raise ValueError(
                     "spoofing tolerance requires an unrouted baseline"
                 )
-            tolerance = tolerances_for_views(views, self.unrouted_baseline)
-            config = PipelineConfig(
-                avg_size_threshold=config.avg_size_threshold,
-                volume_threshold_pkts_day=config.volume_threshold_pkts_day,
-                spoof_tolerance=tolerance,
-                ignore_sources_from_asns=config.ignore_sources_from_asns,
+            tolerance = tolerances_from_accumulator(
+                accumulator, self.unrouted_baseline
             )
-        routing = self.routing_for_days([view.day for view in views])
-        pipeline = run_pipeline(views, routing, config, special=self.special)
+            config = dataclasses.replace(config, spoof_tolerance=tolerance)
+        routing = self.routing_for_days(accumulator.days())
+        pipeline = run_pipeline_accumulated(
+            accumulator, routing, config, special=self.special
+        )
         if refine:
             refinement = refine_with_liveness(pipeline.dark_blocks, self.liveness)
         else:

@@ -7,9 +7,13 @@ changes and space being put into use.  This module packages that
 operational loop:
 
 * feed each day's views with :meth:`OnlineMetaTelescope.update`;
-* the instance keeps the last ``window_days`` of views, re-runs the
-  inference over the window, and tracks how many recent days each
-  prefix was independently inferred dark;
+* the instance folds each day into a mergeable
+  :class:`~repro.core.accum.PrefixAccumulator` and keeps the last
+  ``window_days`` of *accumulators* (not raw views), so window
+  re-inference is a cheap merge of per-day partial aggregates instead
+  of a re-aggregation of every flow in the window;
+* it re-runs the inference over the merged window and tracks how many
+  recent days each prefix was independently inferred dark;
 * :meth:`current_prefixes` returns the serving list (window inference
   intersected with the stability requirement);
 * churn between consecutive days is reported so the operator can see
@@ -41,6 +45,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.metatelescope import MetaTelescope
+from repro.core.stages import StageTiming
 from repro.faults.quality import FeedQuality, score_feed
 from repro.vantage.sampling import VantageDayView
 
@@ -152,6 +157,11 @@ class OnlineMetaTelescope:
     #: With ``skip``/``carry``: staleness beyond which the carried
     #: serving list is considered expired and cleared (None: never).
     max_staleness: int | None = None
+    #: Rows per ingestion chunk when folding a day's views into its
+    #: accumulator (None: each view aggregated whole).  Classification
+    #: is bit-identical either way; the chunk size only bounds memory.
+    chunk_size: int | None = None
+    #: Rolling window of ``(day, PrefixAccumulator)`` partial aggregates.
     _window: deque = field(default_factory=deque, repr=False)
     _daily_dark: deque = field(default_factory=deque, repr=False)
     _serving: np.ndarray = field(default_factory=_empty_blocks, repr=False)
@@ -162,6 +172,7 @@ class OnlineMetaTelescope:
     _volume_history: list[float] = field(default_factory=list, repr=False)
     _typical_factors: dict[str, float] = field(default_factory=dict, repr=False)
     _views_seen_max: int = field(default=0, repr=False)
+    _last_timings: tuple[StageTiming, ...] = field(default=(), repr=False)
 
     def __post_init__(self) -> None:
         if self.window_days < 1:
@@ -250,9 +261,12 @@ class OnlineMetaTelescope:
         action: str,
     ) -> DayUpdate:
         previous_dark = self._daily_dark[-1] if self._daily_dark else None
-        self._window.append((day, views))
-        day_result = self.telescope.infer(
-            views,
+        day_accumulator = self.telescope.accumulate(
+            views, chunk_size=self.chunk_size
+        )
+        self._window.append((day, day_accumulator))
+        day_result = self.telescope.infer_accumulated(
+            day_accumulator,
             use_spoofing_tolerance=self.use_spoofing_tolerance,
             refine=False,
         )
@@ -271,11 +285,16 @@ class OnlineMetaTelescope:
             self._staleness = 0
             self._tick_quarantine()
 
-        pooled_views = [view for _, day_views in self._window for view in day_views]
-        window_result = self.telescope.infer(
-            pooled_views,
+        # Window inference is a merge of per-day partial aggregates: no
+        # view in the window is ever re-aggregated.
+        window_accumulator = self._window[0][1].copy()
+        for _, accumulator in list(self._window)[1:]:
+            window_accumulator.merge(accumulator)
+        window_result = self.telescope.infer_accumulated(
+            window_accumulator,
             use_spoofing_tolerance=self.use_spoofing_tolerance,
         )
+        self._last_timings = window_result.pipeline.stage_timings
         stable = self._stable_blocks()
         serving = np.intersect1d(window_result.prefixes, stable)
         quarantined = self.quarantined_blocks()
@@ -353,6 +372,10 @@ class OnlineMetaTelescope:
     def quarantined_blocks(self) -> np.ndarray:
         """Blocks currently excluded for flapping under degraded input."""
         return np.array(sorted(self._quarantine), dtype=np.int64)
+
+    def last_stage_timings(self) -> tuple[StageTiming, ...]:
+        """Per-stage wall times of the latest window inference."""
+        return self._last_timings
 
     def health_report(self) -> HealthReport:
         """The structured operational record so far."""

@@ -20,6 +20,14 @@ observed destination /24 into **dark** (meta-telescope prefix),
    survives, some does not, and there is no source; gray iff some IP
    survives while another sources traffic.
 
+Since the streaming refactor this module is a thin facade: ingestion
+folds views (whole, or chunk by chunk) into a mergeable
+:class:`~repro.core.accum.PrefixAccumulator`, and the classification
+itself lives in the :mod:`repro.core.stages` engine, one explicit
+:class:`~repro.core.stages.Stage` per funnel step.  The batch and
+chunked entry points below are classification-identical by
+construction — they differ only in how the accumulator is fed.
+
 Granularity note.  The paper applies filters 1, 2 and 6 "per subnet"
 but classifies per IP ("all IPv4 addresses have to survive").  Taken
 literally at the IP level, a single sampled 48-byte option-SYN would
@@ -37,81 +45,34 @@ IPFIX estimates true packet counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
 from repro.bgp.rib import RoutingTable
+from repro.core.accum import PrefixAccumulator, accumulate_views
+from repro.core.stages import (
+    DEFAULT_STAGES,
+    FunnelCounts,
+    PipelineConfig,
+    PipelineResult,
+    Stage,
+    StageEngine,
+    StageTiming,
+)
 from repro.net.special import SPECIAL_PURPOSE_REGISTRY, SpecialPurposeRegistry
-from repro.traffic.flows import aggregate_sums
 from repro.vantage.sampling import VantageDayView
 
-
-@dataclass(frozen=True, slots=True)
-class PipelineConfig:
-    """Tunable thresholds of the inference pipeline.
-
-    Defaults correspond to the paper's choices translated to simulation
-    units (the volume threshold scales with the world's traffic
-    intensity; 44 bytes is intensity-free).
-    """
-
-    avg_size_threshold: float = 44.0
-    #: Per-IP survival slack: an address fails only above this mean size
-    #: (48 B = SYN with one option; see the granularity note above).
-    ip_size_threshold: float = 48.0
-    volume_threshold_pkts_day: float = 700.0
-    #: Forgiven source packets per /24 (spoofing tolerance).  Either a
-    #: per-day number, or a mapping ``vantage -> packets`` covering the
-    #: whole inference window at that vantage (the paper computes the
-    #: tolerance "for each vantage point and each time frame").
-    spoof_tolerance: float | dict[str, float] = 0.0
-    #: Sender ASes whose flows are ignored for source sightings
-    #: (the BCP 38 / Spoofer-list mitigation of Section 9).
-    ignore_sources_from_asns: frozenset[int] = frozenset()
-
-
-@dataclass(frozen=True, slots=True)
-class FunnelCounts:
-    """Figure-2 funnel: /24 blocks surviving after each step."""
-
-    observed: int
-    after_tcp: int
-    after_avg_size: int
-    after_source_unseen: int
-    after_special: int
-    after_routed: int
-    after_volume: int
-
-    def as_rows(self) -> list[tuple[str, int]]:
-        """(step name, surviving count) rows, in pipeline order."""
-        return [
-            ("observed /24 subnets", self.observed),
-            ("TCP", self.after_tcp),
-            ("average <= threshold bytes", self.after_avg_size),
-            ("never sent a packet", self.after_source_unseen),
-            ("private / reserved / multicast", self.after_special),
-            ("globally routed", self.after_routed),
-            ("asymmetric routing (volume)", self.after_volume),
-        ]
-
-
-@dataclass(frozen=True)
-class PipelineResult:
-    """Classification output plus diagnostics."""
-
-    dark_blocks: np.ndarray
-    unclean_blocks: np.ndarray
-    gray_blocks: np.ndarray
-    funnel: FunnelCounts
-    #: Blocks dropped by the volume filter (step 6) among candidates.
-    volume_filtered_blocks: np.ndarray
-    #: Per-vantage window tolerances that were applied (packets).
-    applied_tolerances: dict[str, float] = field(default_factory=dict)
-
-    def num_dark(self) -> int:
-        """Number of inferred meta-telescope prefixes."""
-        return len(self.dark_blocks)
+__all__ = [
+    "DEFAULT_STAGES",
+    "FunnelCounts",
+    "PipelineConfig",
+    "PipelineResult",
+    "Stage",
+    "StageEngine",
+    "StageTiming",
+    "PrefixAccumulator",
+    "accumulate_views",
+    "run_pipeline",
+    "run_pipeline_chunked",
+    "run_pipeline_accumulated",
+]
 
 
 def run_pipeline(
@@ -121,246 +82,54 @@ def run_pipeline(
     special: SpecialPurposeRegistry = SPECIAL_PURPOSE_REGISTRY,
 ) -> PipelineResult:
     """Run the full inference over pooled vantage-day views."""
-    if config is None:
-        config = PipelineConfig()
+    return run_pipeline_chunked(
+        views, routing, config, special=special, chunk_size=None
+    )
+
+
+def run_pipeline_chunked(
+    views: list[VantageDayView],
+    routing: RoutingTable,
+    config: PipelineConfig | None = None,
+    special: SpecialPurposeRegistry = SPECIAL_PURPOSE_REGISTRY,
+    chunk_size: int | None = None,
+) -> PipelineResult:
+    """Run the inference, ingesting each view in bounded-size chunks.
+
+    ``chunk_size=None`` ingests each view as a single chunk (the batch
+    path).  Any chunk size yields bit-identical classifications.
+    """
     if not views:
         raise ValueError("need at least one vantage-day view")
-
-    pooled = _PooledObservations.from_views(views, config)
-    return _classify(pooled, routing, special, config)
-
-
-@dataclass
-class _PooledObservations:
-    """Sampling-factor-weighted pooled statistics across views."""
-
-    # per destination IP (sorted unique)
-    dst_ips: np.ndarray
-    ip_tcp_pkts_est: np.ndarray
-    ip_tcp_bytes_est: np.ndarray
-    ip_total_pkts_est: np.ndarray
-    # per source IP (sorted unique), *sampled* packet counts per view-day
-    # folded with the tolerance already subtracted at block level later
-    src_ips: np.ndarray
-    src_ip_pkts_sampled: np.ndarray
-    # per destination block: estimated total pkts per day, then reduced
-    # to a per-block daily median across the days present
-    vol_blocks: np.ndarray
-    vol_median_est: np.ndarray
-    # per source block: sampled packets minus per-vantage tolerances
-    src_blocks: np.ndarray
-    src_block_excess: np.ndarray
-    applied_tolerances: dict[str, float]
-
-    @classmethod
-    def from_views(
-        cls, views: list[VantageDayView], config: PipelineConfig
-    ) -> "_PooledObservations":
-        ip_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
-        src_parts: list[tuple[np.ndarray, np.ndarray]] = []
-        per_day_volume: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
-        src_by_vantage: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
-        days_by_vantage: dict[str, set[int]] = {}
-
-        for view in views:
-            agg = view.aggregates()
-            factor = view.sampling_factor
-            ip_parts.append(
-                (
-                    agg.dst_ips,
-                    agg.dst_ip_tcp_packets * factor,
-                    agg.dst_ip_tcp_bytes * factor,
-                    agg.dst_ip_total_packets * factor,
-                )
-            )
-            src_ips, src_pkts = _source_sightings(view, config)
-            src_parts.append((src_ips, src_pkts))
-            per_day_volume.setdefault(view.day, []).append(
-                (agg.blocks, agg.total_packets() * factor)
-            )
-            blocks, (pkts,) = aggregate_sums(src_ips >> 8, src_pkts)
-            src_by_vantage.setdefault(view.vantage, []).append((blocks, pkts))
-            days_by_vantage.setdefault(view.vantage, set()).add(view.day)
-
-        # Window tolerance per vantage: pollution is pooled over the
-        # window and compared against one window-level allowance.
-        applied: dict[str, float] = {}
-        src_excess_parts: list[tuple[np.ndarray, np.ndarray]] = []
-        for vantage, parts in src_by_vantage.items():
-            tolerance = _tolerance_of(config, vantage, len(days_by_vantage[vantage]))
-            applied[vantage] = tolerance
-            blocks, (pkts,) = _merge_keyed(parts)
-            src_excess_parts.append((blocks, np.maximum(pkts - tolerance, 0)))
-
-        dst_ips, sums = _merge_keyed(
-            [(p[0], p[1], p[2], p[3]) for p in ip_parts]
-        )
-        src_ips, src_sums = _merge_keyed([(p[0], p[1]) for p in src_parts])
-
-        # Per-day pooled volumes, then the across-days median per block.
-        days = sorted(per_day_volume)
-        day_tables = []
-        for day in days:
-            blocks, (est,) = _merge_keyed(per_day_volume[day])
-            day_tables.append((blocks, est))
-        vol_blocks = np.unique(np.concatenate([b for b, _ in day_tables]))
-        volume_matrix = np.zeros((len(days), len(vol_blocks)))
-        for row, (blocks, est) in enumerate(day_tables):
-            volume_matrix[row, np.searchsorted(vol_blocks, blocks)] = est
-        vol_median_est = np.median(volume_matrix, axis=0)
-
-        src_blocks, (src_excess,) = _merge_keyed(src_excess_parts)
-
-        return cls(
-            dst_ips=dst_ips,
-            ip_tcp_pkts_est=sums[0],
-            ip_tcp_bytes_est=sums[1],
-            ip_total_pkts_est=sums[2],
-            src_ips=src_ips,
-            src_ip_pkts_sampled=src_sums[0],
-            vol_blocks=vol_blocks,
-            vol_median_est=vol_median_est,
-            src_blocks=src_blocks,
-            src_block_excess=src_excess,
-            applied_tolerances=applied,
-        )
-
-
-def _tolerance_of(config: PipelineConfig, vantage: str, num_days: int) -> float:
-    if isinstance(config.spoof_tolerance, dict):
-        return config.spoof_tolerance.get(vantage, 0.0)
-    # A scalar is interpreted per day and scaled to the window length.
-    return float(config.spoof_tolerance) * num_days
-
-
-def _source_sightings(
-    view: VantageDayView, config: PipelineConfig
-) -> tuple[np.ndarray, np.ndarray]:
-    """Per-source-IP sampled packet counts, minus ignored senders."""
-    if not config.ignore_sources_from_asns:
-        agg = view.aggregates()
-        return agg.src_ips, agg.src_ip_packets
-    flows = view.flows
-    ignored = np.isin(
-        flows.sender_asn, np.fromiter(config.ignore_sources_from_asns, dtype=np.int32)
+    if config is None:
+        config = PipelineConfig()
+    accumulator = accumulate_views(
+        views,
+        ignore_sources_from_asns=config.ignore_sources_from_asns,
+        chunk_size=chunk_size,
     )
-    kept = flows.filter(~ignored)
-    src_ips, (pkts,) = aggregate_sums(kept.src_ip.astype(np.int64), kept.packets)
-    return src_ips, pkts
+    return run_pipeline_accumulated(accumulator, routing, config, special)
 
 
-def _merge_keyed(
-    parts: list[tuple[np.ndarray, ...]],
-) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
-    """Merge (key, value...) column groups by summing per key."""
-    keys = np.concatenate([p[0] for p in parts])
-    num_values = len(parts[0]) - 1
-    stacked = [
-        np.concatenate([p[i + 1] for p in parts]) for i in range(num_values)
-    ]
-    unique_keys, inverse = np.unique(keys, return_inverse=True)
-    sums = tuple(
-        np.bincount(inverse, weights=column, minlength=len(unique_keys))
-        for column in stacked
-    )
-    return unique_keys, sums
-
-
-def _classify(
-    pooled: _PooledObservations,
+def run_pipeline_accumulated(
+    accumulator: PrefixAccumulator,
     routing: RoutingTable,
-    special: SpecialPurposeRegistry,
-    config: PipelineConfig,
+    config: PipelineConfig | None = None,
+    special: SpecialPurposeRegistry = SPECIAL_PURPOSE_REGISTRY,
 ) -> PipelineResult:
-    # ---- per-IP survival -----------------------------------------------
-    has_tcp = pooled.ip_tcp_pkts_est > 0
-    with np.errstate(divide="ignore", invalid="ignore"):
-        avg_size = np.where(
-            has_tcp, pooled.ip_tcp_bytes_est / np.maximum(pooled.ip_tcp_pkts_est, 1), np.inf
+    """Classify from an already-populated accumulator.
+
+    This is the online/federation entry: the accumulator may be the
+    merge of per-day partials or of other operators' contributions.
+    """
+    if config is None:
+        config = PipelineConfig()
+    if accumulator.is_empty():
+        raise ValueError("need at least one vantage-day view")
+    if accumulator.ignore_sources_from_asns != config.ignore_sources_from_asns:
+        raise ValueError(
+            "accumulator was built with a different ignored-sender set "
+            "than the pipeline config"
         )
-    ip_size_ok = avg_size <= config.ip_size_threshold
-
-    # A block's sources are forgiven entirely when their pooled sampled
-    # packets stay within the pooled tolerance (spoofed-noise immunity).
-    blocks_with_real_sources = pooled.src_blocks[pooled.src_block_excess > 0]
-    ip_is_source = np.isin(pooled.dst_ips, pooled.src_ips) & np.isin(
-        pooled.dst_ips >> 8, blocks_with_real_sources
-    )
-
-    # Per-IP evidence: an address *survives* when its TCP looks like
-    # IBR and it never sources; it *fails* when it shows payload-
-    # bearing TCP or sources traffic.  UDP-only addresses carry no TCP
-    # evidence either way and stay neutral.
-    survives = has_tcp & ip_size_ok & ~ip_is_source
-    fails = (has_tcp & ~ip_size_ok) | ip_is_source
-
-    ip_blocks = pooled.dst_ips >> 8
-    blocks = np.unique(ip_blocks)
-    position = np.searchsorted(blocks, ip_blocks)
-    num_blocks = len(blocks)
-
-    def per_block_any(mask: np.ndarray) -> np.ndarray:
-        out = np.zeros(num_blocks, dtype=bool)
-        np.logical_or.at(out, position, mask)
-        return out
-
-    def per_block_sum(values: np.ndarray) -> np.ndarray:
-        return np.bincount(position, weights=values, minlength=num_blocks)
-
-    # ---- block-level size fingerprint (steps 1-2) ------------------------
-    block_tcp_pkts = per_block_sum(pooled.ip_tcp_pkts_est)
-    block_tcp_bytes = per_block_sum(pooled.ip_tcp_bytes_est)
-    block_any_tcp = block_tcp_pkts > 0
-    with np.errstate(divide="ignore", invalid="ignore"):
-        block_avg = np.where(
-            block_any_tcp, block_tcp_bytes / np.maximum(block_tcp_pkts, 1), np.inf
-        )
-    block_size_ok = block_avg <= config.avg_size_threshold
-
-    block_any_survivor = per_block_any(survives)
-    block_any_failed = per_block_any(fails)
-
-    block_has_source = np.isin(blocks, blocks_with_real_sources)
-
-    # ---- block-level filters (steps 4-6) ------------------------------
-    not_special = ~special.special_mask(blocks)
-    routed = routing.routed_mask(blocks)
-    volume_est = np.zeros(num_blocks)
-    vol_pos = np.searchsorted(pooled.vol_blocks, blocks)
-    vol_pos = np.clip(vol_pos, 0, max(len(pooled.vol_blocks) - 1, 0))
-    if len(pooled.vol_blocks):
-        hit = pooled.vol_blocks[vol_pos] == blocks
-        volume_est[hit] = pooled.vol_median_est[vol_pos[hit]]
-    volume_ok = volume_est <= config.volume_threshold_pkts_day
-
-    # ---- funnel (Figure 2) -------------------------------------------
-    step_tcp = block_any_tcp
-    step_avg = step_tcp & block_size_ok
-    step_source = step_avg & block_any_survivor
-    step_special = step_source & not_special
-    step_routed = step_special & routed
-    step_volume = step_routed & volume_ok
-    funnel = FunnelCounts(
-        observed=num_blocks,
-        after_tcp=int(step_tcp.sum()),
-        after_avg_size=int(step_avg.sum()),
-        after_source_unseen=int(step_source.sum()),
-        after_special=int(step_special.sum()),
-        after_routed=int(step_routed.sum()),
-        after_volume=int(step_volume.sum()),
-    )
-
-    # ---- classification (step 7) --------------------------------------
-    candidates = step_volume
-    dark = candidates & ~block_has_source & ~block_any_failed
-    gray = candidates & block_has_source
-    unclean = candidates & ~block_has_source & block_any_failed
-
-    return PipelineResult(
-        dark_blocks=blocks[dark],
-        unclean_blocks=blocks[unclean],
-        gray_blocks=blocks[gray],
-        funnel=funnel,
-        volume_filtered_blocks=blocks[step_routed & ~volume_ok],
-        applied_tolerances=pooled.applied_tolerances,
-    )
+    finalized = accumulator.finalize(config.spoof_tolerance)
+    return StageEngine().run(finalized, routing, special, config)

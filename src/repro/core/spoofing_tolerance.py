@@ -10,9 +10,14 @@ per vantage-day.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.vantage.sampling import VantageDayView
+
+if TYPE_CHECKING:
+    from repro.core.accum import PrefixAccumulator
 
 DEFAULT_QUANTILE = 0.9999
 
@@ -70,3 +75,29 @@ def tolerances_for_views(
         vantage: float(np.quantile(counts, quantile, method="higher"))
         for vantage, counts in pooled.items()
     }
+
+
+def tolerances_from_accumulator(
+    accumulator: "PrefixAccumulator",
+    unrouted_blocks: np.ndarray,
+    quantile: float = DEFAULT_QUANTILE,
+) -> dict[str, float]:
+    """Per-vantage window tolerances from streamed aggregates.
+
+    Identical to :func:`tolerances_for_views` on the same traffic: the
+    accumulator keeps raw (unfiltered) per-source-/24 packet sums per
+    vantage, which is exactly the pooled quantity the batch path
+    computes from each view's aggregates.
+    """
+    unrouted = np.unique(np.asarray(unrouted_blocks, dtype=np.int64))
+    if len(unrouted) == 0:
+        raise ValueError("need unrouted baseline blocks")
+    tolerances: dict[str, float] = {}
+    for vantage, (blocks, pkts) in accumulator.vantage_source_blocks().items():
+        counts = np.zeros(len(unrouted))
+        mask = np.isin(blocks, unrouted)
+        counts[np.searchsorted(unrouted, blocks[mask])] = pkts[mask]
+        tolerances[vantage] = float(
+            np.quantile(counts, quantile, method="higher")
+        )
+    return tolerances

@@ -22,6 +22,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -222,14 +223,53 @@ def _rows_to_table(rows: list[tuple[int, ...]]) -> FlowTable:
     )
 
 
+def iter_flows_csv(
+    path: str | Path, chunk_rows: int = 65536
+) -> Iterator[FlowTable]:
+    """Stream a flow CSV as bounded-size :class:`FlowTable` chunks.
+
+    The streaming counterpart of :func:`read_flows_csv` — strict (a
+    malformed row raises with the file name and line number), but only
+    ``chunk_rows`` parsed rows are ever held at once, so a multi-GB
+    export can feed a :class:`repro.core.accum.PrefixAccumulator`
+    without loading the day into memory.  Chunks concatenate to exactly
+    the one-shot read.
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    expected = len(FLOW_COLUMNS)
+    pending: list[tuple[int, ...]] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != list(FLOW_COLUMNS):
+            raise ValueError(f"unexpected flow CSV header: {header}")
+        for row in reader:
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            lineno = reader.line_num
+            try:
+                if len(row) != expected:
+                    raise ValueError(
+                        f"expected {expected} fields, got {len(row)}"
+                    )
+                pending.append(tuple(int(v) for v in row))
+            except ValueError as error:
+                raise ValueError(f"{path}:{lineno}: {error}") from None
+            if len(pending) >= chunk_rows:
+                yield _rows_to_table(pending)
+                pending = []
+    if pending:
+        yield _rows_to_table(pending)
+
+
 def read_flows_csv(path: str | Path) -> FlowTable:
     """Read a flow table written by :func:`write_flows_csv`.
 
     Malformed rows raise with the file name and line number; trailing
     blank lines are tolerated.
     """
-    rows, _ = _parse_flow_rows(path, strict=True)
-    return _rows_to_table(rows)
+    return FlowTable.concat(iter_flows_csv(path))
 
 
 def read_flows_csv_lenient(

@@ -12,8 +12,8 @@ for evaluation purposes only; the inference code never reads them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -45,7 +45,9 @@ class FlowTable:
     bytes: np.ndarray
     sender_asn: np.ndarray
     dst_asn: np.ndarray
-    spoofed: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Ground-truth flag; ``None`` is the "nothing spoofed" sentinel and
+    #: materialises to an all-False array in ``__post_init__``.
+    spoofed: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if self.spoofed is None:
@@ -89,6 +91,33 @@ class FlowTable:
 
     def __len__(self) -> int:
         return len(self.src_ip)
+
+    # -- chunked ingestion -------------------------------------------
+
+    def iter_chunks(self, chunk_rows: int | None) -> Iterator["FlowTable"]:
+        """Yield the table as bounded-size row chunks, zero-copy.
+
+        Chunks are numpy slices of the parent columns — no row is ever
+        copied, so a consumer that aggregates chunk-by-chunk holds at
+        most O(chunk) fresh memory.  ``chunk_rows=None`` yields the
+        whole table as a single chunk; an empty table yields nothing.
+        ``FlowTable.concat(t.iter_chunks(n))`` round-trips for any n.
+        """
+        if len(self) == 0:
+            return
+        if chunk_rows is None:
+            yield self
+            return
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        for start in range(0, len(self), chunk_rows):
+            stop = start + chunk_rows
+            yield FlowTable(
+                **{
+                    name: getattr(self, name)[start:stop]
+                    for name in FLOW_COLUMNS
+                }
+            )
 
     # -- row selection ----------------------------------------------------
 

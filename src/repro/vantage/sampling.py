@@ -76,6 +76,15 @@ class VantageDayView:
             self._aggregates = compute_block_aggregates(self.flows)
         return self._aggregates
 
+    def iter_chunks(self, chunk_rows: int | None = None):
+        """The view's flows as zero-copy bounded-size chunks.
+
+        The streaming-ingestion entry point: feed each chunk to a
+        :class:`repro.core.accum.PrefixAccumulator` with this view's
+        vantage, day and sampling factor attached.
+        """
+        return self.flows.iter_chunks(chunk_rows)
+
     def decimated(self, factor: int, rng: np.random.Generator) -> "VantageDayView":
         """A further sub-sampled copy (the Figure-10 operation)."""
         return VantageDayView(

@@ -1,0 +1,229 @@
+"""Streaming-equivalence properties of the prefix accumulator.
+
+The contract of the streaming refactor: folding views into a
+:class:`~repro.core.accum.PrefixAccumulator` chunk by chunk — at *any*
+chunk size, in any merge grouping, batch or incremental — classifies
+bit-identically to the one-shot batch pipeline.  These tests pin that
+contract on a seeded multi-day world, under fault injection, and with
+the per-vantage spoofing tolerance engaged.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accum import PrefixAccumulator, accumulate_views
+from repro.core.metatelescope import MetaTelescope
+from repro.core.pipeline import (
+    PipelineConfig,
+    run_pipeline,
+    run_pipeline_accumulated,
+    run_pipeline_chunked,
+)
+from repro.faults import FaultPlan, standard_injector
+from repro.vantage.sampling import VantageDayView
+
+from test_pipeline_properties import ROUTING, flow_tables
+
+
+def assert_identical(a, b):
+    """Two pipeline results agree on every classification output."""
+    np.testing.assert_array_equal(a.dark_blocks, b.dark_blocks)
+    np.testing.assert_array_equal(a.unclean_blocks, b.unclean_blocks)
+    np.testing.assert_array_equal(a.gray_blocks, b.gray_blocks)
+    np.testing.assert_array_equal(
+        a.volume_filtered_blocks, b.volume_filtered_blocks
+    )
+    assert a.funnel == b.funnel
+    assert a.applied_tolerances == b.applied_tolerances
+
+
+@pytest.fixture(scope="module")
+def multi_day(observatory):
+    """Three days of every IXP's views over the micro world."""
+    return observatory.all_ixp_views(num_days=3)
+
+
+@pytest.fixture(scope="module")
+def telescope(world):
+    return MetaTelescope(
+        collector=world.collector,
+        unrouted_baseline=world.unrouted_baseline_blocks,
+        config=PipelineConfig(
+            avg_size_threshold=world.config.avg_size_threshold,
+            volume_threshold_pkts_day=world.config.volume_threshold_pkts_day,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def routing(telescope, multi_day):
+    return telescope.routing_for_days([view.day for view in multi_day])
+
+
+class TestChunkedEqualsBatch:
+    @pytest.mark.parametrize("chunk_size", [1, 97, None])
+    def test_world_classification_identical(
+        self, multi_day, routing, telescope, chunk_size
+    ):
+        batch = run_pipeline(multi_day, routing, telescope.config)
+        chunked = run_pipeline_chunked(
+            multi_day, routing, telescope.config, chunk_size=chunk_size
+        )
+        assert_identical(batch, chunked)
+        assert batch.num_dark() > 0  # a vacuous world proves nothing
+
+    def test_spoofing_tolerance_identical(self, multi_day, telescope):
+        batch = telescope.infer(
+            multi_day, use_spoofing_tolerance=True, refine=False
+        )
+        chunked = telescope.infer(
+            multi_day, use_spoofing_tolerance=True, refine=False, chunk_size=97
+        )
+        assert_identical(batch.pipeline, chunked.pipeline)
+        assert any(
+            tolerance > 0
+            for tolerance in batch.pipeline.applied_tolerances.values()
+        ), "tolerance never engaged; the equivalence was not exercised"
+
+    def test_identical_under_fault_injection(self, multi_day, routing, telescope):
+        plan = FaultPlan(seed=3)
+        for name in ("truncate", "duplicate", "corrupt", "missample"):
+            plan.add(standard_injector(name, days=frozenset({1})))
+        faulted = []
+        for day in range(3):
+            day_views = [view for view in multi_day if view.day == day]
+            faulted.extend(plan.apply(day, day_views).views)
+        batch = run_pipeline(faulted, routing, telescope.config)
+        chunked = run_pipeline_chunked(
+            faulted, routing, telescope.config, chunk_size=61
+        )
+        assert_identical(batch, chunked)
+
+    def test_empty_view_still_counts(self, multi_day, routing, telescope):
+        """An empty view must claim a tolerance slot and a volume day."""
+        from repro.traffic.flows import FlowTable
+
+        silent = VantageDayView(
+            vantage="SILENT", day=9, flows=FlowTable.empty()
+        )
+        batch = run_pipeline(multi_day + [silent], routing, telescope.config)
+        chunked = run_pipeline_chunked(
+            multi_day + [silent], routing, telescope.config, chunk_size=50
+        )
+        assert "SILENT" in batch.applied_tolerances
+        assert_identical(batch, chunked)
+
+
+class TestMerge:
+    def test_merge_grouping_invariant(self, multi_day, routing, telescope):
+        """Any associativity grouping of partials classifies the same."""
+        partials = [accumulate_views([view], chunk_size=53) for view in multi_day]
+
+        left = partials[0].copy()
+        for partial in partials[1:]:
+            left.merge(partial)
+
+        right = partials[-1].copy()
+        for partial in reversed(partials[:-1]):
+            right.merge(partial)
+
+        mid = len(partials) // 2
+        first, second = partials[0].copy(), partials[mid].copy()
+        for partial in partials[1:mid]:
+            first.merge(partial)
+        for partial in partials[mid + 1 :]:
+            second.merge(partial)
+        paired = first.merge(second)
+
+        results = [
+            run_pipeline_accumulated(acc, routing, telescope.config)
+            for acc in (left, right, paired)
+        ]
+        assert_identical(results[0], results[1])
+        assert_identical(results[0], results[2])
+
+    def test_merge_leaves_other_untouched(self, multi_day):
+        a = accumulate_views(multi_day[:2])
+        b = accumulate_views(multi_day[2:4])
+        before = b.rows_ingested()
+        a.merge(b)
+        assert b.rows_ingested() == before
+        assert a.rows_ingested() == sum(len(v.flows) for v in multi_day[:4])
+
+    def test_mismatched_ignore_sets_refuse_to_merge(self):
+        with pytest.raises(ValueError, match="ignored-sender"):
+            PrefixAccumulator().merge(
+                PrefixAccumulator(ignore_sources_from_asns=frozenset({7}))
+            )
+
+    def test_config_ignore_set_mismatch_rejected(self, multi_day, routing):
+        accumulator = accumulate_views(multi_day)
+        with pytest.raises(ValueError, match="ignore"):
+            run_pipeline_accumulated(
+                accumulator,
+                routing,
+                PipelineConfig(ignore_sources_from_asns=frozenset({42})),
+            )
+
+
+class TestProperties:
+    @given(flow_tables(), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_any_chunk_size_matches_batch(self, flows, chunk_size):
+        view = VantageDayView(vantage="V", day=0, flows=flows)
+        batch = run_pipeline([view], ROUTING, PipelineConfig())
+        chunked = run_pipeline_chunked(
+            [view], ROUTING, PipelineConfig(), chunk_size=chunk_size
+        )
+        assert_identical(batch, chunked)
+
+    @given(flow_tables(), flow_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_update_commutes_with_merge(self, flows_a, flows_b):
+        """update(a); update(b) == merge of two single-view partials."""
+        views = [
+            VantageDayView(vantage="A", day=0, flows=flows_a),
+            VantageDayView(vantage="B", day=1, flows=flows_b),
+        ]
+        together = accumulate_views(views)
+        merged = accumulate_views(views[:1]).merge(accumulate_views(views[1:]))
+        assert_identical(
+            run_pipeline_accumulated(together, ROUTING),
+            run_pipeline_accumulated(merged, ROUTING),
+        )
+
+
+class TestAccumulatorState:
+    def test_introspection(self, multi_day):
+        accumulator = accumulate_views(multi_day)
+        assert accumulator.days() == [0, 1, 2]
+        assert set(accumulator.vantages()) == {
+            view.vantage for view in multi_day
+        }
+        assert not accumulator.is_empty()
+        assert accumulator.rows_ingested() == sum(
+            len(view.flows) for view in multi_day
+        )
+        assert len(accumulator.observed_blocks()) > 0
+
+    def test_finalize_does_not_consume(self, multi_day, routing, telescope):
+        accumulator = accumulate_views(multi_day[:3])
+        first = run_pipeline_accumulated(accumulator, routing, telescope.config)
+        again = run_pipeline_accumulated(accumulator, routing, telescope.config)
+        assert_identical(first, again)
+        accumulator.update_view(multi_day[3])  # still ingestible afterwards
+        assert accumulator.rows_ingested() == sum(
+            len(view.flows) for view in multi_day[:4]
+        )
+
+    def test_empty_accumulator_rejected(self, routing):
+        with pytest.raises(ValueError, match="at least one"):
+            run_pipeline_accumulated(PrefixAccumulator(), routing)
+
+    def test_copy_is_independent(self, multi_day):
+        original = accumulate_views(multi_day[:2])
+        duplicate = original.copy()
+        duplicate.update_view(multi_day[2])
+        assert original.rows_ingested() != duplicate.rows_ingested()

@@ -266,3 +266,71 @@ class TestFromResult:
             joint.false_positive_rate_of_inferred()
             <= solo.false_positive_rate_of_inferred() + 0.02
         )
+
+
+class TestPartialAccumulators:
+    """Members may send mergeable partial aggregates instead of reports."""
+
+    def _telescope(self, world):
+        from repro.core import MetaTelescope
+        from repro.core.pipeline import PipelineConfig
+
+        return MetaTelescope(
+            collector=world.collector,
+            config=PipelineConfig(
+                avg_size_threshold=world.config.avg_size_threshold,
+                volume_threshold_pkts_day=world.config.volume_threshold_pkts_day,
+            ),
+        )
+
+    def test_partials_vote_like_finished_reports(self, world, observatory):
+        from repro.core.accum import accumulate_views
+
+        telescope = self._telescope(world)
+        codes = ("CE1", "NA1")
+        reports, partials = [], {}
+        for code in codes:
+            views = observatory.ixp_views(code, num_days=2)
+            # One partial accumulator per day, as a member node would
+            # stream them; the coordinator merges and classifies.
+            partials[code] = [
+                accumulate_views([view], chunk_size=97) for view in views
+            ]
+            reports.append(
+                OperatorReport.from_accumulator(
+                    code, accumulate_views(views), telescope
+                )
+            )
+        via_reports = federate(reports, min_vote_share=0.5)
+        via_partials = federate(
+            [], partials=partials, coordinator=telescope, min_vote_share=0.5
+        )
+        np.testing.assert_array_equal(
+            via_reports.prefixes, via_partials.prefixes
+        )
+
+    def test_partials_require_coordinator(self, world, observatory):
+        from repro.core.accum import accumulate_views
+
+        views = observatory.ixp_views("CE1", num_days=1)
+        with pytest.raises(ValueError, match="coordinator"):
+            federate([], partials={"CE1": [accumulate_views(views)]})
+
+    def test_empty_partial_list_rejected(self, world):
+        telescope = self._telescope(world)
+        with pytest.raises(ValueError, match="no partials"):
+            federate([], partials={"CE1": []}, coordinator=telescope)
+
+    def test_from_accumulator_observed_blocks(self, world, observatory):
+        from repro.core.accum import accumulate_views
+
+        telescope = self._telescope(world)
+        views = observatory.ixp_views("CE1", num_days=1)
+        accumulator = accumulate_views(views)
+        member = OperatorReport.from_accumulator("CE1", accumulator, telescope)
+        np.testing.assert_array_equal(
+            member.observed_blocks, accumulator.observed_blocks()
+        )
+        # dark ⊆ observed: the report passes its own validation.
+        validation = validate_reports([member])[0]
+        assert not validation.excluded()
