@@ -1,11 +1,15 @@
-"""Batch vs chunked pipeline benchmark (machine-readable).
+"""Batch vs chunked vs parallel pipeline benchmark (machine-readable).
 
-Times the full seven-step inference twice per world size — once with
-whole-view aggregation (``chunk_size=None``) and once streaming through
-the :class:`~repro.core.accum.PrefixAccumulator` in bounded chunks —
-and records wall time, tracemalloc peak memory of the aggregation
-phase, and whether the classifications are identical (they must be:
-the chunked path is bit-identical by construction).
+Times the full seven-step inference per world size — with whole-view
+aggregation (``chunk_size=None``), streaming through the
+:class:`~repro.core.accum.PrefixAccumulator` in bounded chunks, and
+fanning the aggregation across a process pool at each worker count in
+``--workers-list`` — and records wall time, tracemalloc peak memory of
+the aggregation phase, per-worker busy time, IPC overhead, merge time,
+and whether the classifications are identical (they must be: chunked
+and parallel paths are bit-identical by construction).  The record
+carries the ``cpus`` the host actually granted, so a speedup read off
+the artifact is always interpreted against real parallelism headroom.
 
 Results land in ``benchmarks/output/BENCH_pipeline.json`` (override
 with ``--output``).  Run standalone::
@@ -29,6 +33,7 @@ import numpy as np
 
 from repro.core.accum import PrefixAccumulator
 from repro.core.metatelescope import MetaTelescope
+from repro.core.parallel import default_workers, parallel_accumulate_views
 from repro.core.pipeline import (
     PipelineConfig,
     accumulate_views,
@@ -98,6 +103,45 @@ def _ingest_peaks(view, chunk_rows: int) -> dict:
     }
 
 
+def _worker_scaling(
+    views, routing, config, special, workers_list, baseline
+) -> list[dict]:
+    """Aggregation fan-out at each worker count, vs the serial result.
+
+    Speedups are measured against this run's own ``workers=1`` wall
+    time (first entry of ``workers_list``), not the batch timing above,
+    so pool and IPC overhead are attributed honestly.
+    """
+    records = []
+    serial_seconds = None
+    for workers in workers_list:
+        started = time.perf_counter()
+        accumulator, stats = parallel_accumulate_views(views, workers=workers)
+        agg_seconds = time.perf_counter() - started
+        result = run_pipeline_accumulated(accumulator, routing, config, special)
+        total_seconds = time.perf_counter() - started
+        if serial_seconds is None:
+            serial_seconds = agg_seconds
+        records.append(
+            {
+                "workers": workers,
+                "mode": stats.mode,
+                "agg_seconds": agg_seconds,
+                "total_seconds": total_seconds,
+                "agg_speedup": serial_seconds / agg_seconds,
+                "worker_busy_s": [
+                    report.fold_seconds for report in stats.reports
+                ],
+                "balance": stats.balance(),
+                "ipc_overhead_s": stats.ipc_seconds(),
+                "merge_s": stats.merge_seconds,
+                "num_dark": int(result.num_dark()),
+                "identical": _identical(baseline, result),
+            }
+        )
+    return records
+
+
 def _identical(a, b) -> bool:
     return (
         np.array_equal(a.dark_blocks, b.dark_blocks)
@@ -107,7 +151,13 @@ def _identical(a, b) -> bool:
     )
 
 
-def bench_world(scale: str, seed: int, days: int, chunk_size: int) -> dict:
+def bench_world(
+    scale: str,
+    seed: int,
+    days: int,
+    chunk_size: int,
+    workers_list: list[int],
+) -> dict:
     """Benchmark one world size; returns its JSON record."""
     world = _SCALES[scale](seed)
     observatory = Observatory(world)
@@ -130,6 +180,10 @@ def bench_world(scale: str, seed: int, days: int, chunk_size: int) -> dict:
     )
     largest = max(views, key=lambda view: len(view.flows))
     ingest = _ingest_peaks(largest, chunk_size)
+    scaling = _worker_scaling(
+        views, routing, telescope.config, telescope.special,
+        workers_list, batch,
+    )
     return {
         "scale": scale,
         "days": days,
@@ -145,6 +199,7 @@ def bench_world(scale: str, seed: int, days: int, chunk_size: int) -> dict:
             "chunk_size": chunk_size,
         },
         "ingest_largest_view": ingest,
+        "worker_scaling": scaling,
     }
 
 
@@ -157,12 +212,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--days", type=int, default=2)
     parser.add_argument("--chunk-size", type=int, default=4096)
+    parser.add_argument(
+        "--workers-list", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="worker counts for the fan-out scaling section "
+        "(first entry is the speedup baseline)",
+    )
     parser.add_argument("--output", type=pathlib.Path, default=_OUTPUT)
     args = parser.parse_args(argv)
 
     records = []
     for scale in args.scales:
-        record = bench_world(scale, args.seed, args.days, args.chunk_size)
+        record = bench_world(
+            scale, args.seed, args.days, args.chunk_size, args.workers_list
+        )
         records.append(record)
         print(
             f"{scale}: {record['rows']:,} rows, "
@@ -180,11 +242,27 @@ def main(argv: list[str] | None = None) -> int:
         )
         if not record["identical"]:
             raise SystemExit(f"chunked != batch on scale {scale}")
+        for row in record["worker_scaling"]:
+            print(
+                f"  workers={row['workers']} ({row['mode']}): agg "
+                f"{row['agg_seconds']:.2f}s (x{row['agg_speedup']:.2f}), "
+                f"ipc {row['ipc_overhead_s'] * 1e3:.0f}ms, merge "
+                f"{row['merge_s'] * 1e3:.0f}ms, balance "
+                f"{row['balance']:.2f}, identical={row['identical']}"
+            )
+            if not row["identical"]:
+                raise SystemExit(
+                    f"parallel != serial on scale {scale} at "
+                    f"workers={row['workers']}: {row['num_dark']} vs "
+                    f"{record['num_dark']} dark blocks"
+                )
 
     payload = {
         "benchmark": "pipeline-batch-vs-chunked",
         "seed": args.seed,
         "chunk_size": args.chunk_size,
+        "cpus": default_workers(),
+        "workers_list": args.workers_list,
         "worlds": records,
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)

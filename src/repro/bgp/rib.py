@@ -17,7 +17,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.net.ipv4 import Prefix
-from repro.net.trie import PrefixTrie
+from repro.net.trie import PrefixTrie, interval_covered_mask
 
 DUMPS_PER_DAY = 12
 
@@ -40,6 +40,11 @@ class RoutingTable:
         self._trie: PrefixTrie[int] = PrefixTrie()
         for announcement in self._announcements:
             self._trie.insert(announcement.prefix, announcement.origin_asn)
+        # Sorted-interval table for routed_mask, built lazily on first
+        # probe and pinned here: the table is immutable after __init__,
+        # so coordinators that keep one RoutingTable across many
+        # inference runs (online windows, federation) never rebuild it.
+        self._interval_cache: tuple[np.ndarray, np.ndarray] | None = None
 
     def __len__(self) -> int:
         return len(self._announcements)
@@ -68,7 +73,10 @@ class RoutingTable:
 
     def routed_mask(self, blocks: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`is_routed_block`."""
-        return self._trie.covered_mask(blocks)
+        if self._interval_cache is None:
+            self._interval_cache = self._trie.block_intervals()
+        starts, ends = self._interval_cache
+        return interval_covered_mask(starts, ends, blocks)
 
 
 @dataclass(frozen=True, slots=True)

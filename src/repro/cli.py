@@ -14,10 +14,13 @@ Commands:
                   plan and print the degraded-operation log.
 
 All commands accept ``--scale {micro,small,paper}``, ``--seed``,
-``--days``, ``--vantage`` (an IXP code or ``All``) and ``--chunk-size``
-(rows per ingestion chunk; classification is identical at any value —
-the flag only bounds aggregation memory).  Commands that run the
-pipeline print a per-stage funnel timing table.
+``--days``, ``--vantage`` (an IXP code or ``All``), ``--chunk-size``
+(rows per ingestion chunk, or ``auto``; classification is identical at
+any value — the flag only bounds aggregation memory) and ``--workers``
+(process-pool fan-out of the aggregation; ``0`` = one per CPU; any
+worker count classifies bit-identically).  Commands that run the
+pipeline print a per-stage funnel timing table; parallel runs prepend
+per-worker, IPC and merge rows.
 """
 
 from __future__ import annotations
@@ -74,6 +77,7 @@ def _infer(world, observatory, telescope, args: argparse.Namespace):
         views,
         use_spoofing_tolerance=not args.no_tolerance,
         chunk_size=args.chunk_size,
+        workers=args.workers,
     )
 
 
@@ -199,6 +203,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         use_spoofing_tolerance=not args.no_tolerance,
         policy=args.policy,
         chunk_size=args.chunk_size,
+        workers=args.workers,
     )
     rows = []
     events = []
@@ -240,6 +245,17 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chunk_size(value: str) -> int | str:
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -266,9 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="disable the spoofing tolerance",
         )
         p.add_argument(
-            "--chunk-size", type=int, default=None,
-            help="rows per ingestion chunk (bounds aggregation memory; "
-            "classification is identical at any value)",
+            "--chunk-size", type=_chunk_size, default=None,
+            help="rows per ingestion chunk, or 'auto' (bounds aggregation "
+            "memory; classification is identical at any value)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="process-pool workers for the aggregation fan-out "
+            "(default: serial; 0 = one per CPU; classification is "
+            "bit-identical at any worker count)",
         )
         if name == "infer":
             p.add_argument("--output", default="meta-telescope-prefixes.txt")

@@ -2,6 +2,8 @@
 
 * :mod:`repro.core.thresholds` — packet-size fingerprint tuning (Table 3);
 * :mod:`repro.core.accum` — mergeable per-/24 streaming aggregation;
+* :mod:`repro.core.parallel` — process-pool fan-out with bit-identical
+  tree merge;
 * :mod:`repro.core.stages` — the funnel as explicit stage objects;
 * :mod:`repro.core.pipeline` — the seven-step inference pipeline (Figure 2);
 * :mod:`repro.core.spoofing_tolerance` — the unrouted-space tolerance (§7.2);
@@ -13,9 +15,18 @@
 """
 
 from repro.core.accum import (
+    AUTO_CHUNK,
     FinalizedAggregates,
     PrefixAccumulator,
     accumulate_views,
+    adaptive_chunk_rows,
+)
+from repro.core.parallel import (
+    ParallelStats,
+    WorkerReport,
+    parallel_accumulate_views,
+    shard_views,
+    tree_merge,
 )
 from repro.core.pipeline import (
     FunnelCounts,
@@ -56,9 +67,16 @@ from repro.core.metatelescope import MetaTelescope, MetaTelescopeResult
 from repro.core.evaluation import telescope_coverage, confusion_against_truth
 
 __all__ = [
+    "AUTO_CHUNK",
     "FinalizedAggregates",
     "PrefixAccumulator",
     "accumulate_views",
+    "adaptive_chunk_rows",
+    "ParallelStats",
+    "WorkerReport",
+    "parallel_accumulate_views",
+    "shard_views",
+    "tree_merge",
     "FunnelCounts",
     "PipelineConfig",
     "PipelineResult",

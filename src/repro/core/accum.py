@@ -27,13 +27,21 @@ path classifies **bit-identically** to the batch path — at chunk size
 
 Internally each keyed column family is a small log-structured store:
 chunk aggregates append as sorted *parts* and are compacted (grouped
-and summed) every :data:`_COMPACT_EVERY` parts, so ``update`` stays
-O(chunk) amortised and memory stays O(distinct keys), not O(rows).
+and summed) every ``compact_every`` parts (a constructor knob,
+default :data:`DEFAULT_COMPACT_EVERY`), so ``update`` stays O(chunk)
+amortised and memory stays O(distinct keys), not O(rows).
+
+For IPC (the parallel engine, federation members) an accumulator has a
+compact columnar wire form: :meth:`PrefixAccumulator.to_state` compacts
+every family to a single part and returns plain numpy arrays keyed by
+stable names; :meth:`PrefixAccumulator.from_state` rebuilds an
+equivalent accumulator.  The wire form never carries log-structured
+parts, so shipping a partial is as cheap as its distinct keys.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from typing import Any, Iterator, Mapping
 
 import numpy as np
 
@@ -41,22 +49,73 @@ from repro.traffic.flows import FlowTable, aggregate_sums
 from repro.traffic.packets import PROTO_TCP
 from repro.vantage.sampling import VantageDayView
 
-#: Pending parts a :class:`_KeyedSums` tolerates before compacting.
-_COMPACT_EVERY = 16
+#: Default pending parts a :class:`_KeyedSums` tolerates before compacting.
+DEFAULT_COMPACT_EVERY = 16
+
+#: Sentinel chunk size: derive a per-view chunk size from the view's
+#: row count (see :func:`adaptive_chunk_rows`).
+AUTO_CHUNK = "auto"
+
+#: Wire-form version emitted by :meth:`PrefixAccumulator.to_state`.
+_STATE_VERSION = 1
 
 
 def _empty_keys() -> np.ndarray:
     return np.empty(0, dtype=np.int64)
 
 
+def adaptive_chunk_rows(
+    total_rows: int, target_chunks: int = 8, floor: int = 8192,
+    ceiling: int = 1 << 18,
+) -> int | None:
+    """Chunk size balancing bounded memory against part build-up.
+
+    Small views are ingested whole (``None``): chunking them buys no
+    memory headroom but piles up log-structured parts, which is exactly
+    the chunked-path peak-memory regression seen at fixed tiny chunk
+    sizes.  Large views are split into about ``target_chunks`` pieces,
+    clamped to ``[floor, ceiling]`` rows, so ingestion memory stays a
+    fraction of the view while each family stays a handful of parts.
+    """
+    if total_rows <= floor:
+        return None
+    return min(max(floor, -(-total_rows // target_chunks)), ceiling)
+
+
+def resolve_chunk_size(
+    chunk_size: int | str | None, total_rows: int
+) -> int | None:
+    """Resolve the public ``chunk_size`` knob for one view.
+
+    ``None`` ingests the view whole, an integer is used as-is, and
+    :data:`AUTO_CHUNK` (``"auto"``) picks :func:`adaptive_chunk_rows`.
+    """
+    if chunk_size is None:
+        return None
+    if chunk_size == AUTO_CHUNK:
+        return adaptive_chunk_rows(total_rows)
+    if isinstance(chunk_size, str):
+        raise ValueError(
+            f"chunk_size must be an int, None or {AUTO_CHUNK!r}; "
+            f"got {chunk_size!r}"
+        )
+    return chunk_size
+
+
 class _KeyedSums:
     """Mergeable sorted ``int64 key -> float64 sums`` column family."""
 
-    __slots__ = ("num_values", "_parts")
+    __slots__ = ("num_values", "compact_every", "_parts", "_normalized")
 
-    def __init__(self, num_values: int) -> None:
+    def __init__(
+        self, num_values: int, compact_every: int = DEFAULT_COMPACT_EVERY
+    ) -> None:
+        if compact_every < 2:
+            raise ValueError(f"compact_every must be >= 2: {compact_every}")
         self.num_values = num_values
+        self.compact_every = compact_every
         self._parts: list[tuple[np.ndarray, tuple[np.ndarray, ...]]] = []
+        self._normalized = True
 
     def add(self, keys: np.ndarray, *values: np.ndarray) -> None:
         """Append one keyed part (keys need not be unique or sorted)."""
@@ -70,22 +129,59 @@ class _KeyedSums:
         self._parts.append(
             (keys, tuple(np.asarray(v, dtype=np.float64) for v in values))
         )
-        if len(self._parts) >= _COMPACT_EVERY:
+        self._normalized = False
+        if len(self._parts) >= self.compact_every:
             self.compacted()
 
     def absorb(self, other: "_KeyedSums") -> None:
-        """Merge another family in (the other is left untouched)."""
+        """Merge another family in (the other keeps its logical state).
+
+        The other side is compacted first so at most one part crosses
+        over — absorbing a long chunk log would otherwise multiply the
+        pending-part memory on this side before the next compaction.
+        """
         if other.num_values != self.num_values:
             raise ValueError("cannot merge column families of different arity")
-        self._parts.extend(other._parts)
-        if len(self._parts) >= _COMPACT_EVERY:
+        keys, values = other.compacted()
+        if len(keys):
+            self._parts.append((keys, values))
+            self._normalized = False
+        if len(self._parts) >= self.compact_every:
             self.compacted()
 
     def copy(self) -> "_KeyedSums":
         """An independent copy (parts share immutable arrays)."""
-        duplicate = _KeyedSums(self.num_values)
+        duplicate = _KeyedSums(self.num_values, self.compact_every)
         duplicate._parts = list(self._parts)
+        duplicate._normalized = self._normalized
         return duplicate
+
+    def squash_pending(self) -> None:
+        """Collapse the pending parts without touching the base part.
+
+        Tiered compaction: parts after the first (fresh chunk
+        aggregates) are grouped and summed into one, so pending memory
+        dies with the view that produced it — at O(pending keys) cost,
+        not the O(total keys) a full :meth:`compacted` pays.  When the
+        squashed tier has grown to the base part's size it is promoted
+        (full compaction), keeping the total work amortised-logarithmic
+        instead of quadratic in the number of views.
+        """
+        if len(self._parts) <= 2:
+            return
+        keys = np.concatenate([part[0] for part in self._parts[1:]])
+        stacked = [
+            np.concatenate([part[1][i] for part in self._parts[1:]])
+            for i in range(self.num_values)
+        ]
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        sums = tuple(
+            np.bincount(inverse, weights=column, minlength=len(unique_keys))
+            for column in stacked
+        )
+        self._parts = [self._parts[0], (unique_keys, sums)]
+        if len(unique_keys) >= len(self._parts[0][0]):
+            self.compacted()
 
     def compacted(self) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
         """Group-by-sum all parts; returns (and keeps) the single part."""
@@ -93,6 +189,8 @@ class _KeyedSums:
             return _empty_keys(), tuple(
                 np.empty(0, dtype=np.float64) for _ in range(self.num_values)
             )
+        if self._normalized:
+            return self._parts[0]
         if len(self._parts) > 1:
             keys = np.concatenate([part[0] for part in self._parts])
             stacked = [
@@ -118,6 +216,7 @@ class _KeyedSums:
             elif not np.array_equal(unique_keys, keys):
                 order = np.argsort(keys)
                 self._parts = [(keys[order], tuple(c[order] for c in columns))]
+        self._normalized = True
         return self._parts[0]
 
 
@@ -174,18 +273,21 @@ class PrefixAccumulator:
     """Mergeable streaming per-/24 aggregation state."""
 
     def __init__(
-        self, ignore_sources_from_asns: frozenset[int] = frozenset()
+        self,
+        ignore_sources_from_asns: frozenset[int] = frozenset(),
+        compact_every: int = DEFAULT_COMPACT_EVERY,
     ) -> None:
         self.ignore_sources_from_asns = frozenset(ignore_sources_from_asns)
+        self.compact_every = compact_every
         self._ignored_asns = (
             np.fromiter(self.ignore_sources_from_asns, dtype=np.int32)
             if self.ignore_sources_from_asns
             else None
         )
         # dst IP -> (tcp pkts est, tcp bytes est, total pkts est)
-        self._dst_ip_sums = _KeyedSums(3)
+        self._dst_ip_sums = _KeyedSums(3, compact_every)
         # src IP -> sampled packets (ignored senders filtered out)
-        self._src_ip_sums = _KeyedSums(1)
+        self._src_ip_sums = _KeyedSums(1, compact_every)
         # vantage -> src /24 -> (filtered sampled pkts, raw sampled pkts)
         self._src_by_vantage: dict[str, _KeyedSums] = {}
         # day -> dst /24 -> estimated total packets
@@ -202,8 +304,10 @@ class PrefixAccumulator:
         window tolerance and a volume-matrix row for its day.
         """
         self._days_by_vantage.setdefault(vantage, set()).add(day)
-        self._src_by_vantage.setdefault(vantage, _KeyedSums(2))
-        self._volume_by_day.setdefault(day, _KeyedSums(1))
+        self._src_by_vantage.setdefault(
+            vantage, _KeyedSums(2, self.compact_every)
+        )
+        self._volume_by_day.setdefault(day, _KeyedSums(1, self.compact_every))
 
     def update(
         self,
@@ -232,17 +336,21 @@ class PrefixAccumulator:
             dst_ips, tcp_pkts * factor, tcp_bytes * factor, total_pkts * factor
         )
 
-        vol_blocks, (vol_pkts,) = aggregate_sums(chunk.dst_blocks(), packets)
+        # Re-group the per-IP sums by /24 instead of sorting the raw
+        # rows a second time: the unique-IP table is far smaller than
+        # the chunk, and integer sums regroup exactly.
+        vol_blocks, (vol_pkts,) = aggregate_sums(dst_ips >> 8, total_pkts)
         self._volume_by_day[day].add(vol_blocks, vol_pkts * factor)
 
-        raw_blocks, (raw_pkts,) = aggregate_sums(chunk.src_blocks(), packets)
         per_vantage = self._src_by_vantage[vantage]
         if self._ignored_asns is None:
             src_ips, (src_pkts,) = aggregate_sums(
                 chunk.src_ip.astype(np.int64), packets
             )
+            raw_blocks, (raw_pkts,) = aggregate_sums(src_ips >> 8, src_pkts)
             per_vantage.add(raw_blocks, raw_pkts, raw_pkts)
         else:
+            raw_blocks, (raw_pkts,) = aggregate_sums(chunk.src_blocks(), packets)
             kept = chunk.filter(~np.isin(chunk.sender_asn, self._ignored_asns))
             src_ips, (src_pkts,) = aggregate_sums(
                 kept.src_ip.astype(np.int64), kept.packets
@@ -253,17 +361,30 @@ class PrefixAccumulator:
         return self
 
     def update_view(
-        self, view: VantageDayView, chunk_size: int | None = None
+        self, view: VantageDayView, chunk_size: int | str | None = None
     ) -> "PrefixAccumulator":
-        """Fold a whole vantage-day view in, optionally chunk by chunk."""
+        """Fold a whole vantage-day view in, optionally chunk by chunk.
+
+        ``chunk_size`` may be an integer row count, ``None`` (whole
+        view) or :data:`AUTO_CHUNK` to derive an adaptive size from the
+        view's rows.  The view boundary is a natural compaction point:
+        the chunk log is squashed so pending parts never outlive the
+        view that produced them (without re-sorting the whole table).
+        """
         self.observe(view.vantage, view.day)
-        for chunk in view.iter_chunks(chunk_size):
+        resolved = resolve_chunk_size(chunk_size, len(view.flows))
+        for chunk in view.iter_chunks(resolved):
             self.update(
                 chunk,
                 vantage=view.vantage,
                 day=view.day,
                 sampling_factor=view.sampling_factor,
             )
+        if resolved is not None:
+            self._dst_ip_sums.squash_pending()
+            self._src_ip_sums.squash_pending()
+            self._src_by_vantage[view.vantage].squash_pending()
+            self._volume_by_day[view.day].squash_pending()
         return self
 
     # -- combination ---------------------------------------------------
@@ -285,23 +406,40 @@ class PrefixAccumulator:
         for vantage, theirs in other._src_by_vantage.items():
             mine = self._src_by_vantage.get(vantage)
             if mine is None:
-                self._src_by_vantage[vantage] = theirs.copy()
-            else:
-                mine.absorb(theirs)
+                mine = _KeyedSums(theirs.num_values, self.compact_every)
+                self._src_by_vantage[vantage] = mine
+            mine.absorb(theirs)
         for day, theirs in other._volume_by_day.items():
             mine = self._volume_by_day.get(day)
             if mine is None:
-                self._volume_by_day[day] = theirs.copy()
-            else:
-                mine.absorb(theirs)
+                mine = _KeyedSums(theirs.num_values, self.compact_every)
+                self._volume_by_day[day] = mine
+            mine.absorb(theirs)
         for vantage, days in other._days_by_vantage.items():
             self._days_by_vantage.setdefault(vantage, set()).update(days)
         self._rows_ingested += other._rows_ingested
         return self
 
+    def compact(self) -> "PrefixAccumulator":
+        """Collapse every column family to a single grouped part.
+
+        Called before merging partials on a coordinator and before
+        serialization so neither ships or carries a chunk log; safe (and
+        cheap) to call at any time.  Returns ``self``.
+        """
+        self._dst_ip_sums.compacted()
+        self._src_ip_sums.compacted()
+        for sums in self._src_by_vantage.values():
+            sums.compacted()
+        for sums in self._volume_by_day.values():
+            sums.compacted()
+        return self
+
     def copy(self) -> "PrefixAccumulator":
         """An independent copy safe to merge elsewhere."""
-        duplicate = PrefixAccumulator(self.ignore_sources_from_asns)
+        duplicate = PrefixAccumulator(
+            self.ignore_sources_from_asns, self.compact_every
+        )
         duplicate._dst_ip_sums = self._dst_ip_sums.copy()
         duplicate._src_ip_sums = self._src_ip_sums.copy()
         duplicate._src_by_vantage = {
@@ -315,6 +453,89 @@ class PrefixAccumulator:
         }
         duplicate._rows_ingested = self._rows_ingested
         return duplicate
+
+    # -- wire form -----------------------------------------------------
+
+    def to_state(self) -> dict[str, Any]:
+        """Compact columnar wire form of this accumulator.
+
+        Every family is compacted to a single grouped part and shipped
+        as raw numpy arrays under stable keys — no log-structured parts,
+        no Python object graph — so worker->coordinator IPC and
+        federation transfers cost O(distinct keys).  The accumulator
+        itself stays usable (compaction is its normal maintenance).
+        """
+        def part(sums: _KeyedSums) -> tuple[np.ndarray, ...]:
+            keys, values = sums.compacted()
+            return (keys, *values)
+
+        return {
+            "version": _STATE_VERSION,
+            "ignore_sources_from_asns": tuple(
+                sorted(self.ignore_sources_from_asns)
+            ),
+            "rows_ingested": self._rows_ingested,
+            "dst_ip_sums": part(self._dst_ip_sums),
+            "src_ip_sums": part(self._src_ip_sums),
+            "src_by_vantage": {
+                vantage: part(sums)
+                for vantage, sums in self._src_by_vantage.items()
+            },
+            "volume_by_day": {
+                int(day): part(sums)
+                for day, sums in self._volume_by_day.items()
+            },
+            "days_by_vantage": {
+                vantage: tuple(sorted(days))
+                for vantage, days in self._days_by_vantage.items()
+            },
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Mapping[str, Any],
+        compact_every: int = DEFAULT_COMPACT_EVERY,
+    ) -> "PrefixAccumulator":
+        """Rebuild an accumulator from :meth:`to_state` output.
+
+        The round trip is exact: the rebuilt accumulator finalizes (and
+        merges) bit-identically to the original.  ``compact_every`` is a
+        local memory policy, not data, so it is not part of the wire
+        form.
+        """
+        version = state.get("version")
+        if version != _STATE_VERSION:
+            raise ValueError(
+                f"unsupported accumulator state version: {version!r}"
+            )
+        accumulator = cls(
+            frozenset(state["ignore_sources_from_asns"]), compact_every
+        )
+
+        def load(sums: _KeyedSums, part: tuple[np.ndarray, ...]) -> None:
+            keys, *values = part
+            sums.add(keys, *values)
+
+        load(accumulator._dst_ip_sums, state["dst_ip_sums"])
+        load(accumulator._src_ip_sums, state["src_ip_sums"])
+        for vantage, part in state["src_by_vantage"].items():
+            family = _KeyedSums(2, compact_every)
+            load(family, part)
+            accumulator._src_by_vantage[vantage] = family
+        for day, part in state["volume_by_day"].items():
+            family = _KeyedSums(1, compact_every)
+            load(family, part)
+            accumulator._volume_by_day[int(day)] = family
+        for vantage, days in state["days_by_vantage"].items():
+            accumulator._days_by_vantage[vantage] = set(
+                int(day) for day in days
+            )
+            accumulator._src_by_vantage.setdefault(
+                vantage, _KeyedSums(2, compact_every)
+            )
+        accumulator._rows_ingested = int(state["rows_ingested"])
+        return accumulator
 
     # -- introspection -------------------------------------------------
 
@@ -422,10 +643,11 @@ class PrefixAccumulator:
 def accumulate_views(
     views: Iterator[VantageDayView] | list[VantageDayView],
     ignore_sources_from_asns: frozenset[int] = frozenset(),
-    chunk_size: int | None = None,
+    chunk_size: int | str | None = None,
+    compact_every: int = DEFAULT_COMPACT_EVERY,
 ) -> PrefixAccumulator:
     """Accumulator over an iterable of views (the one-liner entry)."""
-    accumulator = PrefixAccumulator(ignore_sources_from_asns)
+    accumulator = PrefixAccumulator(ignore_sources_from_asns, compact_every)
     for view in views:
         accumulator.update_view(view, chunk_size=chunk_size)
     return accumulator

@@ -25,6 +25,7 @@ a list at all (:class:`QuorumError`).
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -32,6 +33,7 @@ import numpy as np
 
 from repro.core.accum import PrefixAccumulator
 from repro.core.metatelescope import MetaTelescope, MetaTelescopeResult
+from repro.core.parallel import default_workers, tree_merge
 
 
 @dataclass(frozen=True, slots=True)
@@ -132,6 +134,84 @@ class QuorumError(ValueError):
     """Too few credible members remained to federate."""
 
 
+def _coerce_partial(operator: str, partial) -> PrefixAccumulator:
+    """Accept an accumulator or its ``to_state()`` wire form."""
+    if isinstance(partial, PrefixAccumulator):
+        return partial
+    if isinstance(partial, Mapping):
+        try:
+            return PrefixAccumulator.from_state(partial)
+        except (KeyError, ValueError) as error:
+            raise ValueError(
+                f"member {operator!r} sent a malformed wire state: {error}"
+            ) from error
+    raise TypeError(
+        f"member {operator!r} sent a {type(partial).__name__}; expected a "
+        "PrefixAccumulator or its to_state() mapping"
+    )
+
+
+#: Work inherited by forked member-classification workers.
+_FEDERATION_WORK: tuple[
+    dict[str, list[PrefixAccumulator]], MetaTelescope, bool
+] | None = None
+
+
+def _classify_member(operator: str) -> OperatorReport:
+    members, coordinator, use_spoofing_tolerance = _FEDERATION_WORK
+    merged = tree_merge(members[operator], copy=True)
+    return OperatorReport.from_accumulator(
+        operator,
+        merged,
+        coordinator,
+        use_spoofing_tolerance=use_spoofing_tolerance,
+    )
+
+
+def _classify_members(
+    members: dict[str, list[PrefixAccumulator]],
+    coordinator: MetaTelescope,
+    use_spoofing_tolerance: bool,
+    workers: int | None,
+) -> list[OperatorReport]:
+    """Merge + classify each member's partials, optionally in parallel.
+
+    With ``workers`` > 1 (``0`` = one per CPU) and a ``fork``-capable
+    platform, members are classified across a process pool; the
+    coordinator telescope and the decoded partials are inherited
+    copy-on-write, and only the small report arrays cross the pipe.
+    Reports are identical to the serial path — classification is a pure
+    function of each member's merged aggregates.
+    """
+    global _FEDERATION_WORK
+    if workers == 0:
+        workers = default_workers()
+    operators = list(members)
+    use_pool = (
+        workers is not None
+        and workers > 1
+        and len(operators) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if not use_pool:
+        return [
+            OperatorReport.from_accumulator(
+                operator,
+                tree_merge(members[operator], copy=True),
+                coordinator,
+                use_spoofing_tolerance=use_spoofing_tolerance,
+            )
+            for operator in operators
+        ]
+    context = multiprocessing.get_context("fork")
+    _FEDERATION_WORK = (members, coordinator, use_spoofing_tolerance)
+    try:
+        with context.Pool(processes=min(workers, len(operators))) as pool:
+            return pool.map(_classify_member, operators)
+    finally:
+        _FEDERATION_WORK = None
+
+
 @dataclass(frozen=True)
 class FederatedResult:
     """Outcome of a federated combination."""
@@ -212,9 +292,10 @@ def federate(
     max_foreign_dark_share: float = 0.1,
     max_size_ratio: float = 20.0,
     min_quorum: int = 1,
-    partials: Mapping[str, Sequence[PrefixAccumulator]] | None = None,
+    partials: Mapping[str, Sequence["PrefixAccumulator | Mapping"]] | None = None,
     coordinator: MetaTelescope | None = None,
     use_spoofing_tolerance: bool = False,
+    workers: int | None = None,
 ) -> FederatedResult:
     """Combine member reports (and the marking registry) into one list.
 
@@ -232,10 +313,14 @@ def federate(
 
     ``partials`` lets members contribute *partial accumulators* (e.g.
     one per day or per ingestion node) instead of finished reports: for
-    each ``operator -> accumulators`` entry the partials are merged and
-    classified on the ``coordinator`` telescope, and the resulting
+    each ``operator -> accumulators`` entry the partials are tree-merged
+    and classified on the ``coordinator`` telescope, and the resulting
     report votes alongside the pre-built ``reports`` (same validation
-    rules).  An operator may appear in either or both forms.
+    rules).  An operator may appear in either or both forms.  Each
+    partial may be a :class:`PrefixAccumulator` or its compact columnar
+    wire form (:meth:`~PrefixAccumulator.to_state`) — what a remote
+    member would actually put on the wire.  ``workers`` > 1 classifies
+    members across a process pool (same reports, pure throughput).
     """
     if partials:
         if coordinator is None:
@@ -243,21 +328,19 @@ def federate(
                 "partial accumulators require a coordinator telescope"
             )
         reports = list(reports)
+        members: dict[str, list[PrefixAccumulator]] = {}
         for operator, accumulators in partials.items():
-            accumulators = list(accumulators)
-            if not accumulators:
+            decoded = [
+                _coerce_partial(operator, partial) for partial in accumulators
+            ]
+            if not decoded:
                 raise ValueError(f"member {operator!r} sent no partials")
-            merged = accumulators[0].copy()
-            for accumulator in accumulators[1:]:
-                merged.merge(accumulator)
-            reports.append(
-                OperatorReport.from_accumulator(
-                    operator,
-                    merged,
-                    coordinator,
-                    use_spoofing_tolerance=use_spoofing_tolerance,
-                )
+            members[operator] = decoded
+        reports.extend(
+            _classify_members(
+                members, coordinator, use_spoofing_tolerance, workers
             )
+        )
     if not reports:
         raise ValueError("a federation needs at least one member")
     if not 0.0 < min_vote_share <= 1.0:

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.bgp.rib import RouteViewsCollector, RoutingTable
 from repro.core.accum import PrefixAccumulator, accumulate_views
+from repro.core.parallel import ParallelStats, parallel_accumulate_views
 from repro.core.pipeline import (
     PipelineConfig,
     PipelineResult,
@@ -61,6 +62,10 @@ class MetaTelescope:
     _routing_cache: dict[tuple[int, ...], RoutingTable] = field(
         default_factory=dict, repr=False
     )
+    #: Stats of the most recent parallel fold (None after serial folds).
+    _last_parallel_stats: ParallelStats | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def replace_collector(self, collector) -> None:
         """Swap the RIB feed (e.g. for a fault-plan's stale-RIB proxy).
@@ -88,10 +93,26 @@ class MetaTelescope:
     def accumulate(
         self,
         views: list[VantageDayView],
-        chunk_size: int | None = None,
+        chunk_size: int | str | None = None,
+        workers: int | None = None,
     ) -> PrefixAccumulator:
         """Fold views into a mergeable accumulator with this instance's
-        ASN-ignore configuration applied."""
+        ASN-ignore configuration applied.
+
+        ``workers`` > 1 fans the fold out across a process pool
+        (``0`` = one worker per available CPU); the result is
+        bit-identical to the serial fold for any worker count.
+        """
+        self._last_parallel_stats = None
+        if workers is not None and workers != 1:
+            accumulator, stats = parallel_accumulate_views(
+                views,
+                ignore_sources_from_asns=self.config.ignore_sources_from_asns,
+                workers=workers,
+                chunk_size=chunk_size,
+            )
+            self._last_parallel_stats = stats
+            return accumulator
         return accumulate_views(
             views,
             ignore_sources_from_asns=self.config.ignore_sources_from_asns,
@@ -103,23 +124,38 @@ class MetaTelescope:
         views: list[VantageDayView],
         use_spoofing_tolerance: bool = False,
         refine: bool = True,
-        chunk_size: int | None = None,
+        chunk_size: int | str | None = None,
+        workers: int | None = None,
     ) -> MetaTelescopeResult:
         """Run the full pipeline (+ optional tolerance and refinement).
 
         ``chunk_size`` bounds ingestion memory: each view is folded into
         the per-/24 accumulator ``chunk_size`` rows at a time instead of
-        being aggregated whole.  The classification is bit-identical
-        either way.
+        being aggregated whole (``"auto"`` picks a size from the view).
+        ``workers`` shards the fold across a process pool.  The
+        classification is bit-identical under any combination.
         """
         if not views:
             raise ValueError("need at least one vantage-day view")
-        accumulator = self.accumulate(views, chunk_size=chunk_size)
-        return self.infer_accumulated(
+        accumulator = self.accumulate(
+            views, chunk_size=chunk_size, workers=workers
+        )
+        result = self.infer_accumulated(
             accumulator,
             use_spoofing_tolerance=use_spoofing_tolerance,
             refine=refine,
         )
+        stats = self._last_parallel_stats
+        if stats is not None:
+            pipeline = dataclasses.replace(
+                result.pipeline,
+                stage_timings=stats.stage_timings()
+                + result.pipeline.stage_timings,
+            )
+            result = MetaTelescopeResult(
+                pipeline=pipeline, refinement=result.refinement
+            )
+        return result
 
     def infer_accumulated(
         self,

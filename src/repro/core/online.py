@@ -158,9 +158,13 @@ class OnlineMetaTelescope:
     #: serving list is considered expired and cleared (None: never).
     max_staleness: int | None = None
     #: Rows per ingestion chunk when folding a day's views into its
-    #: accumulator (None: each view aggregated whole).  Classification
-    #: is bit-identical either way; the chunk size only bounds memory.
-    chunk_size: int | None = None
+    #: accumulator (None: each view aggregated whole; ``"auto"`` picks a
+    #: size from the view).  Classification is bit-identical either way;
+    #: the chunk size only bounds memory.
+    chunk_size: int | str | None = None
+    #: Process-pool workers for each day's fold (None/1: serial,
+    #: ``0``: one per CPU).  Any worker count classifies bit-identically.
+    workers: int | None = None
     #: Rolling window of ``(day, PrefixAccumulator)`` partial aggregates.
     _window: deque = field(default_factory=deque, repr=False)
     _daily_dark: deque = field(default_factory=deque, repr=False)
@@ -262,8 +266,9 @@ class OnlineMetaTelescope:
     ) -> DayUpdate:
         previous_dark = self._daily_dark[-1] if self._daily_dark else None
         day_accumulator = self.telescope.accumulate(
-            views, chunk_size=self.chunk_size
+            views, chunk_size=self.chunk_size, workers=self.workers
         )
+        parallel_stats = self.telescope._last_parallel_stats
         self._window.append((day, day_accumulator))
         day_result = self.telescope.infer_accumulated(
             day_accumulator,
@@ -295,6 +300,10 @@ class OnlineMetaTelescope:
             use_spoofing_tolerance=self.use_spoofing_tolerance,
         )
         self._last_timings = window_result.pipeline.stage_timings
+        if parallel_stats is not None:
+            self._last_timings = (
+                parallel_stats.stage_timings() + self._last_timings
+            )
         stable = self._stable_blocks()
         serving = np.intersect1d(window_result.prefixes, stable)
         quarantined = self.quarantined_blocks()

@@ -1,0 +1,392 @@
+"""Process-pool execution engine for vantage-day aggregation.
+
+Per-vantage-day aggregation is embarrassingly parallel, and since the
+streaming refactor every aggregate flows through the associative
+:meth:`~repro.core.accum.PrefixAccumulator.merge`.  This module fans
+the fold out the way a data-parallel training stack does:
+
+1. **Shard** — :func:`shard_views` splits ``list[VantageDayView]`` work
+   per view, cutting oversized views into row-range shards, and packs
+   the shards into one balanced bucket per worker (longest-processing-
+   time-first, deterministic);
+2. **Fan out** — each worker folds its bucket into a partial
+   :class:`~repro.core.accum.PrefixAccumulator` and ships the compact
+   columnar wire form (:meth:`~repro.core.accum.PrefixAccumulator.
+   to_state`) back — raw numpy arrays, never log-structured parts;
+3. **Reduce** — the coordinator decodes the partials and
+   :func:`tree_merge`\\ s them pairwise.
+
+Because every count the accumulator tracks is an integer (exact in
+float64), the fold is associative and commutative: **any** worker
+count, shard order or merge grouping classifies bit-identically to the
+serial path.  ``workers`` <= 1 short-circuits to the serial fold, so
+existing behaviour and determinism guarantees are untouched by default.
+
+On platforms with ``fork`` the views are inherited copy-on-write and
+only shard indices cross the pipe; elsewhere (``spawn``) the shard
+payloads are pickled across.  Per-worker wall time, IPC overhead and
+merge time are reported as :class:`~repro.core.stages.StageTiming`
+rows, folding into the existing stage-timing observability.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.accum import (
+    PrefixAccumulator,
+    accumulate_views,
+    resolve_chunk_size,
+)
+from repro.core.stages import StageTiming
+from repro.traffic.flows import FLOW_COLUMNS, FlowTable
+from repro.vantage.sampling import VantageDayView
+
+#: A shard: (view index, first row, one-past-last row).
+Shard = tuple[int, int, int]
+
+#: Work inherited by forked workers (views, ignored ASNs, chunk size).
+_FORK_WORK: tuple[list[VantageDayView], frozenset[int], int | str | None] | None = (
+    None
+)
+
+
+def default_workers() -> int:
+    """Worker count matching the CPUs this process may run on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerReport:
+    """One worker's contribution to a parallel fold."""
+
+    index: int
+    shards: int
+    rows: int
+    #: Wall time of the worker's fold (inside the worker process).
+    fold_seconds: float
+    #: Wall time spent encoding the partial into its wire form.
+    encode_seconds: float
+
+
+@dataclass(frozen=True)
+class ParallelStats:
+    """Observability record of one parallel (or serial) fold."""
+
+    workers: int
+    #: ``"serial"``, ``"fork"`` or ``"spawn"``.
+    mode: str
+    #: Wall time of the whole fan-out phase (pool included).
+    fanout_seconds: float
+    #: Coordinator-side wall time decoding worker wire states.
+    decode_seconds: float
+    #: Coordinator-side wall time tree-merging the partials.
+    merge_seconds: float
+    partials: int
+    reports: tuple[WorkerReport, ...]
+
+    def busy_seconds(self) -> float:
+        """Summed in-worker fold time (the parallelised work)."""
+        return sum(report.fold_seconds for report in self.reports)
+
+    def ipc_seconds(self) -> float:
+        """Wire-form encode plus decode time (the IPC overhead)."""
+        return self.decode_seconds + sum(
+            report.encode_seconds for report in self.reports
+        )
+
+    def balance(self) -> float:
+        """Busy time over ``workers x`` the slowest worker (1.0 = even)."""
+        slowest = max(
+            (report.fold_seconds for report in self.reports), default=0.0
+        )
+        if slowest <= 0.0 or not self.reports:
+            return 1.0
+        return self.busy_seconds() / (len(self.reports) * slowest)
+
+    def stage_timings(self) -> tuple[StageTiming, ...]:
+        """Per-worker / IPC / merge rows for the stage-timing tables."""
+        timings = [
+            StageTiming(f"fanout[w{report.index}]", report.fold_seconds,
+                        report.rows)
+            for report in self.reports
+        ]
+        timings.append(StageTiming("ipc", self.ipc_seconds(), self.partials))
+        timings.append(StageTiming("merge", self.merge_seconds, self.partials))
+        return tuple(timings)
+
+
+def shard_views(
+    views: Sequence[VantageDayView],
+    workers: int,
+    max_shard_rows: int | None = None,
+) -> list[list[Shard]]:
+    """Deterministic balanced buckets of (view, row-range) shards.
+
+    Each view becomes one shard, except views larger than
+    ``max_shard_rows`` (default: an even split of the total rows across
+    workers), which are cut into row ranges — so a single giant
+    vantage-day cannot serialise the fold.  Shards are packed
+    longest-first onto the least-loaded bucket (LPT), ties resolved by
+    original order, so the same input always yields the same buckets.
+    Empty views still produce a shard: observing a silent vantage-day
+    must reach the accumulator no matter which worker holds it.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    total_rows = sum(len(view.flows) for view in views)
+    if max_shard_rows is None:
+        max_shard_rows = max(1, -(-total_rows // workers))
+    if max_shard_rows < 1:
+        raise ValueError(f"max_shard_rows must be >= 1: {max_shard_rows}")
+    shards: list[Shard] = []
+    for index, view in enumerate(views):
+        rows = len(view.flows)
+        if rows == 0:
+            shards.append((index, 0, 0))
+            continue
+        for start in range(0, rows, max_shard_rows):
+            shards.append((index, start, min(start + max_shard_rows, rows)))
+
+    buckets: list[list[Shard]] = [[] for _ in range(workers)]
+    loads = [0] * workers
+    for shard in sorted(
+        shards, key=lambda shard: shard[2] - shard[1], reverse=True
+    ):
+        target = loads.index(min(loads))
+        buckets[target].append(shard)
+        loads[target] += shard[2] - shard[1]
+    return [sorted(bucket) for bucket in buckets if bucket]
+
+
+def tree_merge(
+    partials: Sequence[PrefixAccumulator], copy: bool = False
+) -> PrefixAccumulator:
+    """Pairwise (tree) reduction of partial accumulators.
+
+    Merging is associative, so the tree shape changes nothing about the
+    result — it bounds the size imbalance between merge operands, the
+    same reason training stacks all-reduce in trees.  With ``copy`` the
+    inputs are left untouched; otherwise the leftmost partial of each
+    pair absorbs its sibling in place.
+    """
+    if not partials:
+        raise ValueError("need at least one partial accumulator")
+    level = [
+        partial.copy() if copy else partial for partial in partials
+    ]
+    for partial in level:
+        partial.compact()
+    while len(level) > 1:
+        merged: list[PrefixAccumulator] = []
+        for left in range(0, len(level), 2):
+            if left + 1 < len(level):
+                level[left].merge(level[left + 1])
+            merged.append(level[left])
+        level = merged
+    return level[0]
+
+
+def _slice_table(flows: FlowTable, start: int, stop: int) -> FlowTable:
+    """Zero-copy row-range slice of a flow table."""
+    if start == 0 and stop >= len(flows):
+        return flows
+    return FlowTable(
+        **{name: getattr(flows, name)[start:stop] for name in FLOW_COLUMNS}
+    )
+
+
+def _fold_entries(
+    entries: list[tuple[str, int, float, FlowTable]],
+    ignored: frozenset[int],
+    chunk_size: int | str | None,
+) -> tuple[dict, int, int, float, float]:
+    """Fold shard entries into a partial; return its wire state + stats."""
+    started = time.perf_counter()
+    accumulator = PrefixAccumulator(ignored)
+    rows = 0
+    for vantage, day, sampling_factor, flows in entries:
+        rows += len(flows)
+        accumulator.observe(vantage, day)
+        resolved = resolve_chunk_size(chunk_size, len(flows))
+        for chunk in flows.iter_chunks(resolved):
+            accumulator.update(
+                chunk, vantage=vantage, day=day,
+                sampling_factor=sampling_factor,
+            )
+    fold_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    state = accumulator.to_state()
+    encode_seconds = time.perf_counter() - started
+    return state, len(entries), rows, fold_seconds, encode_seconds
+
+
+def _fold_fork_bucket(bucket: list[Shard]):
+    """Worker entry under ``fork``: views come in via copy-on-write."""
+    views, ignored, chunk_size = _FORK_WORK
+    entries = [
+        (
+            views[index].vantage,
+            views[index].day,
+            views[index].sampling_factor,
+            _slice_table(views[index].flows, start, stop),
+        )
+        for index, start, stop in bucket
+    ]
+    return _fold_entries(entries, ignored, chunk_size)
+
+
+def _fold_payload_bucket(
+    entries: list[tuple[str, int, float, FlowTable]],
+    ignored: frozenset[int],
+    chunk_size: int | str | None,
+):
+    """Worker entry under ``spawn``: the shard payloads were pickled in."""
+    return _fold_entries(entries, ignored, chunk_size)
+
+
+def parallel_accumulate_views(
+    views: Sequence[VantageDayView],
+    ignore_sources_from_asns: frozenset[int] = frozenset(),
+    *,
+    workers: int | None = None,
+    chunk_size: int | str | None = None,
+    max_shard_rows: int | None = None,
+) -> tuple[PrefixAccumulator, ParallelStats]:
+    """Fold views into one accumulator across a process pool.
+
+    ``workers=None``/``0``/``1`` runs the serial fold unchanged
+    (``0`` is resolved to :func:`default_workers` first).  The merged
+    accumulator is bit-identical to ``accumulate_views`` for any worker
+    count — aggregation is exact-integer associative — so callers may
+    treat the knob as pure throughput tuning.
+    """
+    global _FORK_WORK
+    if workers == 0:
+        workers = default_workers()
+    views = list(views)
+    if workers is None or workers <= 1 or len(views) == 0:
+        started = time.perf_counter()
+        accumulator = accumulate_views(
+            views,
+            ignore_sources_from_asns=ignore_sources_from_asns,
+            chunk_size=chunk_size,
+        )
+        elapsed = time.perf_counter() - started
+        report = WorkerReport(
+            index=0, shards=len(views),
+            rows=sum(len(view.flows) for view in views),
+            fold_seconds=elapsed, encode_seconds=0.0,
+        )
+        return accumulator, ParallelStats(
+            workers=1, mode="serial", fanout_seconds=elapsed,
+            decode_seconds=0.0, merge_seconds=0.0, partials=1,
+            reports=(report,),
+        )
+
+    ignored = frozenset(ignore_sources_from_asns)
+    buckets = shard_views(views, workers, max_shard_rows)
+    use_fork = "fork" in multiprocessing.get_all_start_methods()
+    started = time.perf_counter()
+    if use_fork:
+        context = multiprocessing.get_context("fork")
+        _FORK_WORK = (views, ignored, chunk_size)
+        try:
+            with context.Pool(processes=len(buckets)) as pool:
+                results = pool.map(_fold_fork_bucket, buckets)
+        finally:
+            _FORK_WORK = None
+    else:  # pragma: no cover - exercised only on spawn-only platforms
+        context = multiprocessing.get_context("spawn")
+        payloads = [
+            (
+                [
+                    (
+                        views[index].vantage,
+                        views[index].day,
+                        views[index].sampling_factor,
+                        _slice_table(views[index].flows, start, stop),
+                    )
+                    for index, start, stop in bucket
+                ],
+                ignored,
+                chunk_size,
+            )
+            for bucket in buckets
+        ]
+        with context.Pool(processes=len(buckets)) as pool:
+            results = pool.starmap(_fold_payload_bucket, payloads)
+    fanout_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    partials = [PrefixAccumulator.from_state(state) for state, *_ in results]
+    decode_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    merged = tree_merge(partials)
+    merge_seconds = time.perf_counter() - started
+
+    reports = tuple(
+        WorkerReport(
+            index=index, shards=shards, rows=rows,
+            fold_seconds=fold_seconds, encode_seconds=encode_seconds,
+        )
+        for index, (_, shards, rows, fold_seconds, encode_seconds) in enumerate(
+            results
+        )
+    )
+    stats = ParallelStats(
+        workers=len(buckets),
+        mode="fork" if use_fork else "spawn",
+        fanout_seconds=fanout_seconds,
+        decode_seconds=decode_seconds,
+        merge_seconds=merge_seconds,
+        partials=len(partials),
+        reports=reports,
+    )
+    return merged, stats
+
+
+def partial_states_identical(a: PrefixAccumulator, b: PrefixAccumulator) -> bool:
+    """True when two accumulators carry bit-identical aggregates.
+
+    Compares the compacted wire forms column by column — the strongest
+    equivalence short of classifying: identical states finalize (and
+    therefore classify) identically under any configuration.
+    """
+    state_a, state_b = a.to_state(), b.to_state()
+    if state_a.keys() != state_b.keys():
+        return False
+    for key, value_a in state_a.items():
+        value_b = state_b[key]
+        if isinstance(value_a, dict):
+            if value_a.keys() != value_b.keys():
+                return False
+            for inner, columns_a in value_a.items():
+                if not _columns_equal(columns_a, value_b[inner]):
+                    return False
+        elif isinstance(value_a, tuple) and value_a and isinstance(
+            value_a[0], np.ndarray
+        ):
+            if not _columns_equal(value_a, value_b):
+                return False
+        elif value_a != value_b:
+            return False
+    return True
+
+
+def _columns_equal(a, b) -> bool:
+    if isinstance(a, tuple) and a and isinstance(a[0], np.ndarray):
+        return len(a) == len(b) and all(
+            np.array_equal(col_a, col_b) for col_a, col_b in zip(a, b)
+        )
+    return a == b

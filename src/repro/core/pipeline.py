@@ -92,12 +92,13 @@ def run_pipeline_chunked(
     routing: RoutingTable,
     config: PipelineConfig | None = None,
     special: SpecialPurposeRegistry = SPECIAL_PURPOSE_REGISTRY,
-    chunk_size: int | None = None,
+    chunk_size: int | str | None = None,
 ) -> PipelineResult:
     """Run the inference, ingesting each view in bounded-size chunks.
 
     ``chunk_size=None`` ingests each view as a single chunk (the batch
-    path).  Any chunk size yields bit-identical classifications.
+    path); ``"auto"`` picks a bounded size per view.  Any chunk size
+    yields bit-identical classifications.
     """
     if not views:
         raise ValueError("need at least one vantage-day view")

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.bgp.rib import RoutingTable
+from repro.net.blocksets import sorted_member_mask
 from repro.net.special import SpecialPurposeRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (accum ← stages)
@@ -128,8 +129,17 @@ class StageContext:
         self.routing = routing
         self.special = special
         ip_blocks = finalized.dst_ips >> 8
-        self.blocks: np.ndarray = np.unique(ip_blocks)
-        self.position: np.ndarray = np.searchsorted(self.blocks, ip_blocks)
+        if len(ip_blocks) and np.all(ip_blocks[1:] >= ip_blocks[:-1]):
+            # Finalized columns are sorted by construction: the block
+            # axis falls out of a boundary scan, no re-sort needed.
+            firsts = np.empty(len(ip_blocks), dtype=bool)
+            firsts[0] = True
+            np.not_equal(ip_blocks[1:], ip_blocks[:-1], out=firsts[1:])
+            self.blocks: np.ndarray = ip_blocks[firsts]
+            self.position: np.ndarray = np.cumsum(firsts) - 1
+        else:
+            self.blocks = np.unique(ip_blocks)
+            self.position = np.searchsorted(self.blocks, ip_blocks)
         self.num_blocks: int = len(self.blocks)
 
     # -- per-block reductions ------------------------------------------
@@ -174,8 +184,11 @@ class StageContext:
             )
         ip_size_ok = avg_size <= self.config.ip_size_threshold
         # A block's sources are forgiven entirely when their pooled
-        # sampled packets stay within the pooled tolerance.
-        ip_is_source = np.isin(finalized.dst_ips, finalized.src_ips) & np.isin(
+        # sampled packets stay within the pooled tolerance.  Both id
+        # tables are sorted, so membership is a searchsorted probe.
+        ip_is_source = sorted_member_mask(
+            finalized.dst_ips, finalized.src_ips
+        ) & sorted_member_mask(
             finalized.dst_ips >> 8, self.blocks_with_real_sources
         )
         survives = has_tcp & ip_size_ok & ~ip_is_source
@@ -195,7 +208,7 @@ class StageContext:
     @cached_property
     def block_has_source(self) -> np.ndarray:
         """Per block: unforgiven source sightings exist."""
-        return np.isin(self.blocks, self.blocks_with_real_sources)
+        return sorted_member_mask(self.blocks, self.blocks_with_real_sources)
 
     @cached_property
     def block_tcp_pkts(self) -> np.ndarray:

@@ -58,6 +58,22 @@ def expand_prefixes(prefixes: list[Prefix]) -> np.ndarray:
     return np.unique(np.concatenate(parts))
 
 
+def sorted_member_mask(values: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Per-element membership of ``values`` in a **sorted** ``table``.
+
+    Equivalent to ``np.isin(values, table)`` but probes the table with
+    one ``searchsorted`` instead of hashing both sides — much faster on
+    the pipeline's hot path, where every id table (unique IPs, blocks)
+    is already sorted.  ``values`` may be unsorted and carry duplicates.
+    """
+    values = np.asarray(values)
+    if len(table) == 0 or len(values) == 0:
+        return np.zeros(values.shape, dtype=bool)
+    index = np.searchsorted(table, values)
+    index[index == len(table)] = 0
+    return table[index] == values
+
+
 def _floor_pow2(value: int) -> int:
     return 1 << (value.bit_length() - 1)
 

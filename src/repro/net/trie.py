@@ -154,16 +154,34 @@ class PrefixTrie(Generic[V]):
         self._interval_cache = (starts, ends, values)
         return self._interval_cache
 
+    def block_intervals(self) -> tuple[np.ndarray, np.ndarray]:
+        """The sorted ``(starts, ends)`` interval table of prefixes <= /24.
+
+        Consumers that outlive the trie (e.g. a frozen
+        :class:`~repro.bgp.rib.RoutingTable`) can hold this table once
+        and probe it with :func:`interval_covered_mask` forever, instead
+        of re-deriving it through the trie's invalidation-aware cache.
+        """
+        starts, ends, _ = self._intervals()
+        return starts, ends
+
     def covered_mask(self, blocks: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`covers_block` over an array of block ids."""
         starts, ends, _ = self._intervals()
-        blocks = np.asarray(blocks, dtype=np.int64)
-        if len(starts) == 0:
-            return np.zeros(blocks.shape, dtype=bool)
-        idx = np.searchsorted(starts, blocks, side="right") - 1
-        valid = idx >= 0
-        clamped = np.where(valid, idx, 0)
-        return valid & (blocks <= ends[clamped])
+        return interval_covered_mask(starts, ends, blocks)
+
+
+def interval_covered_mask(
+    starts: np.ndarray, ends: np.ndarray, blocks: np.ndarray
+) -> np.ndarray:
+    """Which ``blocks`` fall inside the sorted, cumulative-max intervals."""
+    blocks = np.asarray(blocks, dtype=np.int64)
+    if len(starts) == 0:
+        return np.zeros(blocks.shape, dtype=bool)
+    idx = np.searchsorted(starts, blocks, side="right") - 1
+    valid = idx >= 0
+    clamped = np.where(valid, idx, 0)
+    return valid & (blocks <= ends[clamped])
 
 
 def _prefix_bits(prefix: Prefix) -> Iterator[int]:

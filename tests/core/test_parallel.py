@@ -1,0 +1,427 @@
+"""Bit-identity and plumbing of the parallel inference engine.
+
+The contract of :mod:`repro.core.parallel`: fanning the aggregation out
+over any number of workers — any shard order, any merge grouping, the
+compact wire form in between — classifies **bit-identically** to the
+serial fold.  These tests pin that contract on seeded worlds, random
+flow tables, and fault-injected inputs, and cover the satellites that
+ride along (adaptive chunking, compaction knob, routing-table interval
+cache).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accum import (
+    AUTO_CHUNK,
+    PrefixAccumulator,
+    accumulate_views,
+    adaptive_chunk_rows,
+    resolve_chunk_size,
+)
+from repro.core.federation import federate
+from repro.core.metatelescope import MetaTelescope
+from repro.core.online import OnlineMetaTelescope
+from repro.core.parallel import (
+    default_workers,
+    parallel_accumulate_views,
+    partial_states_identical,
+    shard_views,
+    tree_merge,
+)
+from repro.core.pipeline import PipelineConfig, run_pipeline_accumulated
+from repro.faults import FaultPlan, standard_injector
+from repro.vantage.sampling import VantageDayView
+
+from test_accumulator import assert_identical
+from test_pipeline_properties import ROUTING, flow_tables
+
+
+@pytest.fixture(scope="module")
+def multi_day(observatory):
+    return observatory.all_ixp_views(num_days=3)
+
+
+@pytest.fixture(scope="module")
+def telescope(world):
+    return MetaTelescope(
+        collector=world.collector,
+        unrouted_baseline=world.unrouted_baseline_blocks,
+        config=PipelineConfig(
+            avg_size_threshold=world.config.avg_size_threshold,
+            volume_threshold_pkts_day=world.config.volume_threshold_pkts_day,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def routing(telescope, multi_day):
+    return telescope.routing_for_days([view.day for view in multi_day])
+
+
+@pytest.fixture(scope="module")
+def serial(multi_day):
+    return accumulate_views(multi_day)
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("workers", [2, 3, 4, 8])
+    def test_any_worker_count_identical(self, multi_day, serial, workers):
+        merged, stats = parallel_accumulate_views(multi_day, workers=workers)
+        assert partial_states_identical(serial, merged)
+        assert stats.mode in ("fork", "spawn")
+        assert stats.partials >= 1
+        assert sum(report.rows for report in stats.reports) == sum(
+            len(view.flows) for view in multi_day
+        )
+
+    def test_oversized_views_split_into_row_shards(self, multi_day, serial):
+        merged, stats = parallel_accumulate_views(
+            multi_day, workers=4, max_shard_rows=257
+        )
+        assert partial_states_identical(serial, merged)
+        assert sum(report.shards for report in stats.reports) > len(multi_day)
+
+    @pytest.mark.parametrize("chunk_size", [64, AUTO_CHUNK, None])
+    def test_chunking_inside_workers_identical(
+        self, multi_day, serial, chunk_size
+    ):
+        merged, _ = parallel_accumulate_views(
+            multi_day, workers=3, chunk_size=chunk_size
+        )
+        assert partial_states_identical(serial, merged)
+
+    def test_classification_identical(self, multi_day, routing, telescope):
+        merged, _ = parallel_accumulate_views(multi_day, workers=4)
+        assert_identical(
+            run_pipeline_accumulated(
+                accumulate_views(multi_day), routing, telescope.config
+            ),
+            run_pipeline_accumulated(merged, routing, telescope.config),
+        )
+
+    def test_serial_short_circuits(self, multi_day, serial):
+        for workers in (None, 1):
+            merged, stats = parallel_accumulate_views(
+                multi_day, workers=workers
+            )
+            assert stats.mode == "serial"
+            assert stats.workers == 1
+            assert partial_states_identical(serial, merged)
+
+    def test_workers_zero_uses_all_cpus(self, multi_day, serial):
+        merged, stats = parallel_accumulate_views(multi_day, workers=0)
+        assert partial_states_identical(serial, merged)
+        expected = "serial" if default_workers() == 1 else stats.mode
+        assert stats.mode == expected
+
+    def test_empty_views_observed_everywhere(self):
+        from repro.traffic.flows import FlowTable
+
+        silent = [
+            VantageDayView(vantage=f"S{i}", day=i, flows=FlowTable.empty())
+            for i in range(3)
+        ]
+        merged, _ = parallel_accumulate_views(silent, workers=2)
+        assert merged.days() == [0, 1, 2]
+        assert set(merged.vantages()) == {"S0", "S1", "S2"}
+
+    def test_identical_under_fault_injection(self, multi_day, routing, telescope):
+        """Fault-injected inputs classify identically at any worker count.
+
+        The ``missample`` fault injects *non-integer* sampling factors,
+        where raw float sums may differ in the last bit between shard
+        splits (the same caveat the chunked path carries) — so this
+        pins the classification contract, like the chunked fault test.
+        """
+        plan = FaultPlan(seed=3)
+        for name in ("truncate", "duplicate", "corrupt", "missample"):
+            plan.add(standard_injector(name, days=frozenset({1})))
+        faulted = []
+        for day in range(3):
+            day_views = [view for view in multi_day if view.day == day]
+            faulted.extend(plan.apply(day, day_views).views)
+        merged, _ = parallel_accumulate_views(faulted, workers=4)
+        assert_identical(
+            run_pipeline_accumulated(
+                accumulate_views(faulted), routing, telescope.config
+            ),
+            run_pipeline_accumulated(merged, routing, telescope.config),
+        )
+
+    @given(
+        flow_tables(),
+        flow_tables(),
+        st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_tables_any_worker_count(self, flows_a, flows_b, workers):
+        views = [
+            VantageDayView(vantage="A", day=0, flows=flows_a),
+            VantageDayView(vantage="B", day=1, flows=flows_b),
+        ]
+        merged, _ = parallel_accumulate_views(
+            views, workers=workers, max_shard_rows=7
+        )
+        assert_identical(
+            run_pipeline_accumulated(accumulate_views(views), ROUTING),
+            run_pipeline_accumulated(merged, ROUTING),
+        )
+
+
+class TestSharding:
+    def test_deterministic(self, multi_day):
+        first = shard_views(multi_day, 4)
+        second = shard_views(multi_day, 4)
+        assert first == second
+
+    def test_every_row_exactly_once(self, multi_day):
+        buckets = shard_views(multi_day, 5, max_shard_rows=100)
+        seen: dict[int, list[tuple[int, int]]] = {}
+        for bucket in buckets:
+            for index, start, stop in bucket:
+                seen.setdefault(index, []).append((start, stop))
+        for index, view in enumerate(multi_day):
+            ranges = sorted(seen[index])
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == len(view.flows)
+            for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                assert stop == start  # contiguous, no overlap, no gap
+
+    def test_balance(self, multi_day):
+        buckets = shard_views(multi_day, 4)
+        loads = [
+            sum(stop - start for _, start, stop in bucket)
+            for bucket in buckets
+        ]
+        total = sum(len(view.flows) for view in multi_day)
+        # LPT with shards capped at total/workers keeps buckets within
+        # 2x of the ideal split.
+        assert max(loads) <= 2 * (total / len(buckets))
+
+    def test_rejects_bad_arguments(self, multi_day):
+        with pytest.raises(ValueError, match="workers"):
+            shard_views(multi_day, 0)
+        with pytest.raises(ValueError, match="max_shard_rows"):
+            shard_views(multi_day, 2, max_shard_rows=0)
+
+
+class TestTreeMerge:
+    def test_any_grouping_identical(self, multi_day):
+        partials = [accumulate_views([view]) for view in multi_day]
+        tree = tree_merge(partials, copy=True)
+
+        flat = partials[0].copy()
+        for partial in partials[1:]:
+            flat.merge(partial)
+        assert partial_states_identical(flat, tree)
+
+    def test_shard_order_invariant(self, multi_day):
+        partials = [accumulate_views([view]) for view in multi_day]
+        forward = tree_merge(partials, copy=True)
+        backward = tree_merge(list(reversed(partials)), copy=True)
+        assert partial_states_identical(forward, backward)
+
+    def test_copy_leaves_inputs_untouched(self, multi_day):
+        partials = [accumulate_views([view]) for view in multi_day[:3]]
+        rows = [partial.rows_ingested() for partial in partials]
+        tree_merge(partials, copy=True)
+        assert [partial.rows_ingested() for partial in partials] == rows
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            tree_merge([])
+
+
+class TestWireState:
+    def test_round_trip(self, multi_day, routing, telescope):
+        accumulator = accumulate_views(multi_day)
+        restored = PrefixAccumulator.from_state(accumulator.to_state())
+        assert partial_states_identical(accumulator, restored)
+        assert restored.days() == accumulator.days()
+        assert restored.rows_ingested() == accumulator.rows_ingested()
+        assert_identical(
+            run_pipeline_accumulated(accumulator, routing, telescope.config),
+            run_pipeline_accumulated(restored, routing, telescope.config),
+        )
+
+    def test_round_trip_under_fault_injection(self, multi_day):
+        plan = FaultPlan(seed=11)
+        for name in ("truncate", "duplicate", "corrupt", "missample"):
+            plan.add(standard_injector(name, days=frozenset({0, 2})))
+        faulted = []
+        for day in range(3):
+            day_views = [view for view in multi_day if view.day == day]
+            faulted.extend(plan.apply(day, day_views).views)
+        accumulator = accumulate_views(faulted, chunk_size=83)
+        restored = PrefixAccumulator.from_state(accumulator.to_state())
+        assert partial_states_identical(accumulator, restored)
+
+    def test_round_trip_preserves_ignore_set(self, multi_day):
+        accumulator = accumulate_views(
+            multi_day, ignore_sources_from_asns=frozenset({1, 9})
+        )
+        restored = PrefixAccumulator.from_state(accumulator.to_state())
+        assert restored.ignore_sources_from_asns == frozenset({1, 9})
+
+    def test_empty_round_trip(self):
+        accumulator = PrefixAccumulator()
+        accumulator.observe("V", 4)
+        restored = PrefixAccumulator.from_state(accumulator.to_state())
+        assert restored.days() == [4]
+        assert partial_states_identical(accumulator, restored)
+
+    def test_restored_still_mergeable(self, multi_day):
+        half_a = accumulate_views(multi_day[: len(multi_day) // 2])
+        half_b = accumulate_views(multi_day[len(multi_day) // 2 :])
+        restored = PrefixAccumulator.from_state(half_a.to_state())
+        restored.merge(half_b)
+        assert partial_states_identical(
+            accumulate_views(multi_day), restored
+        )
+
+    def test_version_checked(self):
+        state = PrefixAccumulator().to_state()
+        state["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            PrefixAccumulator.from_state(state)
+
+    @given(flow_tables())
+    @settings(max_examples=25, deadline=None)
+    def test_random_tables_round_trip(self, flows):
+        view = VantageDayView(vantage="V", day=0, flows=flows)
+        accumulator = accumulate_views([view], chunk_size=5)
+        restored = PrefixAccumulator.from_state(accumulator.to_state())
+        assert partial_states_identical(accumulator, restored)
+
+
+class TestFacadeIntegration:
+    def test_metatelescope_workers_identical(self, multi_day, telescope):
+        serial = telescope.infer(
+            multi_day, use_spoofing_tolerance=True, refine=False
+        )
+        parallel = telescope.infer(
+            multi_day, use_spoofing_tolerance=True, refine=False, workers=3
+        )
+        assert_identical(serial.pipeline, parallel.pipeline)
+        stages = [timing.stage for timing in parallel.pipeline.stage_timings]
+        assert "merge" in stages and "ipc" in stages
+        assert any(stage.startswith("fanout[") for stage in stages)
+
+    def test_online_workers_identical(self, world, observatory, telescope):
+        def run(workers):
+            online = OnlineMetaTelescope(
+                telescope=telescope,
+                window_days=2,
+                min_stable_days=1,
+                use_spoofing_tolerance=False,
+                workers=workers,
+            )
+            for day in range(2):
+                views = list(observatory.day(day).ixp_views.values())
+                online.update(day, views)
+            return online
+
+        serial = run(None)
+        parallel = run(2)
+        np.testing.assert_array_equal(
+            serial.current_prefixes(), parallel.current_prefixes()
+        )
+        stages = [t.stage for t in parallel.last_stage_timings()]
+        assert any(stage.startswith("fanout[") for stage in stages)
+
+    def test_federate_wire_state_partials(self, multi_day, telescope):
+        half = len(multi_day) // 2
+        partials = [
+            accumulate_views(multi_day[:half]),
+            accumulate_views(multi_day[half:]),
+        ]
+        as_objects = federate(
+            [], partials={"op": partials}, coordinator=telescope
+        )
+        as_states = federate(
+            [],
+            partials={"op": [partial.to_state() for partial in partials]},
+            coordinator=telescope,
+        )
+        np.testing.assert_array_equal(as_objects.prefixes, as_states.prefixes)
+        assert as_objects.num_prefixes() > 0
+
+    def test_federate_workers_identical(self, multi_day, telescope):
+        half = len(multi_day) // 2
+        partials = {
+            "alpha": [accumulate_views(multi_day[:half])],
+            "beta": [accumulate_views(multi_day[half:])],
+        }
+        serial = federate([], partials=partials, coordinator=telescope)
+        parallel = federate(
+            [], partials=partials, coordinator=telescope, workers=2
+        )
+        np.testing.assert_array_equal(serial.prefixes, parallel.prefixes)
+        assert serial.votes_for == parallel.votes_for
+
+    def test_federate_rejects_malformed_state(self, telescope):
+        with pytest.raises(ValueError, match="malformed"):
+            federate(
+                [], partials={"op": [{"version": 1}]}, coordinator=telescope
+            )
+        with pytest.raises(TypeError, match="expected"):
+            federate([], partials={"op": [42]}, coordinator=telescope)
+
+
+class TestChunkingKnobs:
+    def test_adaptive_chunk_rows(self):
+        assert adaptive_chunk_rows(0) is None
+        assert adaptive_chunk_rows(8192) is None
+        assert adaptive_chunk_rows(80_000) == 10_000
+        assert adaptive_chunk_rows(10**9) == 1 << 18  # ceiling
+
+    def test_resolve_chunk_size(self):
+        assert resolve_chunk_size(None, 10**6) is None
+        assert resolve_chunk_size(4096, 10**6) == 4096
+        assert resolve_chunk_size(AUTO_CHUNK, 80_000) == 10_000
+        with pytest.raises(ValueError, match="auto"):
+            resolve_chunk_size("bogus", 10**6)
+
+    def test_auto_chunking_identical(self, multi_day, serial):
+        auto = accumulate_views(multi_day, chunk_size=AUTO_CHUNK)
+        assert partial_states_identical(serial, auto)
+
+    def test_compact_every_knob_identical(self, multi_day, serial):
+        eager = accumulate_views(multi_day, chunk_size=17, compact_every=2)
+        lazy = accumulate_views(multi_day, chunk_size=17, compact_every=1000)
+        assert partial_states_identical(serial, eager)
+        assert partial_states_identical(serial, lazy)
+
+    def test_compact_every_validated(self):
+        with pytest.raises(ValueError, match="compact_every"):
+            PrefixAccumulator(compact_every=1)
+
+    def test_chunked_squashes_pending_parts(self, multi_day):
+        """A chunk-fed accumulator never carries a view's chunk log
+        past the view boundary (two-tier invariant: base + squashed)."""
+        accumulator = accumulate_views(multi_day, chunk_size=31)
+        for sums in (accumulator._dst_ip_sums, accumulator._src_ip_sums):
+            assert len(sums._parts) <= 2
+        accumulator.compact()
+        for sums in (accumulator._dst_ip_sums, accumulator._src_ip_sums):
+            assert len(sums._parts) <= 1
+
+
+class TestRoutingTableCache:
+    def test_routed_mask_cached_and_correct(self, routing):
+        blocks = np.arange(0, 1 << 16, 7, dtype=np.int64)
+        first = routing.routed_mask(blocks)
+        assert routing._interval_cache is not None
+        starts_before = routing._interval_cache[0]
+        second = routing.routed_mask(blocks)
+        assert routing._interval_cache[0] is starts_before
+        np.testing.assert_array_equal(first, second)
+
+    def test_matches_trie(self, routing):
+        blocks = np.arange(0, 1 << 16, 13, dtype=np.int64)
+        np.testing.assert_array_equal(
+            routing.routed_mask(blocks), routing._trie.covered_mask(blocks)
+        )
