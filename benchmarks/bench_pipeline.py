@@ -11,6 +11,14 @@ and parallel paths are bit-identical by construction).  The record
 carries the ``cpus`` the host actually granted, so a speedup read off
 the artifact is always interpreted against real parallelism headroom.
 
+Two storage sections ride along per scale: ``archive_vs_csv`` times
+reading the full dataset from CSV vs flowpack archives (and proves the
+archive-fed fold classifies bit-identically to the in-memory batch at
+every chunk size and worker count — any dark-block divergence aborts
+the run), and ``capture_cache`` times a cold observation round
+(generate + store) against a warm one served entirely from the
+content-addressed cache.
+
 Results land in ``benchmarks/output/BENCH_pipeline.json`` (override
 with ``--output``).  Run standalone::
 
@@ -39,7 +47,14 @@ from repro.core.pipeline import (
     accumulate_views,
     run_pipeline_accumulated,
 )
-from repro.io import iter_flows_csv, read_flows_csv, write_flows_csv
+from repro.io import (
+    iter_flows_csv,
+    read_flows_archive,
+    read_flows_csv,
+    write_flows_csv,
+)
+from repro.vantage.archive import ArchiveDayView, export_view
+from repro.world.capture_cache import CaptureCache
 from repro.world.observe import Observatory
 from repro.world.scenarios import micro_world, paper_world, small_world
 
@@ -142,6 +157,114 @@ def _worker_scaling(
     return records
 
 
+def _archive_vs_csv(
+    views, routing, config, special, chunk_size, workers_list, baseline
+) -> dict:
+    """Flowpack archives vs CSV: read throughput and classification identity.
+
+    Every view is written both ways; the read timing covers the whole
+    dataset (parse for CSV, memmap + checksum for flowpack).  The
+    archive-backed views then feed the accumulator chunked and in
+    parallel — classification must be bit-identical to the in-memory
+    batch baseline at every chunk size and worker count.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        for index, view in enumerate(views):
+            write_flows_csv(view.flows, root / f"{index}.csv")
+            export_view(view, root / f"{index}.fpk")
+        csv_bytes = sum(
+            (root / f"{i}.csv").stat().st_size for i in range(len(views))
+        )
+        fpk_bytes = sum(
+            (root / f"{i}.fpk").stat().st_size for i in range(len(views))
+        )
+
+        started = time.perf_counter()
+        for index in range(len(views)):
+            read_flows_csv(root / f"{index}.csv")
+        csv_read_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for index in range(len(views)):
+            read_flows_archive(root / f"{index}.fpk")
+        flowpack_read_s = time.perf_counter() - started
+
+        archived = [
+            ArchiveDayView.open(root / f"{index}.fpk")
+            for index in range(len(views))
+        ]
+        identity = []
+        for size in (chunk_size, None):
+            accumulator = accumulate_views(
+                archived,
+                ignore_sources_from_asns=config.ignore_sources_from_asns,
+                chunk_size=size,
+            )
+            result = run_pipeline_accumulated(
+                accumulator, routing, config, special
+            )
+            identity.append(
+                {
+                    "chunk_size": size,
+                    "workers": 1,
+                    "num_dark": int(result.num_dark()),
+                    "identical": _identical(baseline, result),
+                }
+            )
+        for workers in workers_list:
+            if workers <= 1:
+                continue
+            accumulator, _ = parallel_accumulate_views(
+                archived,
+                ignore_sources_from_asns=config.ignore_sources_from_asns,
+                workers=workers,
+            )
+            result = run_pipeline_accumulated(
+                accumulator, routing, config, special
+            )
+            identity.append(
+                {
+                    "chunk_size": None,
+                    "workers": workers,
+                    "num_dark": int(result.num_dark()),
+                    "identical": _identical(baseline, result),
+                }
+            )
+    return {
+        "csv_bytes": int(csv_bytes),
+        "flowpack_bytes": int(fpk_bytes),
+        "csv_read_s": csv_read_s,
+        "flowpack_read_s": flowpack_read_s,
+        "read_speedup": csv_read_s / flowpack_read_s,
+        "identity": identity,
+    }
+
+
+def _capture_cache_rounds(world, days: int) -> dict:
+    """Cold (generate + store) vs warm (archives only) observation."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = CaptureCache(tmp)
+        started = time.perf_counter()
+        Observatory(world, capture_cache=cache).days(days)
+        cold_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        Observatory(world, capture_cache=cache).days(days)
+        warm_s = time.perf_counter() - started
+        stats = cache.stats()
+    return {
+        "days": days,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "speedup": cold_s / warm_s,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "entries": stats.entries,
+        "bytes": stats.bytes,
+    }
+
+
 def _identical(a, b) -> bool:
     return (
         np.array_equal(a.dark_blocks, b.dark_blocks)
@@ -184,6 +307,11 @@ def bench_world(
         views, routing, telescope.config, telescope.special,
         workers_list, batch,
     )
+    archive = _archive_vs_csv(
+        views, routing, telescope.config, telescope.special,
+        chunk_size, workers_list, batch,
+    )
+    cache = _capture_cache_rounds(world, days)
     return {
         "scale": scale,
         "days": days,
@@ -200,6 +328,8 @@ def bench_world(
         },
         "ingest_largest_view": ingest,
         "worker_scaling": scaling,
+        "archive_vs_csv": archive,
+        "capture_cache": cache,
     }
 
 
@@ -256,6 +386,36 @@ def main(argv: list[str] | None = None) -> int:
                     f"workers={row['workers']}: {row['num_dark']} vs "
                     f"{record['num_dark']} dark blocks"
                 )
+        archive = record["archive_vs_csv"]
+        print(
+            f"  archive: csv read {archive['csv_read_s']:.2f}s "
+            f"({archive['csv_bytes'] / 2**20:.1f} MiB) vs flowpack "
+            f"{archive['flowpack_read_s']:.3f}s "
+            f"({archive['flowpack_bytes'] / 2**20:.1f} MiB) — "
+            f"x{archive['read_speedup']:.1f}"
+        )
+        for row in archive["identity"]:
+            if not row["identical"]:
+                raise SystemExit(
+                    f"archive-fed != batch on scale {scale} at "
+                    f"chunk_size={row['chunk_size']} "
+                    f"workers={row['workers']}: {row['num_dark']} vs "
+                    f"{record['num_dark']} dark blocks"
+                )
+        cache = record["capture_cache"]
+        print(
+            f"  capture cache: cold {cache['cold_seconds']:.2f}s, warm "
+            f"{cache['warm_seconds']:.2f}s (x{cache['speedup']:.1f}), "
+            f"{cache['hits']} hit(s) / {cache['misses']} miss(es), "
+            f"{cache['entries']} archive(s), "
+            f"{cache['bytes'] / 2**20:.1f} MiB"
+        )
+        if cache["hits"] != cache["entries"] or cache["hits"] == 0:
+            raise SystemExit(
+                f"capture cache did not serve the warm run on scale "
+                f"{scale}: {cache['hits']} hits over {cache['entries']} "
+                "cached archives"
+            )
 
     payload = {
         "benchmark": "pipeline-batch-vs-chunked",

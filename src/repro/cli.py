@@ -11,16 +11,22 @@ Commands:
 * ``ports``     — print the top targeted ports of the captured IBR;
 * ``report``    — write the full markdown operator report;
 * ``faults``    — run the online telescope through an injected fault
-                  plan and print the degraded-operation log.
+                  plan and print the degraded-operation log;
+* ``convert``   — convert a flow file between CSV and the flowpack
+                  binary columnar archive format (format sniffed from
+                  the input; no world is built).
 
-All commands accept ``--scale {micro,small,paper}``, ``--seed``,
+World commands accept ``--scale {micro,small,paper}``, ``--seed``,
 ``--days``, ``--vantage`` (an IXP code or ``All``), ``--chunk-size``
 (rows per ingestion chunk, or ``auto``; classification is identical at
-any value — the flag only bounds aggregation memory) and ``--workers``
+any value — the flag only bounds aggregation memory), ``--workers``
 (process-pool fan-out of the aggregation; ``0`` = one per CPU; any
-worker count classifies bit-identically).  Commands that run the
-pipeline print a per-stage funnel timing table; parallel runs prepend
-per-worker, IPC and merge rows.
+worker count classifies bit-identically) and ``--capture-cache DIR``
+(content-addressed cache of generated vantage-day captures: re-runs
+with the same scale/seed serve days from flowpack archives instead of
+regenerating them — bit-identical, just faster).  Commands that run
+the pipeline print a per-stage funnel timing table; parallel runs
+prepend per-worker, IPC and merge rows.
 """
 
 from __future__ import annotations
@@ -34,9 +40,15 @@ from repro.core.evaluation import confusion_against_truth, telescope_coverage
 from repro.core.online import OnlineMetaTelescope, POLICIES
 from repro.core.pipeline import PipelineConfig
 from repro.faults import STANDARD_FAULTS, FaultPlan, standard_injector
-from repro.io import write_prefix_list
+from repro.io import (
+    FLOW_FORMATS,
+    convert_flows,
+    write_flows,
+    write_prefix_list,
+)
 from repro.reporting.report import generate_report
 from repro.reporting.tables import format_table
+from repro.world.capture_cache import CaptureCache
 from repro.world.observe import Observatory
 from repro.world.scenarios import micro_world, paper_world, small_world
 
@@ -45,7 +57,10 @@ _SCALES = {"micro": micro_world, "small": small_world, "paper": paper_world}
 
 def _build(args: argparse.Namespace):
     world = _SCALES[args.scale](args.seed)
-    observatory = Observatory(world)
+    cache = None
+    if getattr(args, "capture_cache", None):
+        cache = CaptureCache(args.capture_cache)
+    observatory = Observatory(world, capture_cache=cache)
     telescope = MetaTelescope(
         collector=world.collector,
         liveness=world.datasets.liveness,
@@ -112,7 +127,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_infer(args: argparse.Namespace) -> int:
     world, observatory, telescope = _build(args)
-    _, result = _infer(world, observatory, telescope, args)
+    views, result = _infer(world, observatory, telescope, args)
     comment = (
         f"meta-telescope prefixes — scale={args.scale} seed={args.seed} "
         f"vantage={args.vantage} days={args.days}"
@@ -121,6 +136,21 @@ def cmd_infer(args: argparse.Namespace) -> int:
         result.prefixes, args.output, comment=comment, aggregate=args.aggregate
     )
     print(f"wrote {result.num_prefixes():,} /24 prefixes to {args.output}")
+    if args.capture_output:
+        captured = telescope.captured_traffic(views, result)
+        write_flows(captured, args.capture_output, format=args.format)
+        print(
+            f"wrote {len(captured):,} captured flow records to "
+            f"{args.capture_output} ({args.format})"
+        )
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    rows = convert_flows(
+        args.input, args.output, to=args.to, chunk_rows=args.chunk_rows
+    )
+    print(f"converted {rows:,} flow records to {args.output} ({args.to})")
     return 0
 
 
@@ -292,11 +322,27 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: serial; 0 = one per CPU; classification is "
             "bit-identical at any worker count)",
         )
+        p.add_argument(
+            "--capture-cache", default=None, metavar="DIR",
+            help="content-addressed capture cache directory: generated "
+            "vantage-days are stored as flowpack archives and re-runs "
+            "with the same world serve them from disk (bit-identical)",
+        )
         if name == "infer":
             p.add_argument("--output", default="meta-telescope-prefixes.txt")
             p.add_argument(
                 "--aggregate", action="store_true",
                 help="collapse contiguous /24s into their CIDR cover",
+            )
+            p.add_argument(
+                "--capture-output", default=None, metavar="PATH",
+                help="also write the traffic captured toward the final "
+                "prefixes (the paper's second data product)",
+            )
+            p.add_argument(
+                "--format", choices=FLOW_FORMATS, default="csv",
+                help="flow file format for --capture-output "
+                "(default: csv)",
             )
         if name == "ports":
             p.add_argument("--count", type=int, default=10)
@@ -323,6 +369,26 @@ def build_parser() -> argparse.ArgumentParser:
                 help="rolling-window length in days",
             )
         p.set_defaults(handler=handler)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a flow file between csv and flowpack",
+        description="Convert flow records between the CSV interchange "
+        "format and the flowpack binary columnar archive.  The input "
+        "format is sniffed from the file itself; conversion streams in "
+        "bounded chunks, so paper-scale files never load whole.",
+    )
+    convert.add_argument("input", help="source flow file (csv or flowpack)")
+    convert.add_argument("output", help="destination path")
+    convert.add_argument(
+        "--to", choices=FLOW_FORMATS, default="flowpack",
+        help="target format (default: flowpack)",
+    )
+    convert.add_argument(
+        "--chunk-rows", type=int, default=65536,
+        help="rows per streamed conversion chunk (default: 65536)",
+    )
+    convert.set_defaults(handler=cmd_convert)
     return parser
 
 

@@ -372,7 +372,12 @@ class PrefixAccumulator:
         view that produced them (without re-sorting the whole table).
         """
         self.observe(view.vantage, view.day)
-        resolved = resolve_chunk_size(chunk_size, len(view.flows))
+        # num_rows is cheap for archive-backed views (segment headers,
+        # no data mapped); len(view.flows) would materialise the day.
+        rows = getattr(view, "num_rows", None)
+        if rows is None:
+            rows = len(view.flows)
+        resolved = resolve_chunk_size(chunk_size, rows)
         for chunk in view.iter_chunks(resolved):
             self.update(
                 chunk,

@@ -24,9 +24,14 @@ existing behaviour and determinism guarantees are untouched by default.
 
 On platforms with ``fork`` the views are inherited copy-on-write and
 only shard indices cross the pipe; elsewhere (``spawn``) the shard
-payloads are pickled across.  Per-worker wall time, IPC overhead and
-merge time are reported as :class:`~repro.core.stages.StageTiming`
-rows, folding into the existing stage-timing observability.
+payloads are pickled across — **except** for archive-backed views
+(:class:`~repro.vantage.archive.ArchiveDayView`), whose shards travel
+as (path, row-range) descriptors under either start method: each
+worker opens the flowpack memmap itself and folds its assigned row
+range straight off the page cache, so no flow payload ever crosses
+the pipe.  Per-worker wall time, IPC overhead and merge time are
+reported as :class:`~repro.core.stages.StageTiming` rows, folding
+into the existing stage-timing observability.
 """
 
 from __future__ import annotations
@@ -143,14 +148,14 @@ def shard_views(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
-    total_rows = sum(len(view.flows) for view in views)
+    total_rows = sum(_view_rows(view) for view in views)
     if max_shard_rows is None:
         max_shard_rows = max(1, -(-total_rows // workers))
     if max_shard_rows < 1:
         raise ValueError(f"max_shard_rows must be >= 1: {max_shard_rows}")
     shards: list[Shard] = []
     for index, view in enumerate(views):
-        rows = len(view.flows)
+        rows = _view_rows(view)
         if rows == 0:
             shards.append((index, 0, 0))
             continue
@@ -205,16 +210,42 @@ def _slice_table(flows: FlowTable, start: int, stop: int) -> FlowTable:
     )
 
 
+def _view_rows(view: VantageDayView) -> int:
+    """A view's row count without materialising archive-backed flows."""
+    rows = getattr(view, "num_rows", None)
+    return len(view.flows) if rows is None else rows
+
+
+def _shard_payload(view: VantageDayView, start: int, stop: int):
+    """What a worker receives for one shard of ``view``.
+
+    Archive-backed views hand out a picklable ``ArchiveSlice`` — the
+    worker opens the memmap itself and reads only its row range, so
+    the payload crossing the pipe (or surviving the fork) is a path
+    plus two integers.  In-memory views slice zero-copy as before.
+    """
+    slice_ref = getattr(view, "slice_ref", None)
+    if slice_ref is not None:
+        return slice_ref(start, stop)
+    return _slice_table(view.flows, start, stop)
+
+
 def _fold_entries(
-    entries: list[tuple[str, int, float, FlowTable]],
+    entries: list[tuple[str, int, float, object]],
     ignored: frozenset[int],
     chunk_size: int | str | None,
 ) -> tuple[dict, int, int, float, float]:
-    """Fold shard entries into a partial; return its wire state + stats."""
+    """Fold shard entries into a partial; return its wire state + stats.
+
+    An entry's payload is either a :class:`FlowTable` or a lazy
+    reference with a ``load()`` method (an archive slice); loading in
+    here means the rows first exist inside the worker doing the fold.
+    """
     started = time.perf_counter()
     accumulator = PrefixAccumulator(ignored)
     rows = 0
-    for vantage, day, sampling_factor, flows in entries:
+    for vantage, day, sampling_factor, payload in entries:
+        flows = payload.load() if hasattr(payload, "load") else payload
         rows += len(flows)
         accumulator.observe(vantage, day)
         resolved = resolve_chunk_size(chunk_size, len(flows))
@@ -238,7 +269,7 @@ def _fold_fork_bucket(bucket: list[Shard]):
             views[index].vantage,
             views[index].day,
             views[index].sampling_factor,
-            _slice_table(views[index].flows, start, stop),
+            _shard_payload(views[index], start, stop),
         )
         for index, start, stop in bucket
     ]
@@ -284,7 +315,7 @@ def parallel_accumulate_views(
         elapsed = time.perf_counter() - started
         report = WorkerReport(
             index=0, shards=len(views),
-            rows=sum(len(view.flows) for view in views),
+            rows=sum(_view_rows(view) for view in views),
             fold_seconds=elapsed, encode_seconds=0.0,
         )
         return accumulator, ParallelStats(
@@ -314,7 +345,7 @@ def parallel_accumulate_views(
                         views[index].vantage,
                         views[index].day,
                         views[index].sampling_factor,
-                        _slice_table(views[index].flows, start, stop),
+                        _shard_payload(views[index], start, stop),
                     )
                     for index, start, stop in bucket
                 ],

@@ -1,0 +1,528 @@
+"""Flowpack: a binary columnar flow-archive format.
+
+Row-oriented CSV is untenable at replay scale — a multi-GB vantage-day
+costs one Python ``int()`` call per cell in both directions.  Flowpack
+stores a :class:`~repro.traffic.flows.FlowTable` the way the pipeline
+already holds it: **per-column contiguous numpy buffers**, so reading a
+day back is an ``np.memmap`` plus nine zero-copy views instead of
+millions of string conversions.
+
+Layout (all integers little-endian)::
+
+    file   := magic header segment*
+    magic  := b"FLOWPACK"                            (8 bytes)
+    header := u32 version, u32 json_len,
+              json_len bytes of UTF-8 JSON, pad8
+              -- JSON: {"columns": [[name, dtype], ...], "meta": {...}}
+    segment:= b"SEGM", u64 rows,
+              (u64 nbytes, u32 crc32) per column, pad8,
+              column buffers (each padded to 8 bytes), in header order
+
+Design properties:
+
+* **Append-able** — a segment is self-describing, so a chunked vantage
+  capture streams straight to disk: every
+  :meth:`FlowpackWriter.write` call appends one segment and nothing is
+  ever rewritten.
+* **Zero-copy reads** — :meth:`FlowpackArchive.segment_flows` returns
+  a :class:`~repro.traffic.flows.FlowTable` whose columns are views
+  into one shared ``np.memmap``; slicing chunks out of it never copies
+  a row.  All offsets are 8-byte aligned by construction.
+* **Per-column checksums** — every buffer carries a CRC-32.  Strict
+  readers raise :class:`FlowpackError` naming the file, segment and
+  column; the lenient reader degrades exactly like damaged CSV does,
+  skipping the bad segment and collecting a
+  :class:`~repro.io.ParseReport` (the quarantine path
+  :mod:`repro.faults` policies key on).
+* **Self-describing metadata** — the header JSON carries an arbitrary
+  ``meta`` mapping, which vantage exports use to store the vantage
+  code, day and sampling factor, making an archive a complete
+  vantage-day on its own (:mod:`repro.vantage.archive`).
+
+The public entry points mirror the CSV ones re-exported from
+:mod:`repro.io`: :func:`write_flows_archive`, :func:`read_flows_archive`,
+:func:`read_flows_archive_lenient` and :func:`iter_flows_archive` are
+drop-in for their ``*_csv`` counterparts.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.traffic.flows import FLOW_COLUMNS, FlowTable
+
+#: File magic; also what :func:`is_flowpack` sniffs.
+MAGIC = b"FLOWPACK"
+#: Format version written by this module.
+FLOWPACK_VERSION = 1
+#: Per-segment marker.
+_SEGMENT_MAGIC = b"SEGM"
+
+_FILE_HEADER = struct.Struct("<II")  # version, json_len
+_SEGMENT_HEADER = struct.Struct("<Q")  # rows
+_COLUMN_HEADER = struct.Struct("<QI")  # nbytes, crc32
+
+
+class FlowpackError(ValueError):
+    """Structural damage in a flowpack file (bad header, checksum,
+    truncation).  A ``ValueError`` so strict callers that already catch
+    CSV parse errors catch flowpack damage the same way."""
+
+
+def _pad8(n: int) -> int:
+    """Bytes of padding that align ``n`` up to an 8-byte boundary."""
+    return (-n) % 8
+
+
+def _column_spec() -> list[list[str]]:
+    return [[name, np.dtype(dtype).str] for name, dtype in FLOW_COLUMNS.items()]
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentInfo:
+    """Location of one segment's buffers inside the file."""
+
+    index: int
+    #: First global row of this segment (segments concatenate in order).
+    start_row: int
+    rows: int
+    #: Absolute byte offset of each column buffer, in column order.
+    offsets: tuple[int, ...]
+    nbytes: tuple[int, ...]
+    checksums: tuple[int, ...]
+
+    @property
+    def stop_row(self) -> int:
+        return self.start_row + self.rows
+
+
+# -- writing ------------------------------------------------------------
+
+
+class FlowpackWriter:
+    """Append-able flowpack writer (one segment per :meth:`write`).
+
+    ``append=True`` re-opens an existing archive, validates its header
+    against the current schema, and appends after the last intact
+    segment.  Use as a context manager; an empty ``write`` is a no-op
+    (segments always hold at least one row).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        meta: Mapping[str, Any] | None = None,
+        append: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self._rows = 0
+        if append and self.path.exists() and self.path.stat().st_size > 0:
+            _, segments, _ = scan_archive(self.path, strict=True)
+            self._rows = segments[-1].stop_row if segments else 0
+            self._handle = open(self.path, "ab")
+        else:
+            self._handle = open(self.path, "wb")
+            payload = json.dumps(
+                {"columns": _column_spec(), "meta": dict(meta or {})},
+                sort_keys=True,
+            ).encode()
+            self._handle.write(MAGIC)
+            self._handle.write(_FILE_HEADER.pack(FLOWPACK_VERSION, len(payload)))
+            self._handle.write(payload)
+            self._handle.write(b"\x00" * _pad8(len(payload)))
+
+    @property
+    def rows_written(self) -> int:
+        """Total rows in the archive, appended-to segments included."""
+        return self._rows
+
+    def write(self, flows: FlowTable) -> None:
+        """Append one segment holding ``flows`` (no-op when empty)."""
+        if len(flows) == 0:
+            return
+        buffers = []
+        for name, dtype in FLOW_COLUMNS.items():
+            column = np.ascontiguousarray(getattr(flows, name), dtype=dtype)
+            buffers.append(column.tobytes())
+        header = [_SEGMENT_MAGIC, _SEGMENT_HEADER.pack(len(flows))]
+        for buffer in buffers:
+            header.append(
+                _COLUMN_HEADER.pack(len(buffer), zlib.crc32(buffer))
+            )
+        header_bytes = b"".join(header)
+        self._handle.write(header_bytes)
+        self._handle.write(b"\x00" * _pad8(len(header_bytes)))
+        for buffer in buffers:
+            self._handle.write(buffer)
+            self._handle.write(b"\x00" * _pad8(len(buffer)))
+        self._rows += len(flows)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "FlowpackWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_flows_archive(
+    flows: FlowTable,
+    path: str | Path,
+    meta: Mapping[str, Any] | None = None,
+    chunk_rows: int | None = None,
+) -> None:
+    """Write a flow table as a flowpack archive.
+
+    ``chunk_rows`` splits the table into multiple segments (the shape a
+    chunked capture stream would have produced); ``None`` writes one
+    segment.  An empty table yields a valid zero-segment archive.
+    """
+    with FlowpackWriter(path, meta=meta) as writer:
+        for chunk in flows.iter_chunks(chunk_rows):
+            writer.write(chunk)
+
+
+def append_flows_archive(flows: FlowTable, path: str | Path) -> None:
+    """Append ``flows`` as one new segment to an existing archive."""
+    with FlowpackWriter(path, append=True) as writer:
+        writer.write(flows)
+
+
+# -- scanning -----------------------------------------------------------
+
+
+def is_flowpack(path: str | Path) -> bool:
+    """Whether ``path`` starts with the flowpack magic."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def scan_archive(
+    path: str | Path, strict: bool = True
+):
+    """Walk an archive's headers without touching the column data.
+
+    Returns ``(meta, segments, report)``.  Structural damage before the
+    first segment (bad magic, header, schema) is always fatal — then
+    nothing about the file can be trusted, exactly like a wrong CSV
+    header.  A truncated or malformed *segment* is fatal in strict
+    mode; lenient mode stops at the damage and records it in the
+    report (everything after a truncation point is unreadable).
+
+    Checksums are **not** verified here — scanning must stay O(header)
+    so an ``np.memmap`` open of a multi-GB day is instant; per-segment
+    verification happens on first read.
+    """
+    from repro.io import ParseReport, RowError  # local: io imports us
+
+    path = Path(path)
+    report = ParseReport(path=str(path))
+    size = path.stat().st_size
+    ncols = len(FLOW_COLUMNS)
+    with open(path, "rb") as handle:
+        prefix = handle.read(len(MAGIC) + _FILE_HEADER.size)
+        if len(prefix) < len(MAGIC) + _FILE_HEADER.size or not prefix.startswith(
+            MAGIC
+        ):
+            raise FlowpackError(f"{path}: not a flowpack file")
+        version, json_len = _FILE_HEADER.unpack_from(prefix, len(MAGIC))
+        if version != FLOWPACK_VERSION:
+            raise FlowpackError(
+                f"{path}: unsupported flowpack version {version}"
+            )
+        payload = handle.read(json_len)
+        if len(payload) < json_len:
+            raise FlowpackError(f"{path}: truncated header")
+        try:
+            header = json.loads(payload.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise FlowpackError(f"{path}: corrupt header JSON: {error}") from None
+        if header.get("columns") != _column_spec():
+            raise FlowpackError(
+                f"{path}: unexpected flowpack schema: {header.get('columns')}"
+            )
+        meta = header.get("meta", {})
+        handle.seek(_pad8(json_len), 1)
+
+        segments: list[SegmentInfo] = []
+        start_row = 0
+        seg_header_size = (
+            len(_SEGMENT_MAGIC) + _SEGMENT_HEADER.size
+            + ncols * _COLUMN_HEADER.size
+        )
+        seg_header_size += _pad8(seg_header_size)
+        while True:
+            base = handle.tell()
+            if base >= size:
+                break
+            raw = handle.read(seg_header_size)
+            damage = None
+            if len(raw) < seg_header_size or not raw.startswith(_SEGMENT_MAGIC):
+                damage = "truncated or corrupt segment header"
+                rows = 0
+            else:
+                (rows,) = _SEGMENT_HEADER.unpack_from(raw, len(_SEGMENT_MAGIC))
+                offsets, nbytes, checksums = [], [], []
+                cursor = base + seg_header_size
+                pos = len(_SEGMENT_MAGIC) + _SEGMENT_HEADER.size
+                for name, dtype in FLOW_COLUMNS.items():
+                    length, crc = _COLUMN_HEADER.unpack_from(raw, pos)
+                    pos += _COLUMN_HEADER.size
+                    if length != rows * np.dtype(dtype).itemsize:
+                        damage = (
+                            f"column {name!r} holds {length} bytes, "
+                            f"expected {rows * np.dtype(dtype).itemsize}"
+                        )
+                        break
+                    offsets.append(cursor)
+                    nbytes.append(length)
+                    checksums.append(crc)
+                    cursor += length + _pad8(length)
+                if damage is None and cursor > size:
+                    damage = (
+                        f"segment data runs past end of file "
+                        f"({cursor} > {size} bytes)"
+                    )
+                if damage is None and rows == 0:
+                    damage = "segment with zero rows"
+            if damage is not None:
+                message = f"segment {len(segments)}: {damage}"
+                if strict:
+                    raise FlowpackError(f"{path}: {message}")
+                report.errors.append(
+                    RowError(
+                        line=len(segments) + 1, message=message,
+                        text=f"byte offset {base}",
+                    )
+                )
+                # Resync: scan forward for the next segment magic, so a
+                # single damaged header loses one segment, not the rest
+                # of the archive.  (A 4-byte magic plus nine exact
+                # column-length checks makes a false resync vanishingly
+                # unlikely.)  No magic ahead = a truncated tail; stop.
+                handle.seek(base + 1)
+                rest = handle.read()
+                resync = rest.find(_SEGMENT_MAGIC)
+                if resync < 0:
+                    break
+                handle.seek(base + 1 + resync)
+                continue
+            segments.append(
+                SegmentInfo(
+                    index=len(segments),
+                    start_row=start_row,
+                    rows=rows,
+                    offsets=tuple(offsets),
+                    nbytes=tuple(nbytes),
+                    checksums=tuple(checksums),
+                )
+            )
+            report.total_rows += rows
+            report.good_rows += rows
+            start_row += rows
+            handle.seek(cursor)
+    return meta, segments, report
+
+
+# -- reading ------------------------------------------------------------
+
+
+class FlowpackArchive:
+    """A memory-mapped flowpack archive.
+
+    Column data is a single shared ``np.memmap``; every
+    :class:`~repro.traffic.flows.FlowTable` this object hands out holds
+    zero-copy (read-only) views into it.  Each segment's checksums are
+    verified once, on first read; pass ``verify=False`` to skip (e.g.
+    a worker re-reading a range the coordinator already verified).
+    """
+
+    def __init__(self, path: str | Path, *, _scanned=None) -> None:
+        self.path = Path(path)
+        if _scanned is None:
+            self.meta, self.segments, _ = scan_archive(self.path, strict=True)
+        else:  # pre-scanned (the lenient reader's salvage path)
+            self.meta, self.segments = _scanned
+        self.num_rows = (
+            self.segments[-1].stop_row if self.segments else 0
+        )
+        self._mmap: np.ndarray | None = None
+        self._verified = [False] * len(self.segments)
+
+    def _data(self) -> np.ndarray:
+        if self._mmap is None:
+            self._mmap = np.memmap(self.path, dtype=np.uint8, mode="r")
+        return self._mmap
+
+    def verify_segment(self, index: int) -> None:
+        """Check one segment's per-column CRC-32s (idempotent)."""
+        if self._verified[index]:
+            return
+        segment = self.segments[index]
+        data = self._data()
+        for (name, _), offset, nbytes, expected in zip(
+            FLOW_COLUMNS.items(), segment.offsets, segment.nbytes,
+            segment.checksums,
+        ):
+            actual = zlib.crc32(data[offset:offset + nbytes])
+            if actual != expected:
+                raise FlowpackError(
+                    f"{self.path}: segment {index}: column {name!r} "
+                    f"checksum mismatch (stored {expected:#010x}, "
+                    f"computed {actual:#010x})"
+                )
+        self._verified[index] = True
+
+    def segment_flows(self, index: int, verify: bool = True) -> FlowTable:
+        """One segment as a zero-copy memmap-backed flow table."""
+        if verify:
+            self.verify_segment(index)
+        segment = self.segments[index]
+        data = self._data()
+        columns = {}
+        for (name, dtype), offset, nbytes in zip(
+            FLOW_COLUMNS.items(), segment.offsets, segment.nbytes
+        ):
+            columns[name] = data[offset:offset + nbytes].view(dtype)
+        return FlowTable(**columns)
+
+    def read_rows(
+        self, start: int, stop: int, verify: bool = True
+    ) -> FlowTable:
+        """Rows ``[start, stop)`` of the whole archive.
+
+        Touches only the segments the range spans; a range inside one
+        segment stays zero-copy, a spanning range concatenates the
+        spanned slices (bounded by the range size, never the file).
+        """
+        start = max(0, start)
+        stop = min(self.num_rows, stop)
+        if stop <= start:
+            return FlowTable.empty()
+        parts = []
+        for index, segment in enumerate(self.segments):
+            if segment.stop_row <= start:
+                continue
+            if segment.start_row >= stop:
+                break
+            table = self.segment_flows(index, verify=verify)
+            lo = max(0, start - segment.start_row)
+            hi = min(segment.rows, stop - segment.start_row)
+            if lo > 0 or hi < segment.rows:
+                table = FlowTable(
+                    **{
+                        name: getattr(table, name)[lo:hi]
+                        for name in FLOW_COLUMNS
+                    }
+                )
+            parts.append(table)
+        return FlowTable.concat(parts)
+
+    def iter_chunks(
+        self, chunk_rows: int | None = None, verify: bool = True
+    ) -> Iterator[FlowTable]:
+        """Bounded-size chunks over the archive, zero-copy per segment.
+
+        Chunks never cross a segment boundary (each is a slice of one
+        segment's memmap views), so they concatenate to exactly the
+        full table; ``chunk_rows=None`` yields one chunk per segment.
+        """
+        if chunk_rows is not None and chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        for index in range(len(self.segments)):
+            yield from self.segment_flows(index, verify=verify).iter_chunks(
+                chunk_rows
+            )
+
+    def read_all(self, verify: bool = True) -> FlowTable:
+        """The whole archive as one table (zero-copy iff one segment)."""
+        if len(self.segments) == 1:
+            return self.segment_flows(0, verify=verify)
+        return FlowTable.concat(
+            self.segment_flows(i, verify=verify)
+            for i in range(len(self.segments))
+        )
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+
+def open_flows_archive(path: str | Path) -> FlowpackArchive:
+    """Open (and structurally validate) an archive for random access."""
+    return FlowpackArchive(path)
+
+
+def iter_flows_archive(
+    path: str | Path, chunk_rows: int = 65536
+) -> Iterator[FlowTable]:
+    """Stream an archive as bounded-size flow chunks.
+
+    Drop-in for :func:`repro.io.iter_flows_csv` wherever chunks feed a
+    :class:`repro.core.accum.PrefixAccumulator`: strict (checksum or
+    structural damage raises :class:`FlowpackError` naming the file and
+    segment), zero-copy, and chunks concatenate to exactly the one-shot
+    read.
+    """
+    archive = FlowpackArchive(path)
+    yield from archive.iter_chunks(chunk_rows)
+
+
+def read_flows_archive(path: str | Path) -> FlowTable:
+    """Read a whole archive (strict; verifies every checksum)."""
+    return FlowpackArchive(path).read_all()
+
+
+def read_flows_archive_lenient(path: str | Path):
+    """Like :func:`read_flows_archive`, but damage is collected.
+
+    The flowpack analogue of :func:`repro.io.read_flows_csv_lenient`:
+    segments that fail their checksum are skipped and recorded (one
+    :class:`~repro.io.RowError` per segment, ``line`` = 1-based segment
+    ordinal, ``total_rows`` counting the lost rows), and a truncated
+    tail is reported the same way — so a mostly-good archive survives
+    disk damage through the identical ``ParseReport``/quarantine path
+    CSV damage uses.  A corrupt file header stays fatal in both modes.
+    """
+    from repro.io import RowError
+
+    path = Path(path)
+    meta, segments, report = scan_archive(path, strict=False)
+    archive: FlowpackArchive | None = None
+    good: list[FlowTable] = []
+    if segments:
+        archive = FlowpackArchive(path, _scanned=(meta, segments))
+    report.good_rows = 0
+    for segment in segments:
+        try:
+            good.append(archive.segment_flows(segment.index, verify=True))
+            report.good_rows += segment.rows
+        except FlowpackError as error:
+            report.errors.append(
+                RowError(
+                    line=segment.index + 1,
+                    message=str(error).split(": ", 1)[-1],
+                    text=f"segment {segment.index} "
+                    f"({segment.rows} row(s) lost)",
+                )
+            )
+    report.errors.sort(key=lambda error: error.line)
+    return FlowTable.concat(good), report
+
+
+def archive_meta(path: str | Path) -> dict:
+    """The header ``meta`` mapping (without touching column data)."""
+    meta, _, _ = scan_archive(path, strict=True)
+    return dict(meta)

@@ -15,6 +15,16 @@ first malformed row, naming the file and 1-based line number.  The
 ``*_lenient`` variants never raise on row-level damage: bad rows are
 skipped and collected into a :class:`ParseReport`, so a mostly-good
 day survives a corrupted export instead of being lost entirely.
+
+Flow tables additionally serialise to **flowpack**, a binary columnar
+archive format (:mod:`repro.flowpack`) re-exported here: per-column
+contiguous numpy buffers with per-column checksums, append-able
+segment by segment, read back via ``np.memmap`` as zero-copy chunk
+views — the replay-scale counterpart of the CSV interchange format.
+``iter_flows_archive``/``read_flows_archive`` are drop-in for
+``iter_flows_csv``/``read_flows_csv``, with the same strict/lenient
+split (:func:`read_flows_archive_lenient` reports damaged segments
+through the same :class:`ParseReport` path).
 """
 
 from __future__ import annotations
@@ -166,29 +176,55 @@ def read_prefix_list_lenient(
 # -- flow tables --------------------------------------------------------
 
 
+def _render_csv_rows(flows: FlowTable) -> str:
+    """Render a flow table's data rows as CSV text, column-wise.
+
+    Each numpy column becomes decimal strings in one vectorised
+    ``astype`` and the field arrays are joined with ``np.char.add`` —
+    no per-cell Python ``int()`` call.  The bytes match the historical
+    ``csv.writer`` output exactly (CRLF line terminators included), so
+    existing archives diff clean.  Empty tables render to ``""``.
+    """
+    if len(flows) == 0:
+        return ""
+    fields = [
+        np.asarray(getattr(flows, name)).astype(np.int64).astype("U20")
+        for name in FLOW_COLUMNS
+    ]
+    rows = fields[0]
+    comma = np.array(",", dtype="U1")
+    for column in fields[1:]:
+        rows = np.char.add(np.char.add(rows, comma), column)
+    return "\r\n".join(rows.tolist()) + "\r\n"
+
+
 def write_flows_csv(flows: FlowTable, path: str | Path) -> None:
-    """Write a flow table as CSV (header = column names)."""
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(FLOW_COLUMNS)
-        for row in zip(*(getattr(flows, name) for name in FLOW_COLUMNS)):
-            writer.writerow([int(v) for v in row])
+    """Write a flow table as CSV (header = column names).
+
+    The writer is vectorised (see :func:`_render_csv_rows`); output is
+    byte-identical to the per-row ``csv.writer`` it replaced.
+    """
+    header = ",".join(FLOW_COLUMNS) + "\r\n"
+    Path(path).write_text(header + _render_csv_rows(flows), newline="")
 
 
-def _parse_flow_rows(
-    path: str | Path, strict: bool
-) -> tuple[list[tuple[int, ...]], ParseReport]:
-    report = ParseReport(path=str(path))
+def _iter_valid_rows(
+    path: str | Path, strict: bool, report: ParseReport
+) -> Iterator[tuple[int, ...]]:
+    """The one row-validating core every CSV flow reader drives.
+
+    Yields parsed rows; the wrong header is always fatal.  Malformed
+    rows raise with the file name and 1-based line number in strict
+    mode and are collected into ``report`` otherwise.  Trailing blank
+    lines (and stray empty records) are not data; both modes skip them.
+    """
     expected = len(FLOW_COLUMNS)
-    rows: list[tuple[int, ...]] = []
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
         if header != list(FLOW_COLUMNS):
             raise ValueError(f"unexpected flow CSV header: {header}")
         for row in reader:
-            # Trailing blank lines (and stray empty records) are not
-            # data; skip them in both modes.
             if not row or all(not cell.strip() for cell in row):
                 continue
             report.total_rows += 1
@@ -207,8 +243,14 @@ def _parse_flow_rows(
                 )
                 continue
             report.good_rows += 1
-            rows.append(parsed)
-    return rows, report
+            yield parsed
+
+
+def _parse_flow_rows(
+    path: str | Path, strict: bool
+) -> tuple[list[tuple[int, ...]], ParseReport]:
+    report = ParseReport(path=str(path))
+    return list(_iter_valid_rows(path, strict, report)), report
 
 
 def _rows_to_table(rows: list[tuple[int, ...]]) -> FlowTable:
@@ -237,28 +279,13 @@ def iter_flows_csv(
     """
     if chunk_rows < 1:
         raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
-    expected = len(FLOW_COLUMNS)
     pending: list[tuple[int, ...]] = []
-    with open(path, newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header != list(FLOW_COLUMNS):
-            raise ValueError(f"unexpected flow CSV header: {header}")
-        for row in reader:
-            if not row or all(not cell.strip() for cell in row):
-                continue
-            lineno = reader.line_num
-            try:
-                if len(row) != expected:
-                    raise ValueError(
-                        f"expected {expected} fields, got {len(row)}"
-                    )
-                pending.append(tuple(int(v) for v in row))
-            except ValueError as error:
-                raise ValueError(f"{path}:{lineno}: {error}") from None
-            if len(pending) >= chunk_rows:
-                yield _rows_to_table(pending)
-                pending = []
+    report = ParseReport(path=str(path))
+    for parsed in _iter_valid_rows(path, strict=True, report=report):
+        pending.append(parsed)
+        if len(pending) >= chunk_rows:
+            yield _rows_to_table(pending)
+            pending = []
     if pending:
         yield _rows_to_table(pending)
 
@@ -283,3 +310,92 @@ def read_flows_csv_lenient(
     """
     rows, report = _parse_flow_rows(path, strict=False)
     return _rows_to_table(rows), report
+
+
+# -- flow archives (flowpack) -------------------------------------------
+#
+# The binary columnar counterpart of the CSV flow format lives in
+# :mod:`repro.flowpack`; its public API is re-exported here so callers
+# keep a single serialisation module.  ``iter_flows_archive`` /
+# ``read_flows_archive`` / ``read_flows_archive_lenient`` mirror the
+# ``*_csv`` trio exactly (strictness, chunking, ParseReport).
+
+from repro.flowpack import (  # noqa: E402  (re-export)
+    FlowpackArchive as FlowpackArchive,
+    FlowpackError as FlowpackError,
+    FlowpackWriter as FlowpackWriter,
+    append_flows_archive as append_flows_archive,
+    archive_meta as archive_meta,
+    is_flowpack as is_flowpack,
+    iter_flows_archive as iter_flows_archive,
+    open_flows_archive as open_flows_archive,
+    read_flows_archive as read_flows_archive,
+    read_flows_archive_lenient as read_flows_archive_lenient,
+    write_flows_archive as write_flows_archive,
+)
+
+#: Flow-table serialisation formats the CLI and converters accept.
+FLOW_FORMATS = ("csv", "flowpack")
+
+
+def sniff_flow_format(path: str | Path) -> str:
+    """``"flowpack"`` or ``"csv"``, by magic bytes (not extension)."""
+    return "flowpack" if is_flowpack(path) else "csv"
+
+
+def convert_flows(
+    source: str | Path,
+    target: str | Path,
+    to: str,
+    chunk_rows: int = 65536,
+) -> int:
+    """Convert a flow file between formats, streaming; returns rows.
+
+    The source format is sniffed from its magic bytes.  Conversion is
+    chunked in both directions, so a multi-GB file converts in bounded
+    memory; CSV → flowpack produces one segment per chunk (what a
+    chunked capture stream would have written), and flowpack → CSV
+    verifies every segment checksum on the way out.
+    """
+    if to not in FLOW_FORMATS:
+        raise ValueError(f"unknown target format {to!r}; choose {FLOW_FORMATS}")
+    source_format = sniff_flow_format(source)
+    chunks = (
+        iter_flows_archive(source, chunk_rows=chunk_rows)
+        if source_format == "flowpack"
+        else iter_flows_csv(source, chunk_rows=chunk_rows)
+    )
+    rows = 0
+    if to == "flowpack":
+        with FlowpackWriter(target) as writer:
+            for chunk in chunks:
+                writer.write(chunk)
+                rows += len(chunk)
+        return rows
+    # Chunked CSV write: the vectorised renderer formats each chunk,
+    # appended behind the single header.
+    with open(target, "w", newline="") as handle:
+        handle.write(",".join(FLOW_COLUMNS) + "\r\n")
+        for chunk in chunks:
+            handle.write(_render_csv_rows(chunk))
+            rows += len(chunk)
+    return rows
+
+
+def write_flows(
+    flows: FlowTable, path: str | Path, format: str = "csv"
+) -> None:
+    """Write a flow table in the named format (``csv``/``flowpack``)."""
+    if format == "csv":
+        write_flows_csv(flows, path)
+    elif format == "flowpack":
+        write_flows_archive(flows, path)
+    else:
+        raise ValueError(f"unknown flow format {format!r}; choose {FLOW_FORMATS}")
+
+
+def read_flows(path: str | Path) -> FlowTable:
+    """Read a flow table in whichever format the file is (sniffed)."""
+    if sniff_flow_format(path) == "flowpack":
+        return read_flows_archive(path)
+    return read_flows_csv(path)

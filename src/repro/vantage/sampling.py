@@ -76,6 +76,18 @@ class VantageDayView:
             self._aggregates = compute_block_aggregates(self.flows)
         return self._aggregates
 
+    @property
+    def num_rows(self) -> int:
+        """Flow-record count.
+
+        Part of the duck interface shared with
+        :class:`repro.vantage.archive.ArchiveDayView`, where it comes
+        from segment headers without touching (or mapping) the column
+        data — size-dependent decisions (chunk sizing, sharding) should
+        ask this, not ``len(view.flows)``.
+        """
+        return len(self.flows)
+
     def iter_chunks(self, chunk_rows: int | None = None):
         """The view's flows as zero-copy bounded-size chunks.
 

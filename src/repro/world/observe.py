@@ -10,14 +10,25 @@ is discarded — exactly as unstored line-rate traffic is in reality).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.vantage.sampling import VantageDayView
 from repro.world.builder import World
 
+if TYPE_CHECKING:
+    from repro.world.capture_cache import CaptureCache
+
 
 @dataclass
 class DayObservation:
-    """Everything every vantage point recorded on one day."""
+    """Everything every vantage point recorded on one day.
+
+    Views are in-memory :class:`VantageDayView` objects on a freshly
+    generated day, or archive-backed
+    :class:`~repro.vantage.archive.ArchiveDayView` objects when every
+    vantage came out of a :class:`~repro.world.capture_cache.CaptureCache`
+    — the two share one duck interface, so consumers never care.
+    """
 
     day: int
     ixp_views: dict[str, VantageDayView]
@@ -36,10 +47,22 @@ class DayObservation:
 
 
 class Observatory:
-    """Per-day observation cache over a world."""
+    """Per-day observation cache over a world.
 
-    def __init__(self, world: World) -> None:
+    With a :class:`~repro.world.capture_cache.CaptureCache` attached,
+    each generated vantage-day capture is persisted content-addressed
+    by (world config, day, vantage); when *every* vantage of a day is
+    already cached, the day is served straight from the archives and
+    the expensive ``generate_day`` simulation is skipped entirely.
+    Generation is seeded, so a cache hit is bit-identical to
+    regenerating.
+    """
+
+    def __init__(
+        self, world: World, capture_cache: "CaptureCache | None" = None
+    ) -> None:
         self.world = world
+        self.capture_cache = capture_cache
         self._days: dict[int, DayObservation] = {}
 
     def day(self, day: int) -> DayObservation:
@@ -69,6 +92,11 @@ class Observatory:
         return views
 
     def _observe(self, day: int) -> DayObservation:
+        if self.capture_cache is not None:
+            recalled = self._recall_cached(day)
+            if recalled is not None:
+                return recalled
+
         world = self.world
         traffic_rng = world.config.child_rng(f"traffic-day-{day}")
         ground = world.mix.generate_day(day, traffic_rng)
@@ -81,9 +109,58 @@ class Observatory:
             for code, telescope in world.telescopes.items()
         }
         isp_view = world.isp.capture(ground, day)
-        return DayObservation(
+        observation = DayObservation(
             day=day,
             ixp_views=ixp_views,
             telescope_views=telescope_views,
             isp_view=isp_view,
         )
+        if self.capture_cache is not None:
+            self._store_cached(day, observation)
+        return observation
+
+    def _vantage_codes(self) -> tuple[list[str], list[str], str]:
+        """Every vantage a day observation must cover."""
+        world = self.world
+        return (
+            world.fabric.codes(),
+            sorted(world.telescopes),
+            world.isp.code,
+        )
+
+    def _recall_cached(self, day: int) -> DayObservation | None:
+        """The day served entirely from cached archives, else ``None``.
+
+        All-or-nothing on purpose: a partial hit still pays for
+        ``generate_day`` (the dominant cost), so the simpler contract —
+        skip generation only when *every* vantage is cached — costs
+        nothing and keeps the hit path trivially correct.
+        """
+        cache = self.capture_cache
+        config = self.world.config
+        ixp_codes, telescope_codes, isp_code = self._vantage_codes()
+        views: dict[str, VantageDayView] = {}
+        for code in [*ixp_codes, *telescope_codes, isp_code]:
+            view = cache.load(cache.key_for(config, day, code))
+            if view is None:
+                return None
+            views[code] = view
+        return DayObservation(
+            day=day,
+            ixp_views={code: views[code] for code in ixp_codes},
+            telescope_views={code: views[code] for code in telescope_codes},
+            isp_view=views[isp_code],
+        )
+
+    def _store_cached(self, day: int, observation: DayObservation) -> None:
+        cache = self.capture_cache
+        config = self.world.config
+        all_views = [
+            *observation.ixp_views.values(),
+            *observation.telescope_views.values(),
+            observation.isp_view,
+        ]
+        for view in all_views:
+            key = cache.key_for(config, day, view.vantage)
+            if not cache.has(key):
+                cache.store(key, view)

@@ -1,0 +1,372 @@
+"""Tests for the flowpack binary columnar archive format.
+
+Three claims are load-bearing and proved here:
+
+1. **Round-trip identity** — any FlowTable survives
+   CSV ↔ flowpack ↔ FlowTable conversion bit-identically, at any
+   segment size, including the ``spoofed=None`` sentinel, empty and
+   single-row tables (property-tested with hypothesis);
+2. **Damage behaves like CSV damage** — corrupted or truncated
+   archives surface through the same lenient-mode
+   :class:`~repro.io.ParseReport` / strict-raise contract the CSV
+   reader honours, never as bare numpy errors;
+3. **Archive-fed inference is bit-identical** — chunked accumulation
+   straight off the memmap equals the in-memory batch fold at every
+   chunk size and worker count.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accum import accumulate_views
+from repro.core.parallel import (
+    parallel_accumulate_views,
+    partial_states_identical,
+    shard_views,
+)
+from repro.flowpack import (
+    FlowpackArchive,
+    FlowpackError,
+    FlowpackWriter,
+    append_flows_archive,
+    archive_meta,
+    is_flowpack,
+    iter_flows_archive,
+    read_flows_archive,
+    read_flows_archive_lenient,
+    scan_archive,
+    write_flows_archive,
+)
+from repro.io import (
+    convert_flows,
+    read_flows,
+    sniff_flow_format,
+    write_flows,
+    write_flows_csv,
+)
+from repro.traffic.flows import FLOW_COLUMNS, FlowTable
+from repro.vantage.archive import ArchiveDayView, ArchiveSlice, export_view
+from repro.vantage.sampling import VantageDayView
+
+from _factories import make_flows
+
+
+def tables_equal(a: FlowTable, b: FlowTable) -> bool:
+    return len(a) == len(b) and all(
+        np.array_equal(getattr(a, name), getattr(b, name))
+        for name in FLOW_COLUMNS
+    )
+
+
+def random_flows(rng: np.random.Generator, rows: int) -> FlowTable:
+    return FlowTable(
+        src_ip=rng.integers(0, 2**32, rows, dtype=np.uint32),
+        dst_ip=rng.integers(0, 2**32, rows, dtype=np.uint32),
+        proto=rng.integers(0, 256, rows, dtype=np.uint8),
+        dport=rng.integers(0, 2**16, rows, dtype=np.uint16),
+        packets=rng.integers(0, 2**40, rows, dtype=np.int64),
+        bytes=rng.integers(0, 2**45, rows, dtype=np.int64),
+        sender_asn=rng.integers(-1, 2**31 - 1, rows, dtype=np.int32),
+        dst_asn=rng.integers(-1, 2**31 - 1, rows, dtype=np.int32),
+        spoofed=rng.integers(0, 2, rows).astype(bool),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(min_value=0, max_value=200),
+        chunk_rows=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=64)
+        ),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_flowpack_roundtrip_any_segmentation(
+        self, tmp_path_factory, rows, chunk_rows, seed
+    ):
+        tmp = tmp_path_factory.mktemp("fp")
+        flows = random_flows(np.random.default_rng(seed), rows)
+        path = tmp / "t.fpk"
+        write_flows_archive(flows, path, chunk_rows=chunk_rows)
+        assert tables_equal(read_flows_archive(path), flows)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rows=st.integers(min_value=0, max_value=120),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_csv_flowpack_csv_identical(self, tmp_path_factory, rows, seed):
+        tmp = tmp_path_factory.mktemp("conv")
+        flows = random_flows(np.random.default_rng(seed), rows)
+        csv_a, fpk, csv_b = tmp / "a.csv", tmp / "t.fpk", tmp / "b.csv"
+        write_flows_csv(flows, csv_a)
+        convert_flows(csv_a, fpk, to="flowpack", chunk_rows=37)
+        convert_flows(fpk, csv_b, to="csv", chunk_rows=19)
+        assert csv_a.read_bytes() == csv_b.read_bytes()
+        assert tables_equal(read_flows_archive(fpk), flows)
+
+    def test_spoofed_none_sentinel(self, tmp_path):
+        flows = FlowTable(
+            src_ip=np.array([1, 2], dtype=np.uint32),
+            dst_ip=np.array([3, 4], dtype=np.uint32),
+            proto=np.array([6, 17], dtype=np.uint8),
+            dport=np.array([80, 53], dtype=np.uint16),
+            packets=np.array([5, 6], dtype=np.int64),
+            bytes=np.array([200, 240], dtype=np.int64),
+            sender_asn=np.array([1, 2], dtype=np.int32),
+            dst_asn=np.array([3, 4], dtype=np.int32),
+            spoofed=None,
+        )
+        path = tmp_path / "t.fpk"
+        write_flows_archive(flows, path)
+        loaded = read_flows_archive(path)
+        assert loaded.spoofed.dtype == bool
+        assert not loaded.spoofed.any()
+        assert tables_equal(loaded, flows)
+
+    def test_empty_and_single_row(self, tmp_path):
+        for rows in ([], [{"packets": 9, "spoofed": True}]):
+            flows = make_flows(rows)
+            path = tmp_path / f"t{len(rows)}.fpk"
+            write_flows_archive(flows, path)
+            assert tables_equal(read_flows_archive(path), flows)
+            assert len(FlowpackArchive(path)) == len(rows)
+
+    def test_append_extends_archive(self, tmp_path):
+        path = tmp_path / "t.fpk"
+        a = make_flows([{"packets": 1}, {"packets": 2}])
+        b = make_flows([{"packets": 3}])
+        write_flows_archive(a, path)
+        append_flows_archive(b, path)
+        assert read_flows_archive(path).packets.tolist() == [1, 2, 3]
+
+    def test_iter_matches_batch(self, tmp_path):
+        flows = random_flows(np.random.default_rng(0), 500)
+        path = tmp_path / "t.fpk"
+        write_flows_archive(flows, path, chunk_rows=117)
+        for chunk_rows in (1, 50, 117, 499, 5000):
+            chunks = list(iter_flows_archive(path, chunk_rows=chunk_rows))
+            assert sum(len(c) for c in chunks) == 500
+            assert all(len(c) <= chunk_rows for c in chunks)
+            joined = FlowTable(
+                **{
+                    name: np.concatenate(
+                        [getattr(c, name) for c in chunks]
+                    )
+                    for name in FLOW_COLUMNS
+                }
+            )
+            assert tables_equal(joined, flows)
+
+    def test_zero_copy_views(self, tmp_path):
+        flows = random_flows(np.random.default_rng(1), 64)
+        path = tmp_path / "t.fpk"
+        write_flows_archive(flows, path)
+        segment = FlowpackArchive(path).segment_flows(0)
+        assert segment.src_ip.base is not None
+
+    def test_read_rows_spans_segments(self, tmp_path):
+        flows = random_flows(np.random.default_rng(2), 300)
+        path = tmp_path / "t.fpk"
+        write_flows_archive(flows, path, chunk_rows=100)
+        window = FlowpackArchive(path).read_rows(150, 250)
+        assert window.packets.tolist() == flows.packets[150:250].tolist()
+
+    def test_meta_travels_with_archive(self, tmp_path):
+        path = tmp_path / "t.fpk"
+        write_flows_archive(
+            make_flows([{}]), path, meta={"vantage": "CE1", "day": 3}
+        )
+        meta = archive_meta(path)
+        assert meta["vantage"] == "CE1" and meta["day"] == 3
+
+    def test_sniffing(self, tmp_path):
+        csvp, fpk = tmp_path / "a.csv", tmp_path / "a.fpk"
+        flows = make_flows([{"packets": 4}])
+        write_flows(flows, csvp, format="csv")
+        write_flows(flows, fpk, format="flowpack")
+        assert sniff_flow_format(csvp) == "csv"
+        assert sniff_flow_format(fpk) == "flowpack"
+        assert is_flowpack(fpk) and not is_flowpack(csvp)
+        assert tables_equal(read_flows(csvp), read_flows(fpk))
+
+
+class TestDamage:
+    """Corruption surfaces like CSV damage: ParseReport, not numpy."""
+
+    def _archive(self, tmp_path, segments=3, rows=100):
+        flows = random_flows(np.random.default_rng(9), segments * rows)
+        path = tmp_path / "t.fpk"
+        write_flows_archive(flows, path, chunk_rows=rows)
+        return path, flows
+
+    def test_checksum_damage_quarantines_segment(self, tmp_path):
+        path, flows = self._archive(tmp_path)
+        _, segments, _ = scan_archive(path)
+        data = bytearray(path.read_bytes())
+        data[segments[1].offsets[0] + 4] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        with pytest.raises(FlowpackError, match="checksum"):
+            read_flows_archive(path)
+        salvaged, report = read_flows_archive_lenient(path)
+        assert len(salvaged) == 200
+        assert not report.ok()
+        assert [error.line for error in report.errors] == [2]
+        assert salvaged.packets.tolist() == (
+            flows.packets[:100].tolist() + flows.packets[200:].tolist()
+        )
+
+    def test_truncated_tail_reported(self, tmp_path):
+        path, flows = self._archive(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - len(data) // 3])
+
+        with pytest.raises(FlowpackError):
+            read_flows_archive(path)
+        salvaged, report = read_flows_archive_lenient(path)
+        assert len(salvaged) in (100, 200)
+        assert not report.ok()
+        assert salvaged.packets.tolist() == (
+            flows.packets[: len(salvaged)].tolist()
+        )
+
+    def test_segment_header_damage_resyncs(self, tmp_path):
+        path, flows = self._archive(tmp_path)
+        _, segments, _ = scan_archive(path)
+        data = bytearray(path.read_bytes())
+        base = bytes(data).rfind(b"SEGM", 0, segments[1].offsets[0])
+        data[base : base + 4] = b"XXXX"
+        path.write_bytes(bytes(data))
+
+        salvaged, report = read_flows_archive_lenient(path)
+        assert not report.ok()
+        assert len(salvaged) == 200
+        assert salvaged.packets.tolist() == (
+            flows.packets[:100].tolist() + flows.packets[200:].tolist()
+        )
+
+    def test_corrupt_file_header_always_fatal(self, tmp_path):
+        path, _ = self._archive(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(FlowpackError):
+            read_flows_archive(path)
+        with pytest.raises(FlowpackError):
+            read_flows_archive_lenient(path)
+
+    def test_strict_error_names_file_and_segment(self, tmp_path):
+        path, _ = self._archive(tmp_path)
+        _, segments, _ = scan_archive(path)
+        data = bytearray(path.read_bytes())
+        data[segments[0].offsets[3] + 1] ^= 0x55
+        path.write_bytes(bytes(data))
+        with pytest.raises(FlowpackError, match=r"t\.fpk.*segment 0"):
+            read_flows_archive(path)
+
+
+def _views_pair(tmp_path, num_views=3, rows=400):
+    """Matched (in-memory, archive-backed) view lists over random flows."""
+    rng = np.random.default_rng(77)
+    memory, archived = [], []
+    for index in range(num_views):
+        flows = random_flows(rng, rows)
+        flows = FlowTable(
+            **{
+                **{name: getattr(flows, name) for name in FLOW_COLUMNS},
+                "sender_asn": np.abs(flows.sender_asn),
+                "dst_asn": np.abs(flows.dst_asn),
+            }
+        )
+        view = VantageDayView(
+            vantage=f"VP{index}", day=index % 2, flows=flows,
+            sampling_factor=1.0 + index,
+        )
+        memory.append(view)
+        archived.append(
+            export_view(view, tmp_path / f"v{index}.fpk", chunk_rows=113)
+        )
+    return memory, archived
+
+
+class TestArchiveFedInference:
+    def test_archive_chunked_equals_batch(self, tmp_path):
+        memory, archived = _views_pair(tmp_path)
+        batch = accumulate_views(memory)
+        for chunk_size in (1, 97, 113, 10_000, None, "auto"):
+            streamed = accumulate_views(archived, chunk_size=chunk_size)
+            assert partial_states_identical(batch, streamed), chunk_size
+
+    def test_archive_parallel_equals_serial(self, tmp_path):
+        memory, archived = _views_pair(tmp_path)
+        serial = accumulate_views(memory)
+        for workers in (2, 3):
+            merged, stats = parallel_accumulate_views(
+                archived, workers=workers
+            )
+            assert partial_states_identical(serial, merged), workers
+        merged, _ = parallel_accumulate_views(
+            archived, workers=2, max_shard_rows=101
+        )
+        assert partial_states_identical(serial, merged)
+
+    def test_mixed_memory_and_archive_views(self, tmp_path):
+        memory, archived = _views_pair(tmp_path)
+        mixed = [memory[0], archived[1], memory[2]]
+        assert partial_states_identical(
+            accumulate_views(memory), accumulate_views(mixed)
+        )
+
+    def test_shard_views_uses_headers_only(self, tmp_path):
+        _, archived = _views_pair(tmp_path, num_views=1)
+        view = ArchiveDayView.open(archived[0].path)
+        shard_views([view], workers=4, max_shard_rows=50)
+        assert view._flows is None
+
+    def test_archive_view_pickles_as_descriptor(self, tmp_path):
+        import pickle
+
+        _, archived = _views_pair(tmp_path, num_views=1)
+        view = ArchiveDayView.open(archived[0].path)
+        view.flows  # materialise, then prove pickling drops the pages
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone._flows is None and clone._archive is None
+        assert tables_equal(clone.flows, view.flows)
+        ref = view.slice_ref(10, 60)
+        assert isinstance(ref, ArchiveSlice)
+        loaded = pickle.loads(pickle.dumps(ref)).load()
+        assert tables_equal(loaded, view.read_rows(10, 60))
+
+    def test_open_requires_vantage_metadata(self, tmp_path):
+        path = tmp_path / "bare.fpk"
+        write_flows_archive(make_flows([{}]), path)
+        with pytest.raises(ValueError, match="vantage"):
+            ArchiveDayView.open(path)
+
+    def test_export_preserves_view_identity(self, tmp_path):
+        view = VantageDayView(
+            vantage="CE1", day=4,
+            flows=make_flows([{"packets": 2}, {"packets": 5}]),
+            sampling_factor=250.0,
+        )
+        reopened = ArchiveDayView.open(
+            export_view(view, tmp_path / "v.fpk").path
+        )
+        assert (reopened.vantage, reopened.day) == ("CE1", 4)
+        assert reopened.sampling_factor == 250.0
+        assert reopened.num_rows == 2
+        assert tables_equal(reopened.flows, view.flows)
+
+    def test_writer_context_manager_single_segments(self, tmp_path):
+        path = tmp_path / "s.fpk"
+        with FlowpackWriter(path, meta={"vantage": "X", "day": 0}) as writer:
+            writer.write(make_flows([{"packets": 1}]))
+            writer.write(make_flows([]))  # empty chunk: no segment
+            writer.write(make_flows([{"packets": 2}]))
+            assert writer.rows_written == 2
+        _, segments, _ = scan_archive(path)
+        assert len(segments) == 2
+        assert read_flows_archive(path).packets.tolist() == [1, 2]

@@ -251,3 +251,84 @@ class TestCli:
                 "faults", "--scale", "micro", "--days", "3",
                 "--fault", "outage", "--policy", "strict",
             ])
+
+    def test_convert_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io import read_flows_archive
+
+        flows = make_flows([{"packets": 3}, {"packets": 5, "spoofed": True}])
+        csv_a = tmp_path / "a.csv"
+        fpk = tmp_path / "a.fpk"
+        csv_b = tmp_path / "b.csv"
+        write_flows_csv(flows, csv_a)
+        assert main(["convert", str(csv_a), str(fpk)]) == 0
+        assert "2 flow records" in capsys.readouterr().out
+        assert read_flows_archive(fpk).packets.tolist() == [3, 5]
+        assert main(["convert", str(fpk), str(csv_b), "--to", "csv"]) == 0
+        assert csv_a.read_bytes() == csv_b.read_bytes()
+
+    def test_infer_capture_output_and_cache(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io import read_flows
+
+        capture = tmp_path / "captured.fpk"
+        cache = tmp_path / "cache"
+        argv = [
+            "infer", "--scale", "micro",
+            "--output", str(tmp_path / "p.txt"),
+            "--capture-output", str(capture),
+            "--format", "flowpack",
+            "--capture-cache", str(cache),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "captured flow records" in first
+        cold = read_flows(capture)
+
+        assert main(argv) == 0  # warm: served from the capture cache
+        assert read_flows(capture).packets.tolist() == cold.packets.tolist()
+        assert (tmp_path / "p.txt").exists()
+        assert any(cache.glob("*/*.fpk"))
+
+
+class TestFlowFormatHelpers:
+    def test_write_flows_rejects_unknown_format(self, tmp_path):
+        from repro.io import write_flows
+
+        with pytest.raises(ValueError, match="format"):
+            write_flows(make_flows([{}]), tmp_path / "x", format="parquet")
+
+    def test_convert_rejects_unknown_target(self, tmp_path):
+        from repro.io import convert_flows
+
+        path = tmp_path / "a.csv"
+        write_flows_csv(make_flows([{}]), path)
+        with pytest.raises(ValueError, match="format"):
+            convert_flows(path, tmp_path / "b", to="parquet")
+
+    def test_vectorised_writer_matches_legacy_csv_module(self, tmp_path):
+        import csv
+
+        flows = make_flows(
+            [
+                {"src_ip": 2**32 - 1, "packets": 2**50, "spoofed": True},
+                {"dst_asn": -1, "sender_asn": -1},
+            ]
+        )
+        fast = tmp_path / "fast.csv"
+        write_flows_csv(flows, fast)
+        legacy = tmp_path / "legacy.csv"
+        with open(legacy, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([
+                "src_ip", "dst_ip", "proto", "dport", "packets", "bytes",
+                "sender_asn", "dst_asn", "spoofed",
+            ])
+            for row in range(len(flows)):
+                writer.writerow([
+                    flows.src_ip[row], flows.dst_ip[row], flows.proto[row],
+                    flows.dport[row], flows.packets[row], flows.bytes[row],
+                    flows.sender_asn[row], flows.dst_asn[row],
+                    int(flows.spoofed[row]),
+                ])
+        assert fast.read_bytes() == legacy.read_bytes()
