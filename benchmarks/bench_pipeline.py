@@ -241,6 +241,50 @@ def _archive_vs_csv(
     }
 
 
+def _engine_overhead(
+    views, routing, config, special, repeats: int, baseline
+) -> dict:
+    """Engine path (plan + execute + trace spine) vs the direct fold.
+
+    Both paths do the same serial whole-view fold and classification;
+    the engine path additionally builds an :class:`ExecutionPlan`,
+    threads a :class:`RunContext`, and emits plan/view/stage events to
+    the in-memory sink.  The overhead must stay small (the acceptance
+    bar is 5%) — best-of-``repeats`` wall times keep scheduler noise
+    out of the ratio.
+    """
+    from repro.core.engine import ExecutionPlanner, RunContext, execute_plan
+
+    direct_s = engine_s = float("inf")
+    engine_result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        accumulator = accumulate_views(
+            views, ignore_sources_from_asns=config.ignore_sources_from_asns
+        )
+        run_pipeline_accumulated(accumulator, routing, config, special)
+        direct_s = min(direct_s, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        plan = ExecutionPlanner().plan(views)
+        context = RunContext(knobs=plan.knobs, plan=plan)
+        accumulator = execute_plan(
+            plan, views, context,
+            ignore_sources_from_asns=config.ignore_sources_from_asns,
+        )
+        engine_result = run_pipeline_accumulated(
+            accumulator, routing, config, special, context=context
+        )
+        engine_s = min(engine_s, time.perf_counter() - started)
+    return {
+        "repeats": repeats,
+        "direct_seconds": direct_s,
+        "engine_seconds": engine_s,
+        "overhead_ratio": engine_s / direct_s,
+        "identical": _identical(baseline, engine_result),
+    }
+
+
 def _capture_cache_rounds(world, days: int) -> dict:
     """Cold (generate + store) vs warm (archives only) observation."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -311,6 +355,9 @@ def bench_world(
         views, routing, telescope.config, telescope.special,
         chunk_size, workers_list, batch,
     )
+    overhead = _engine_overhead(
+        views, routing, telescope.config, telescope.special, 7, batch
+    )
     cache = _capture_cache_rounds(world, days)
     return {
         "scale": scale,
@@ -329,6 +376,7 @@ def bench_world(
         "ingest_largest_view": ingest,
         "worker_scaling": scaling,
         "archive_vs_csv": archive,
+        "engine_overhead": overhead,
         "capture_cache": cache,
     }
 
@@ -402,6 +450,17 @@ def main(argv: list[str] | None = None) -> int:
                     f"workers={row['workers']}: {row['num_dark']} vs "
                     f"{record['num_dark']} dark blocks"
                 )
+        overhead = record["engine_overhead"]
+        print(
+            f"  engine: direct {overhead['direct_seconds']:.3f}s vs "
+            f"planned {overhead['engine_seconds']:.3f}s "
+            f"(x{overhead['overhead_ratio']:.3f}), "
+            f"identical={overhead['identical']}"
+        )
+        if not overhead["identical"]:
+            raise SystemExit(
+                f"engine path != direct path on scale {scale}"
+            )
         cache = record["capture_cache"]
         print(
             f"  capture cache: cold {cache['cold_seconds']:.2f}s, warm "

@@ -12,6 +12,9 @@ Commands:
 * ``report``    — write the full markdown operator report;
 * ``faults``    — run the online telescope through an injected fault
                   plan and print the degraded-operation log;
+* ``plan``      — print the ExecutionPlan the engine would run for the
+                  given views and knobs, without executing anything
+                  (``infer --explain`` does the same);
 * ``convert``   — convert a flow file between CSV and the flowpack
                   binary columnar archive format (format sniffed from
                   the input; no world is built).
@@ -21,12 +24,15 @@ World commands accept ``--scale {micro,small,paper}``, ``--seed``,
 (rows per ingestion chunk, or ``auto``; classification is identical at
 any value — the flag only bounds aggregation memory), ``--workers``
 (process-pool fan-out of the aggregation; ``0`` = one per CPU; any
-worker count classifies bit-identically) and ``--capture-cache DIR``
+worker count classifies bit-identically), ``--capture-cache DIR``
 (content-addressed cache of generated vantage-day captures: re-runs
 with the same scale/seed serve days from flowpack archives instead of
-regenerating them — bit-identical, just faster).  Commands that run
-the pipeline print a per-stage funnel timing table; parallel runs
-prepend per-worker, IPC and merge rows.
+regenerating them — bit-identical, just faster) and ``--trace PATH``
+(append the run's structured execution events as JSONL — the engine's
+observability spine).  Commands that run the pipeline print a
+per-stage funnel timing table; parallel runs prepend per-worker, IPC
+and merge rows.  All of it comes from one event stream, recorded by
+the :class:`~repro.core.engine.RunContext` threaded through the run.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ import sys
 
 from repro.analysis.ports import top_ports
 from repro.core import MetaTelescope
+from repro.core.engine import JsonlSink, RunContext
 from repro.core.evaluation import confusion_against_truth, telescope_coverage
 from repro.core.online import OnlineMetaTelescope, POLICIES
 from repro.core.pipeline import PipelineConfig
@@ -55,12 +62,21 @@ from repro.world.scenarios import micro_world, paper_world, small_world
 _SCALES = {"micro": micro_world, "small": small_world, "paper": paper_world}
 
 
+def _context(args: argparse.Namespace) -> RunContext:
+    """One RunContext per CLI invocation; ``--trace`` attaches a sink."""
+    sinks = ()
+    if getattr(args, "trace", None):
+        sinks = (JsonlSink(args.trace),)
+    return RunContext(sinks=sinks, seed=getattr(args, "seed", None))
+
+
 def _build(args: argparse.Namespace):
+    context = _context(args)
     world = _SCALES[args.scale](args.seed)
     cache = None
     if getattr(args, "capture_cache", None):
         cache = CaptureCache(args.capture_cache)
-    observatory = Observatory(world, capture_cache=cache)
+    observatory = Observatory(world, capture_cache=cache, context=context)
     telescope = MetaTelescope(
         collector=world.collector,
         liveness=world.datasets.liveness,
@@ -70,7 +86,7 @@ def _build(args: argparse.Namespace):
             volume_threshold_pkts_day=world.config.volume_threshold_pkts_day,
         ),
     )
-    return world, observatory, telescope
+    return world, observatory, telescope, context
 
 
 def _views(world, observatory, args: argparse.Namespace):
@@ -86,14 +102,32 @@ def _views(world, observatory, args: argparse.Namespace):
     return observatory.ixp_views(args.vantage, num_days=days)
 
 
-def _infer(world, observatory, telescope, args: argparse.Namespace):
+def _infer(world, observatory, telescope, args: argparse.Namespace,
+           context: RunContext | None = None):
     views = _views(world, observatory, args)
     return views, telescope.infer(
         views,
         use_spoofing_tolerance=not args.no_tolerance,
         chunk_size=args.chunk_size,
         workers=args.workers,
+        context=context,
     )
+
+
+def _print_plan(plan) -> None:
+    print(format_table(["field", "value"], plan.describe_rows(),
+                       title="execution plan"))
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    world, observatory, telescope, context = _build(args)
+    views = _views(world, observatory, args)
+    plan = telescope.plan(
+        views, chunk_size=args.chunk_size, workers=args.workers
+    )
+    _print_plan(plan)
+    context.close()
+    return 0
 
 
 def _print_stage_timings(timings) -> None:
@@ -107,8 +141,8 @@ def _print_stage_timings(timings) -> None:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    world, observatory, telescope = _build(args)
-    views, result = _infer(world, observatory, telescope, args)
+    world, observatory, telescope, context = _build(args)
+    views, result = _infer(world, observatory, telescope, args, context)
     print(format_table(["step", "#/24s"], result.pipeline.funnel.as_rows()))
     print(
         f"\ndark {len(result.pipeline.dark_blocks):,} / unclean "
@@ -122,12 +156,21 @@ def cmd_demo(args: argparse.Namespace) -> int:
         f"recall {confusion.recall():.1%}"
     )
     _print_stage_timings(result.pipeline.stage_timings)
+    context.close()
     return 0
 
 
 def cmd_infer(args: argparse.Namespace) -> int:
-    world, observatory, telescope = _build(args)
-    views, result = _infer(world, observatory, telescope, args)
+    world, observatory, telescope, context = _build(args)
+    if args.explain:
+        views = _views(world, observatory, args)
+        plan = telescope.plan(
+            views, chunk_size=args.chunk_size, workers=args.workers
+        )
+        _print_plan(plan)
+        context.close()
+        return 0
+    views, result = _infer(world, observatory, telescope, args, context)
     comment = (
         f"meta-telescope prefixes — scale={args.scale} seed={args.seed} "
         f"vantage={args.vantage} days={args.days}"
@@ -143,6 +186,7 @@ def cmd_infer(args: argparse.Namespace) -> int:
             f"wrote {len(captured):,} captured flow records to "
             f"{args.capture_output} ({args.format})"
         )
+    context.close()
     return 0
 
 
@@ -155,16 +199,17 @@ def cmd_convert(args: argparse.Namespace) -> int:
 
 
 def cmd_funnel(args: argparse.Namespace) -> int:
-    world, observatory, telescope = _build(args)
-    _, result = _infer(world, observatory, telescope, args)
+    world, observatory, telescope, context = _build(args)
+    _, result = _infer(world, observatory, telescope, args, context)
     print(format_table(["step", "#/24s"], result.pipeline.funnel.as_rows()))
     _print_stage_timings(result.pipeline.stage_timings)
+    context.close()
     return 0
 
 
 def cmd_telescopes(args: argparse.Namespace) -> int:
-    world, observatory, telescope = _build(args)
-    _, result = _infer(world, observatory, telescope, args)
+    world, observatory, telescope, context = _build(args)
+    _, result = _infer(world, observatory, telescope, args, context)
     rows = []
     for code, sensor in world.telescopes.items():
         row = telescope_coverage(
@@ -173,12 +218,13 @@ def cmd_telescopes(args: argparse.Namespace) -> int:
         rows.append((code, row.telescope_size, row.inferred_inside,
                      f"{row.coverage():.0%}"))
     print(format_table(["telescope", "size", "inferred", "coverage"], rows))
+    context.close()
     return 0
 
 
 def cmd_ports(args: argparse.Namespace) -> int:
-    world, observatory, telescope = _build(args)
-    views, result = _infer(world, observatory, telescope, args)
+    world, observatory, telescope, context = _build(args)
+    views, result = _infer(world, observatory, telescope, args, context)
     captured = telescope.captured_traffic(views, result)
     ranked = top_ports(captured, count=args.count)
     print(
@@ -186,12 +232,13 @@ def cmd_ports(args: argparse.Namespace) -> int:
             ["rank", "port"], [(i + 1, port) for i, port in enumerate(ranked)]
         )
     )
+    context.close()
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    world, observatory, telescope = _build(args)
-    views, result = _infer(world, observatory, telescope, args)
+    world, observatory, telescope, context = _build(args)
+    views, result = _infer(world, observatory, telescope, args, context)
     text = generate_report(
         telescope,
         views,
@@ -203,6 +250,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     with open(args.output, "w") as handle:
         handle.write(text)
     print(f"wrote report to {args.output}")
+    context.close()
     return 0
 
 
@@ -214,7 +262,7 @@ def _day_views(world, observatory, args: argparse.Namespace, day: int):
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
-    world, observatory, telescope = _build(args)
+    world, observatory, telescope, context = _build(args)
     days = min(args.days, world.config.num_days)
     fault_day = args.fault_day if args.fault_day is not None else days // 2
     chosen = args.fault or ["all"]
@@ -234,6 +282,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         policy=args.policy,
         chunk_size=args.chunk_size,
         workers=args.workers,
+        sinks=context.sinks,
     )
     rows = []
     events = []
@@ -272,6 +321,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(f"  injected day {event.day} @ {event.vantage}: "
               f"{event.fault} ({event.detail})")
     _print_stage_timings(online.last_stage_timings())
+    context.close()
     return 0
 
 
@@ -300,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
         "ports": cmd_ports,
         "report": cmd_report,
         "faults": cmd_faults,
+        "plan": cmd_plan,
     }
     for name, handler in commands.items():
         p = sub.add_parser(name)
@@ -328,7 +379,17 @@ def build_parser() -> argparse.ArgumentParser:
             "vantage-days are stored as flowpack archives and re-runs "
             "with the same world serve them from disk (bit-identical)",
         )
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="append the run's structured execution events (plan, "
+            "chunks, workers, stages, cache) to PATH as JSONL",
+        )
         if name == "infer":
+            p.add_argument(
+                "--explain", action="store_true",
+                help="print the execution plan the engine would run and "
+                "exit without executing (same output as the plan command)",
+            )
             p.add_argument("--output", default="meta-telescope-prefixes.txt")
             p.add_argument(
                 "--aggregate", action="store_true",

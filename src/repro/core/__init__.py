@@ -4,6 +4,8 @@
 * :mod:`repro.core.accum` — mergeable per-/24 streaming aggregation;
 * :mod:`repro.core.parallel` — process-pool fan-out with bit-identical
   tree merge;
+* :mod:`repro.core.engine` — execution planning (ExecutionPlan /
+  RunContext) and the observability spine every frontend runs through;
 * :mod:`repro.core.stages` — the funnel as explicit stage objects;
 * :mod:`repro.core.pipeline` — the seven-step inference pipeline (Figure 2);
 * :mod:`repro.core.spoofing_tolerance` — the unrouted-space tolerance (§7.2);
@@ -20,6 +22,20 @@ from repro.core.accum import (
     PrefixAccumulator,
     accumulate_views,
     adaptive_chunk_rows,
+)
+from repro.core.engine import (
+    ExecutionEvent,
+    ExecutionKnobs,
+    ExecutionPlan,
+    ExecutionPlanner,
+    JsonlSink,
+    MemorySink,
+    RunContext,
+    TableSink,
+    execute_plan,
+    resolve_execution_knobs,
+    validate_trace_event,
+    validate_trace_file,
 )
 from repro.core.parallel import (
     ParallelStats,
@@ -72,6 +88,18 @@ __all__ = [
     "PrefixAccumulator",
     "accumulate_views",
     "adaptive_chunk_rows",
+    "ExecutionEvent",
+    "ExecutionKnobs",
+    "ExecutionPlan",
+    "ExecutionPlanner",
+    "JsonlSink",
+    "MemorySink",
+    "RunContext",
+    "TableSink",
+    "execute_plan",
+    "resolve_execution_knobs",
+    "validate_trace_event",
+    "validate_trace_file",
     "ParallelStats",
     "WorkerReport",
     "parallel_accumulate_views",

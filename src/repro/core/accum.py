@@ -41,6 +41,7 @@ parts, so shipping a partial is as cheap as its distinct keys.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterator, Mapping
 
 import numpy as np
@@ -361,7 +362,10 @@ class PrefixAccumulator:
         return self
 
     def update_view(
-        self, view: VantageDayView, chunk_size: int | str | None = None
+        self,
+        view: VantageDayView,
+        chunk_size: int | str | None = None,
+        on_chunk=None,
     ) -> "PrefixAccumulator":
         """Fold a whole vantage-day view in, optionally chunk by chunk.
 
@@ -370,6 +374,8 @@ class PrefixAccumulator:
         view's rows.  The view boundary is a natural compaction point:
         the chunk log is squashed so pending parts never outlive the
         view that produced them (without re-sorting the whole table).
+        ``on_chunk(rows, seconds)`` is called after each folded chunk —
+        the execution engine's per-chunk observability hook.
         """
         self.observe(view.vantage, view.day)
         # num_rows is cheap for archive-backed views (segment headers,
@@ -379,12 +385,15 @@ class PrefixAccumulator:
             rows = len(view.flows)
         resolved = resolve_chunk_size(chunk_size, rows)
         for chunk in view.iter_chunks(resolved):
+            started = time.perf_counter() if on_chunk is not None else 0.0
             self.update(
                 chunk,
                 vantage=view.vantage,
                 day=view.day,
                 sampling_factor=view.sampling_factor,
             )
+            if on_chunk is not None:
+                on_chunk(len(chunk), time.perf_counter() - started)
         if resolved is not None:
             self._dst_ip_sums.squash_pending()
             self._src_ip_sums.squash_pending()

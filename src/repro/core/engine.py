@@ -1,0 +1,844 @@
+"""One engine, many frontends: planned execution with a trace spine.
+
+Every way of running the seven-step inference — the batch facade
+(:class:`~repro.core.metatelescope.MetaTelescope`), the rolling-window
+online loop, federated member classification, the process-pool fan-out
+and the CLI — used to re-resolve the same knobs (``chunk_size``,
+``workers``, ``compact_every``) and report timings in its own shape.
+This module centralises all of that:
+
+* :func:`resolve_execution_knobs` — the **single** knob-resolution
+  point (auto chunk sizing, worker capping, compaction cadence).  No
+  facade resolves knobs on its own anymore.
+* :class:`ExecutionPlanner` — inspects the views (row counts, archive
+  vs in-memory storage, CPU count, optional memory budget) and emits a
+  declarative, inspectable :class:`ExecutionPlan`: execution mode
+  (``serial`` | ``chunked`` | ``parallel``), per-view chunk resolution,
+  deterministic shard layout, compaction cadence, cache policy and a
+  peak-memory estimate.  A plan is data — print it, serialise it,
+  compare it — and ``python -m repro plan`` does exactly that without
+  executing anything.
+* :class:`RunContext` — threaded through every layer; carries the
+  resolved knobs, the plan, seeded RNG handles, the fault plan, and
+  the **observability spine**: structured per-stage / per-chunk /
+  per-worker :class:`ExecutionEvent` records emitted to pluggable
+  sinks (:class:`MemorySink` for tests and facades,
+  :class:`JsonlSink` for trace files, :class:`TableSink` for the CLI).
+* :func:`execute_plan` — the one fold path.  Serial, chunked and
+  parallel execution all run through it; classification downstream is
+  bit-identical for every plan by the accumulator's associativity.
+
+The legacy reporting shapes (:class:`~repro.core.stages.StageTiming`
+rows, the CLI timing table) are *derived* from the event stream in one
+place (:meth:`RunContext.stage_timings`), so parallel fan-out rows and
+online carry-day rows can no longer disagree about their format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.accum import (
+    DEFAULT_COMPACT_EVERY,
+    PrefixAccumulator,
+    adaptive_chunk_rows,
+    resolve_chunk_size,
+)
+from repro.core.stages import StageTiming
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+    from repro.vantage.sampling import VantageDayView
+
+#: Rough memory cost of one in-flight flow record (the nine FlowTable
+#: columns) — used only for the plan's peak-memory *estimate*.
+BYTES_PER_ROW = 42
+
+#: Version stamped into every trace event (bump on schema changes).
+TRACE_VERSION = 1
+
+#: Every key a serialised trace event carries, in emission order.
+TRACE_FIELDS = (
+    "v",
+    "kind",
+    "name",
+    "scope",
+    "started",
+    "seconds",
+    "rows_in",
+    "rows_out",
+    "bytes",
+    "peak_rss_mib",
+    "cache_hits",
+    "cache_misses",
+    "quarantined",
+    "meta",
+)
+
+#: Event kinds that map onto legacy :class:`StageTiming` rows.
+_TIMING_KINDS = frozenset({"worker", "ipc", "merge", "stage"})
+
+
+def default_workers() -> int:
+    """Worker count matching the CPUs this process may run on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _peak_rss_mib() -> float | None:
+    """Process high-water RSS in MiB (cheap; None where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak_kib / 1024.0
+
+
+# ---------------------------------------------------------------------------
+# Knob resolution (the one copy)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionKnobs:
+    """The resolved execution knobs every layer reads from.
+
+    ``chunk_size`` keeps the public tri-state form (``None`` | int |
+    ``"auto"``) because chunk rows resolve *per view*;
+    ``workers`` is always a concrete count >= 1.
+    """
+
+    chunk_size: int | str | None
+    workers: int
+    compact_every: int
+
+    def parallel(self) -> bool:
+        """Whether this knob set fans out across a process pool."""
+        return self.workers > 1
+
+
+def resolve_execution_knobs(
+    chunk_size: int | str | None = None,
+    workers: int | None = None,
+    compact_every: int | None = None,
+    *,
+    cpus: int | None = None,
+) -> ExecutionKnobs:
+    """Resolve the public execution knobs once, for every frontend.
+
+    * ``workers``: ``None``/``1`` → serial (1); ``0`` → one per
+      available CPU (the capped auto setting); an explicit count is
+      honoured literally — oversubscription is the operator's call,
+      and classification is identical at any count regardless.
+    * ``chunk_size``: validated tri-state (``None`` | int >= 1 |
+      ``"auto"``); per-view rows resolve later against each view's
+      ``num_rows`` via :func:`~repro.core.accum.resolve_chunk_size`.
+    * ``compact_every``: accumulator compaction cadence (default
+      :data:`~repro.core.accum.DEFAULT_COMPACT_EVERY`).
+    """
+    if cpus is None:
+        cpus = default_workers()
+    if workers is None:
+        workers = 1
+    elif workers == 0:
+        workers = cpus
+    elif workers < 0:
+        raise ValueError(f"workers must be >= 0: {workers}")
+
+    if isinstance(chunk_size, str):
+        # Normalise through the shared validator (raises on junk).
+        resolve_chunk_size(chunk_size, 0)
+    elif chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1: {chunk_size}")
+
+    if compact_every is None:
+        compact_every = DEFAULT_COMPACT_EVERY
+    elif compact_every < 2:
+        raise ValueError(f"compact_every must be >= 2: {compact_every}")
+    return ExecutionKnobs(
+        chunk_size=chunk_size, workers=workers, compact_every=compact_every
+    )
+
+
+# ---------------------------------------------------------------------------
+# The declarative plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ViewSpec:
+    """What the planner knows about one vantage-day view."""
+
+    vantage: str
+    day: int
+    num_rows: int
+    #: ``"archive"`` (memory-mapped flowpack) or ``"memory"``.
+    storage: str
+    sampling_factor: float
+    #: Resolved ingestion chunk rows for this view (None: whole view).
+    chunk_rows: int | None
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A declarative, inspectable execution plan.
+
+    The plan is pure data: building it touches no flow payload (row
+    counts come from ``num_rows``, which archive-backed views answer
+    from segment headers), and executing it is
+    :func:`execute_plan`'s job.  Identical classification across plans
+    is the engine's core invariant, pinned by
+    ``tests/core/test_engine.py``.
+    """
+
+    #: ``"serial"`` | ``"chunked"`` | ``"parallel"``.
+    mode: str
+    views: tuple[ViewSpec, ...]
+    knobs: ExecutionKnobs
+    #: Per-worker shard buckets (``()`` outside parallel mode); each
+    #: shard is (view index, first row, one-past-last row).
+    shards: tuple[tuple[tuple[int, int, int], ...], ...] = ()
+    #: ``"memmap"`` when archive-backed views stream off the page
+    #: cache, ``"in-memory"`` otherwise.
+    cache_policy: str = "in-memory"
+    #: Estimated coordinator-side peak of the fold (MiB).
+    est_peak_mib: float = 0.0
+
+    @property
+    def workers(self) -> int:
+        """Concrete worker count (1 outside parallel mode)."""
+        return self.knobs.workers if self.mode == "parallel" else 1
+
+    def total_rows(self) -> int:
+        """Flow rows the plan will fold."""
+        return sum(view.num_rows for view in self.views)
+
+    def describe_rows(self) -> list[tuple[str, str]]:
+        """(field, value) rows for the CLI ``plan`` renderer."""
+        storages = {view.storage for view in self.views}
+        chunk_rows = sorted(
+            {view.chunk_rows for view in self.views if view.chunk_rows},
+        )
+        return [
+            ("mode", self.mode),
+            ("views", f"{len(self.views)}"),
+            ("rows", f"{self.total_rows():,}"),
+            ("storage", ", ".join(sorted(storages)) or "-"),
+            ("workers", f"{self.workers}"),
+            (
+                "shards",
+                f"{sum(len(bucket) for bucket in self.shards)}"
+                if self.shards
+                else "-",
+            ),
+            (
+                "chunk rows",
+                ", ".join(f"{rows:,}" for rows in chunk_rows) or "whole view",
+            ),
+            ("compact every", f"{self.knobs.compact_every} parts"),
+            ("cache policy", self.cache_policy),
+            ("est. peak", f"{self.est_peak_mib:.1f} MiB"),
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (trace events embed this)."""
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "total_rows": self.total_rows(),
+            "cache_policy": self.cache_policy,
+            "est_peak_mib": round(self.est_peak_mib, 3),
+            "compact_every": self.knobs.compact_every,
+            "views": [
+                {
+                    "vantage": view.vantage,
+                    "day": view.day,
+                    "num_rows": view.num_rows,
+                    "storage": view.storage,
+                    "chunk_rows": view.chunk_rows,
+                }
+                for view in self.views
+            ],
+            "shards": [list(map(list, bucket)) for bucket in self.shards],
+        }
+
+
+def view_spec(
+    view: "VantageDayView", chunk_size: int | str | None
+) -> ViewSpec:
+    """Planner-side descriptor of one view (no payload touched)."""
+    rows = getattr(view, "num_rows", None)
+    if rows is None:  # pragma: no cover - every view exposes num_rows
+        rows = len(view.flows)
+    return ViewSpec(
+        vantage=view.vantage,
+        day=view.day,
+        num_rows=int(rows),
+        storage=getattr(view, "storage", "memory"),
+        sampling_factor=float(view.sampling_factor),
+        chunk_rows=resolve_chunk_size(chunk_size, rows),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionPlanner:
+    """Turns views + knobs (+ machine facts) into an ExecutionPlan.
+
+    The planner is pure: the same views, knobs, and machine facts
+    always yield the same plan, so plans can be printed, diffed and
+    golden-tested.  ``memory_budget_mib`` lets an operator cap the
+    estimated fold peak: when the whole-view working set would exceed
+    the budget and no explicit ``chunk_size`` was given, the planner
+    switches to adaptive chunking on its own.
+    """
+
+    cpus: int = field(default_factory=default_workers)
+    memory_budget_mib: float | None = None
+
+    def plan(
+        self,
+        views: Sequence["VantageDayView"],
+        chunk_size: int | str | None = None,
+        workers: int | None = None,
+        compact_every: int | None = None,
+        mode: str | None = None,
+    ) -> ExecutionPlan:
+        """Build the plan for one fold (``mode`` forces the decision).
+
+        Without ``mode`` the planner picks: ``parallel`` when the
+        resolved worker count exceeds 1 and there are views to shard,
+        else ``chunked`` when any view resolves a bounded chunk size,
+        else ``serial``.
+        """
+        knobs = resolve_execution_knobs(
+            chunk_size, workers, compact_every, cpus=self.cpus
+        )
+        chunk_size = knobs.chunk_size
+        if (
+            chunk_size is None
+            and self.memory_budget_mib is not None
+            and views
+        ):
+            largest = max(
+                int(getattr(view, "num_rows", 0) or 0) for view in views
+            )
+            if largest * BYTES_PER_ROW / 2**20 > self.memory_budget_mib:
+                # Cap in-flight rows so one chunk fits the budget.
+                chunk_size = max(
+                    1, int(self.memory_budget_mib * 2**20 / BYTES_PER_ROW)
+                )
+        specs = tuple(view_spec(view, chunk_size) for view in views)
+
+        if mode is None:
+            if knobs.parallel() and specs:
+                mode = "parallel"
+            elif any(spec.chunk_rows is not None for spec in specs):
+                mode = "chunked"
+            else:
+                mode = "serial"
+        elif mode not in ("serial", "chunked", "parallel"):
+            raise ValueError(f"unknown execution mode: {mode!r}")
+        if mode != "parallel":
+            knobs = ExecutionKnobs(
+                chunk_size=chunk_size,
+                workers=1,
+                compact_every=knobs.compact_every,
+            )
+        else:
+            knobs = ExecutionKnobs(
+                chunk_size=chunk_size,
+                workers=max(2, knobs.workers) if specs else 1,
+                compact_every=knobs.compact_every,
+            )
+
+        shards: tuple[tuple[tuple[int, int, int], ...], ...] = ()
+        if mode == "parallel" and specs:
+            from repro.core.parallel import shard_views
+
+            shards = tuple(
+                tuple(bucket)
+                for bucket in shard_views(list(views), knobs.workers)
+            )
+        return ExecutionPlan(
+            mode=mode,
+            views=specs,
+            knobs=knobs,
+            shards=shards,
+            cache_policy=(
+                "memmap"
+                if any(spec.storage == "archive" for spec in specs)
+                else "in-memory"
+            ),
+            est_peak_mib=self._estimate_peak_mib(specs, mode, knobs),
+        )
+
+    def _estimate_peak_mib(
+        self,
+        specs: tuple[ViewSpec, ...],
+        mode: str,
+        knobs: ExecutionKnobs,
+    ) -> float:
+        """Coordinator-side working-set estimate of the fold (MiB).
+
+        Archive-backed views stream off the memmap, so only the
+        in-flight chunk counts; in-memory views are already resident,
+        so the whole view does.  Parallel mode adds one wire-form
+        partial per worker, approximated by the distinct-key share of
+        the rows.  An estimate, not a measurement — the trace's
+        ``peak_rss_mib`` field is the measurement.
+        """
+        peak_rows = 0
+        for spec in specs:
+            in_flight = (
+                min(spec.chunk_rows or spec.num_rows, spec.num_rows)
+                if spec.storage == "archive" or spec.chunk_rows
+                else spec.num_rows
+            )
+            peak_rows = max(peak_rows, in_flight)
+        total = sum(spec.num_rows for spec in specs)
+        estimate = peak_rows * BYTES_PER_ROW
+        # Accumulator keys are a fraction of rows; wire-form partials
+        # (one per worker) dominate the parallel coordinator.
+        accumulator = total * BYTES_PER_ROW * 0.25
+        if mode == "parallel":
+            accumulator *= 1 + min(knobs.workers, 4) * 0.25
+        return (estimate + accumulator) / 2**20
+
+
+# ---------------------------------------------------------------------------
+# The observability spine: events and sinks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionEvent:
+    """One structured record on the trace spine."""
+
+    #: ``plan`` | ``view`` | ``chunk`` | ``worker`` | ``ipc`` |
+    #: ``merge`` | ``stage`` | ``cache`` | ``generate`` | ``member``
+    #: | ``quarantine`` — open set; sinks must pass unknown kinds on.
+    kind: str
+    name: str
+    #: Facade-assigned grouping label (e.g. ``fold`` / ``window``).
+    scope: str = "run"
+    #: Wall-clock start (``time.time()``), for cross-process ordering.
+    started: float = 0.0
+    seconds: float = 0.0
+    rows_in: int | None = None
+    rows_out: int | None = None
+    bytes: int | None = None
+    peak_rss_mib: float | None = None
+    cache_hits: int | None = None
+    cache_misses: int | None = None
+    quarantined: int | None = None
+    meta: Mapping[str, Any] | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        """The serialised trace form (all TRACE_FIELDS, nulls kept)."""
+        return {
+            "v": TRACE_VERSION,
+            "kind": self.kind,
+            "name": self.name,
+            "scope": self.scope,
+            "started": self.started,
+            "seconds": self.seconds,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "bytes": self.bytes,
+            "peak_rss_mib": self.peak_rss_mib,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "quarantined": self.quarantined,
+            "meta": dict(self.meta) if self.meta is not None else None,
+        }
+
+
+class MemorySink:
+    """In-memory sink (tests, and the facades' timing derivation)."""
+
+    def __init__(self) -> None:
+        self.events: list[ExecutionEvent] = []
+
+    def emit(self, event: ExecutionEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class JsonlSink:
+    """Appends one JSON object per event to a trace file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, event: ExecutionEvent) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a")
+        json.dump(event.to_json(), self._handle)
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class TableSink:
+    """Collects timing rows and renders the CLI table on demand."""
+
+    def __init__(self) -> None:
+        self._rows: list[tuple[str, str, object]] = []
+
+    def emit(self, event: ExecutionEvent) -> None:
+        if event.kind in _TIMING_KINDS:
+            self._rows.append(
+                (
+                    event.name,
+                    f"{event.seconds * 1e3:.2f}",
+                    event.rows_out if event.rows_out is not None else "-",
+                )
+            )
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+    def render(self) -> str:
+        """The stage-timing table (empty string when nothing timed)."""
+        if not self._rows:
+            return ""
+        from repro.reporting.tables import format_table
+
+        return format_table(["stage", "ms", "surviving"], self._rows)
+
+
+# ---------------------------------------------------------------------------
+# RunContext
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunContext:
+    """Everything one execution carries through every layer.
+
+    A context owns a private :class:`MemorySink` (so the facades can
+    always derive their legacy timing shapes) plus any caller-supplied
+    sinks, the resolved knobs, the plan being executed, a seeded RNG
+    handle, and the active fault plan.  It is cheap to construct —
+    facades make one per run when the caller does not pass one.
+    """
+
+    knobs: ExecutionKnobs = field(
+        default_factory=lambda: resolve_execution_knobs()
+    )
+    plan: ExecutionPlan | None = None
+    sinks: tuple = ()
+    seed: int | None = None
+    fault_plan: "FaultPlan | None" = None
+    scope: str = "run"
+    _memory: MemorySink = field(default_factory=MemorySink, repr=False)
+    _rng: np.random.Generator | None = field(default=None, repr=False)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Seeded RNG handle (stable per context)."""
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.seed)
+        return self._rng
+
+    # -- emission ------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        name: str,
+        seconds: float = 0.0,
+        *,
+        started: float | None = None,
+        rows_in: int | None = None,
+        rows_out: int | None = None,
+        bytes: int | None = None,
+        peak_rss_mib: float | None = None,
+        cache_hits: int | None = None,
+        cache_misses: int | None = None,
+        quarantined: int | None = None,
+        meta: Mapping[str, Any] | None = None,
+    ) -> ExecutionEvent:
+        """Emit one event to the private and every attached sink."""
+        event = ExecutionEvent(
+            kind=kind,
+            name=name,
+            scope=self.scope,
+            started=time.time() - seconds if started is None else started,
+            seconds=seconds,
+            rows_in=rows_in,
+            rows_out=rows_out,
+            bytes=bytes,
+            peak_rss_mib=peak_rss_mib,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            quarantined=quarantined,
+            meta=meta,
+        )
+        self._memory.emit(event)
+        for sink in self.sinks:
+            sink.emit(event)
+        return event
+
+    @contextmanager
+    def timed(self, kind: str, name: str, **counters: Any) -> Iterator[None]:
+        """Time a block and emit one event on exit."""
+        wall = time.time()
+        started = time.perf_counter()
+        yield
+        self.emit(
+            kind,
+            name,
+            time.perf_counter() - started,
+            started=wall,
+            peak_rss_mib=_peak_rss_mib(),
+            **counters,
+        )
+
+    @contextmanager
+    def scoped(self, scope: str) -> Iterator["RunContext"]:
+        """Label every event emitted inside the block with ``scope``."""
+        previous, self.scope = self.scope, scope
+        try:
+            yield self
+        finally:
+            self.scope = previous
+
+    # -- derived views -------------------------------------------------
+
+    def events(
+        self, kinds: Sequence[str] | None = None
+    ) -> tuple[ExecutionEvent, ...]:
+        """Events recorded so far (optionally filtered by kind)."""
+        if kinds is None:
+            return tuple(self._memory.events)
+        wanted = frozenset(kinds)
+        return tuple(e for e in self._memory.events if e.kind in wanted)
+
+    def stage_timings(
+        self, scopes: Sequence[str] | None = None
+    ) -> tuple[StageTiming, ...]:
+        """The legacy per-stage rows, derived from the event stream.
+
+        This is the **only** place events become
+        :class:`~repro.core.stages.StageTiming` rows, so parallel
+        fan-out rows (``fanout[wK]`` / ``ipc`` / ``merge``) and stage
+        rows always share one shape no matter which facade ran.
+        """
+        wanted = None if scopes is None else frozenset(scopes)
+        rows = []
+        for event in self._memory.events:
+            if event.kind not in _TIMING_KINDS:
+                continue
+            if wanted is not None and event.scope not in wanted:
+                continue
+            surviving = event.rows_out if event.rows_out is not None else 0
+            rows.append(StageTiming(event.name, event.seconds, surviving))
+        return tuple(rows)
+
+    def close(self) -> None:
+        """Flush and close every attached sink."""
+        for sink in self.sinks:
+            sink.close()
+
+
+# ---------------------------------------------------------------------------
+# The one fold path
+# ---------------------------------------------------------------------------
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    views: Sequence["VantageDayView"],
+    context: RunContext | None = None,
+    *,
+    ignore_sources_from_asns: frozenset[int] = frozenset(),
+) -> PrefixAccumulator:
+    """Fold ``views`` into one accumulator, exactly as planned.
+
+    Serial and chunked modes run in-process, emitting one ``view``
+    event per vantage-day and one ``chunk`` event per ingestion chunk;
+    parallel mode fans out across the plan's shard buckets and emits
+    ``worker`` / ``ipc`` / ``merge`` events from the pool statistics.
+    Classification downstream is bit-identical across modes for the
+    same views — the engine's core invariant.
+    """
+    if context is None:
+        context = RunContext(knobs=plan.knobs, plan=plan)
+    context.plan = plan
+    context.emit(
+        "plan",
+        plan.mode,
+        rows_in=plan.total_rows(),
+        meta=plan.to_dict(),
+    )
+    if plan.mode == "parallel" and plan.views:
+        return _execute_parallel(plan, views, context, ignore_sources_from_asns)
+    return _execute_serial(plan, views, context, ignore_sources_from_asns)
+
+
+def _execute_serial(
+    plan: ExecutionPlan,
+    views: Sequence["VantageDayView"],
+    context: RunContext,
+    ignored: frozenset[int],
+) -> PrefixAccumulator:
+    accumulator = PrefixAccumulator(ignored, plan.knobs.compact_every)
+    for view, spec in zip(views, plan.views):
+        wall = time.time()
+        started = time.perf_counter()
+
+        def on_chunk(rows: int, seconds: float) -> None:
+            context.emit(
+                "chunk",
+                f"{spec.vantage}@d{spec.day}",
+                seconds,
+                rows_in=rows,
+            )
+
+        accumulator.update_view(
+            view, chunk_size=spec.chunk_rows, on_chunk=on_chunk
+        )
+        context.emit(
+            "view",
+            f"{spec.vantage}@d{spec.day}",
+            time.perf_counter() - started,
+            started=wall,
+            rows_in=spec.num_rows,
+            peak_rss_mib=_peak_rss_mib(),
+            meta={"storage": spec.storage},
+        )
+    return accumulator
+
+
+def _execute_parallel(
+    plan: ExecutionPlan,
+    views: Sequence["VantageDayView"],
+    context: RunContext,
+    ignored: frozenset[int],
+) -> PrefixAccumulator:
+    from repro.core.parallel import parallel_accumulate_views
+
+    accumulator, stats = parallel_accumulate_views(
+        views,
+        ignore_sources_from_asns=ignored,
+        workers=plan.knobs.workers,
+        chunk_size=plan.knobs.chunk_size,
+        buckets=[list(bucket) for bucket in plan.shards] or None,
+    )
+    emit_parallel_events(context, stats)
+    return accumulator
+
+
+def emit_parallel_events(context: RunContext, stats) -> None:
+    """Translate a pool's :class:`ParallelStats` onto the spine.
+
+    One ``worker`` event per worker report (named ``fanout[wK]`` so the
+    derived timing rows keep their historical names), one ``ipc`` and
+    one ``merge`` event.  Serial short-circuits (``mode == "serial"``)
+    emit nothing — a serial fold has no fan-out rows, matching the
+    historical tables.
+    """
+    if stats is None or stats.mode == "serial":
+        return
+    for report in stats.reports:
+        context.emit(
+            "worker",
+            f"fanout[w{report.index}]",
+            report.fold_seconds,
+            rows_in=report.rows,
+            rows_out=report.rows,
+            meta={"shards": report.shards, "mode": stats.mode},
+        )
+    context.emit(
+        "ipc", "ipc", stats.ipc_seconds(), rows_out=stats.partials
+    )
+    context.emit(
+        "merge", "merge", stats.merge_seconds, rows_out=stats.partials
+    )
+
+
+# ---------------------------------------------------------------------------
+# Trace validation (the golden schema)
+# ---------------------------------------------------------------------------
+
+#: Field -> accepted JSON types for one trace event object.
+TRACE_SCHEMA: dict[str, tuple[type, ...]] = {
+    "v": (int,),
+    "kind": (str,),
+    "name": (str,),
+    "scope": (str,),
+    "started": (int, float),
+    "seconds": (int, float),
+    "rows_in": (int, type(None)),
+    "rows_out": (int, type(None)),
+    "bytes": (int, type(None)),
+    "peak_rss_mib": (int, float, type(None)),
+    "cache_hits": (int, type(None)),
+    "cache_misses": (int, type(None)),
+    "quarantined": (int, type(None)),
+    "meta": (dict, type(None)),
+}
+
+
+def validate_trace_event(obj: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` when one trace object violates the schema."""
+    if set(obj) != set(TRACE_FIELDS):
+        missing = set(TRACE_FIELDS) - set(obj)
+        extra = set(obj) - set(TRACE_FIELDS)
+        raise ValueError(
+            f"trace event keys mismatch: missing={sorted(missing)} "
+            f"extra={sorted(extra)}"
+        )
+    for name, types in TRACE_SCHEMA.items():
+        value = obj[name]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise ValueError(
+                f"trace field {name!r} has {type(value).__name__} "
+                f"({value!r}); expected {[t.__name__ for t in types]}"
+            )
+    if obj["v"] != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version: {obj['v']!r}")
+    if obj["seconds"] < 0:
+        raise ValueError(f"negative duration: {obj['seconds']!r}")
+
+
+def validate_trace_file(path: str | Path) -> int:
+    """Validate a JSONL trace; returns the number of events checked."""
+    count = 0
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON: {error}"
+                ) from error
+            try:
+                validate_trace_event(obj)
+            except ValueError as error:
+                raise ValueError(f"{path}:{line_number}: {error}") from error
+            count += 1
+    if count == 0:
+        raise ValueError(f"{path}: trace contains no events")
+    return count

@@ -26,14 +26,16 @@ a list at all (:class:`QuorumError`).
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.accum import PrefixAccumulator
+from repro.core.engine import RunContext, resolve_execution_knobs
 from repro.core.metatelescope import MetaTelescope, MetaTelescopeResult
-from repro.core.parallel import default_workers, tree_merge
+from repro.core.parallel import tree_merge
 
 
 @dataclass(frozen=True, slots=True)
@@ -157,15 +159,17 @@ _FEDERATION_WORK: tuple[
 ] | None = None
 
 
-def _classify_member(operator: str) -> OperatorReport:
+def _classify_member(operator: str) -> tuple[OperatorReport, float]:
     members, coordinator, use_spoofing_tolerance = _FEDERATION_WORK
+    started = time.perf_counter()
     merged = tree_merge(members[operator], copy=True)
-    return OperatorReport.from_accumulator(
+    report = OperatorReport.from_accumulator(
         operator,
         merged,
         coordinator,
         use_spoofing_tolerance=use_spoofing_tolerance,
     )
+    return report, time.perf_counter() - started
 
 
 def _classify_members(
@@ -173,43 +177,49 @@ def _classify_members(
     coordinator: MetaTelescope,
     use_spoofing_tolerance: bool,
     workers: int | None,
+    context: RunContext | None = None,
 ) -> list[OperatorReport]:
     """Merge + classify each member's partials, optionally in parallel.
 
-    With ``workers`` > 1 (``0`` = one per CPU) and a ``fork``-capable
-    platform, members are classified across a process pool; the
-    coordinator telescope and the decoded partials are inherited
-    copy-on-write, and only the small report arrays cross the pipe.
-    Reports are identical to the serial path — classification is a pure
-    function of each member's merged aggregates.
+    Worker resolution goes through the engine's
+    :func:`~repro.core.engine.resolve_execution_knobs` like every other
+    frontend (``0`` = one per CPU).  With more than one resolved worker
+    and a ``fork``-capable platform, members are classified across a
+    process pool; the coordinator telescope and the decoded partials
+    are inherited copy-on-write, and only the small report arrays cross
+    the pipe.  Reports are identical to the serial path —
+    classification is a pure function of each member's merged
+    aggregates.  With a ``context``, one ``member`` event per operator
+    lands on the spine.
     """
     global _FEDERATION_WORK
-    if workers == 0:
-        workers = default_workers()
+    workers = resolve_execution_knobs(workers=workers).workers
     operators = list(members)
     use_pool = (
-        workers is not None
-        and workers > 1
+        workers > 1
         and len(operators) > 1
         and "fork" in multiprocessing.get_all_start_methods()
     )
-    if not use_pool:
-        return [
-            OperatorReport.from_accumulator(
-                operator,
-                tree_merge(members[operator], copy=True),
-                coordinator,
-                use_spoofing_tolerance=use_spoofing_tolerance,
-            )
-            for operator in operators
-        ]
-    context = multiprocessing.get_context("fork")
     _FEDERATION_WORK = (members, coordinator, use_spoofing_tolerance)
     try:
-        with context.Pool(processes=min(workers, len(operators))) as pool:
-            return pool.map(_classify_member, operators)
+        if use_pool:
+            mp = multiprocessing.get_context("fork")
+            with mp.Pool(processes=min(workers, len(operators))) as pool:
+                outcomes = pool.map(_classify_member, operators)
+        else:
+            outcomes = [_classify_member(operator) for operator in operators]
     finally:
         _FEDERATION_WORK = None
+    if context is not None:
+        for report, seconds in outcomes:
+            context.emit(
+                "member",
+                report.operator,
+                seconds,
+                rows_out=len(report.dark_blocks),
+                meta={"observed": len(report.observed_blocks)},
+            )
+    return [report for report, _ in outcomes]
 
 
 @dataclass(frozen=True)
@@ -296,6 +306,7 @@ def federate(
     coordinator: MetaTelescope | None = None,
     use_spoofing_tolerance: bool = False,
     workers: int | None = None,
+    context: RunContext | None = None,
 ) -> FederatedResult:
     """Combine member reports (and the marking registry) into one list.
 
@@ -320,7 +331,9 @@ def federate(
     partial may be a :class:`PrefixAccumulator` or its compact columnar
     wire form (:meth:`~PrefixAccumulator.to_state`) — what a remote
     member would actually put on the wire.  ``workers`` > 1 classifies
-    members across a process pool (same reports, pure throughput).
+    members across a process pool (same reports, pure throughput), and
+    a ``context`` records one ``member`` event per classified operator
+    on the observability spine.
     """
     if partials:
         if coordinator is None:
@@ -338,7 +351,8 @@ def federate(
             members[operator] = decoded
         reports.extend(
             _classify_members(
-                members, coordinator, use_spoofing_tolerance, workers
+                members, coordinator, use_spoofing_tolerance, workers,
+                context=context,
             )
         )
     if not reports:

@@ -5,6 +5,13 @@ Route Views feed, the special-purpose registry, liveness datasets, the
 unrouted baseline, and thresholds — and turns vantage-day views into
 the final set of meta-telescope prefixes plus the traffic captured
 toward them (the paper's two data products, Section 5).
+
+Since the engine refactor the facade is thin: every fold is planned by
+the instance's :class:`~repro.core.engine.ExecutionPlanner` and run by
+:func:`~repro.core.engine.execute_plan` through a
+:class:`~repro.core.engine.RunContext` — serial, chunked and parallel
+execution are one code path, and the per-stage timing rows are derived
+from the context's event stream in one place.
 """
 
 from __future__ import annotations
@@ -15,8 +22,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bgp.rib import RouteViewsCollector, RoutingTable
-from repro.core.accum import PrefixAccumulator, accumulate_views
-from repro.core.parallel import ParallelStats, parallel_accumulate_views
+from repro.core.accum import PrefixAccumulator
+from repro.core.engine import (
+    ExecutionPlan,
+    ExecutionPlanner,
+    RunContext,
+    execute_plan,
+)
 from repro.core.pipeline import (
     PipelineConfig,
     PipelineResult,
@@ -59,11 +71,15 @@ class MetaTelescope:
     #: Unrouted baseline /24s for the spoofing tolerance (None disables).
     unrouted_baseline: np.ndarray | None = None
     config: PipelineConfig = field(default_factory=PipelineConfig)
+    #: Decides how folds execute (mode, chunking, sharding).  Swap in a
+    #: planner with a ``memory_budget_mib`` to cap the fold's estimated
+    #: working set.
+    planner: ExecutionPlanner = field(default_factory=ExecutionPlanner)
     _routing_cache: dict[tuple[int, ...], RoutingTable] = field(
         default_factory=dict, repr=False
     )
-    #: Stats of the most recent parallel fold (None after serial folds).
-    _last_parallel_stats: ParallelStats | None = field(
+    #: RunContext of the most recent fold/inference (trace access).
+    _last_context: RunContext | None = field(
         default=None, repr=False, compare=False
     )
 
@@ -90,33 +106,53 @@ class MetaTelescope:
         self._routing_cache[key] = table
         return table
 
+    def plan(
+        self,
+        views: list[VantageDayView],
+        chunk_size: int | str | None = None,
+        workers: int | None = None,
+    ) -> ExecutionPlan:
+        """Build (without executing) the plan a fold of ``views`` would run.
+
+        This is what ``python -m repro plan`` (and ``infer --explain``)
+        prints: mode, shard layout, chunk resolution, cache policy and
+        the estimated peak memory — pure data, nothing folded.
+        """
+        return self.planner.plan(views, chunk_size=chunk_size, workers=workers)
+
+    def last_run_context(self) -> RunContext | None:
+        """RunContext of the most recent fold (its full event stream)."""
+        return self._last_context
+
     def accumulate(
         self,
         views: list[VantageDayView],
         chunk_size: int | str | None = None,
         workers: int | None = None,
+        context: RunContext | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> PrefixAccumulator:
         """Fold views into a mergeable accumulator with this instance's
         ASN-ignore configuration applied.
 
-        ``workers`` > 1 fans the fold out across a process pool
-        (``0`` = one worker per available CPU); the result is
-        bit-identical to the serial fold for any worker count.
+        The fold runs through the execution engine: the planner picks
+        serial / chunked / parallel from the knobs and the views (or a
+        hand-built ``plan`` forces the choice), and every chunk, view
+        and worker lands on the ``context``'s observability spine.  The
+        result is bit-identical for any plan.
         """
-        self._last_parallel_stats = None
-        if workers is not None and workers != 1:
-            accumulator, stats = parallel_accumulate_views(
-                views,
-                ignore_sources_from_asns=self.config.ignore_sources_from_asns,
-                workers=workers,
-                chunk_size=chunk_size,
+        if plan is None:
+            plan = self.planner.plan(
+                views, chunk_size=chunk_size, workers=workers
             )
-            self._last_parallel_stats = stats
-            return accumulator
-        return accumulate_views(
+        if context is None:
+            context = RunContext(knobs=plan.knobs, plan=plan)
+        self._last_context = context
+        return execute_plan(
+            plan,
             views,
+            context,
             ignore_sources_from_asns=self.config.ignore_sources_from_asns,
-            chunk_size=chunk_size,
         )
 
     def infer(
@@ -126,42 +162,46 @@ class MetaTelescope:
         refine: bool = True,
         chunk_size: int | str | None = None,
         workers: int | None = None,
+        context: RunContext | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> MetaTelescopeResult:
         """Run the full pipeline (+ optional tolerance and refinement).
 
-        ``chunk_size`` bounds ingestion memory: each view is folded into
-        the per-/24 accumulator ``chunk_size`` rows at a time instead of
-        being aggregated whole (``"auto"`` picks a size from the view).
-        ``workers`` shards the fold across a process pool.  The
-        classification is bit-identical under any combination.
+        ``chunk_size`` bounds ingestion memory (``"auto"`` picks a size
+        per view) and ``workers`` shards the fold across a process
+        pool; classification is bit-identical under any combination.
+        The returned stage timings are derived from the run's event
+        stream, so parallel runs carry their ``fanout[wK]``/``ipc``/
+        ``merge`` rows in the same shape as every other path.
         """
         if not views:
             raise ValueError("need at least one vantage-day view")
-        accumulator = self.accumulate(
-            views, chunk_size=chunk_size, workers=workers
-        )
+        if plan is None:
+            plan = self.planner.plan(
+                views, chunk_size=chunk_size, workers=workers
+            )
+        if context is None:
+            context = RunContext(knobs=plan.knobs, plan=plan)
+        accumulator = self.accumulate(views, context=context, plan=plan)
         result = self.infer_accumulated(
             accumulator,
             use_spoofing_tolerance=use_spoofing_tolerance,
             refine=refine,
+            context=context,
         )
-        stats = self._last_parallel_stats
-        if stats is not None:
-            pipeline = dataclasses.replace(
-                result.pipeline,
-                stage_timings=stats.stage_timings()
-                + result.pipeline.stage_timings,
-            )
-            result = MetaTelescopeResult(
-                pipeline=pipeline, refinement=result.refinement
-            )
-        return result
+        pipeline = dataclasses.replace(
+            result.pipeline, stage_timings=context.stage_timings()
+        )
+        return MetaTelescopeResult(
+            pipeline=pipeline, refinement=result.refinement
+        )
 
     def infer_accumulated(
         self,
         accumulator: PrefixAccumulator,
         use_spoofing_tolerance: bool = False,
         refine: bool = True,
+        context: RunContext | None = None,
     ) -> MetaTelescopeResult:
         """Run inference on already-streamed aggregates.
 
@@ -184,7 +224,7 @@ class MetaTelescope:
             config = dataclasses.replace(config, spoof_tolerance=tolerance)
         routing = self.routing_for_days(accumulator.days())
         pipeline = run_pipeline_accumulated(
-            accumulator, routing, config, special=self.special
+            accumulator, routing, config, special=self.special, context=context
         )
         if refine:
             refinement = refine_with_liveness(pipeline.dark_blocks, self.liveness)

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.engine import RunContext
 from repro.core.metatelescope import MetaTelescope
 from repro.core.stages import StageTiming
 from repro.faults.quality import FeedQuality, score_feed
@@ -165,6 +166,10 @@ class OnlineMetaTelescope:
     #: Process-pool workers for each day's fold (None/1: serial,
     #: ``0``: one per CPU).  Any worker count classifies bit-identically.
     workers: int | None = None
+    #: Extra trace sinks attached to every day's
+    #: :class:`~repro.core.engine.RunContext` (e.g. a
+    #: :class:`~repro.core.engine.JsonlSink` for a rolling trace file).
+    sinks: tuple = ()
     #: Rolling window of ``(day, PrefixAccumulator)`` partial aggregates.
     _window: deque = field(default_factory=deque, repr=False)
     _daily_dark: deque = field(default_factory=deque, repr=False)
@@ -177,6 +182,9 @@ class OnlineMetaTelescope:
     _typical_factors: dict[str, float] = field(default_factory=dict, repr=False)
     _views_seen_max: int = field(default=0, repr=False)
     _last_timings: tuple[StageTiming, ...] = field(default=(), repr=False)
+    _last_context: RunContext | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.window_days < 1:
@@ -265,16 +273,27 @@ class OnlineMetaTelescope:
         action: str,
     ) -> DayUpdate:
         previous_dark = self._daily_dark[-1] if self._daily_dark else None
-        day_accumulator = self.telescope.accumulate(
+        # One context per day: the fold, the per-day inference and the
+        # window inference all land on the same event stream, separated
+        # by scope labels.
+        plan = self.telescope.plan(
             views, chunk_size=self.chunk_size, workers=self.workers
         )
-        parallel_stats = self.telescope._last_parallel_stats
-        self._window.append((day, day_accumulator))
-        day_result = self.telescope.infer_accumulated(
-            day_accumulator,
-            use_spoofing_tolerance=self.use_spoofing_tolerance,
-            refine=False,
+        context = RunContext(
+            knobs=plan.knobs, plan=plan, sinks=self.sinks, scope="fold"
         )
+        self._last_context = context
+        day_accumulator = self.telescope.accumulate(
+            views, context=context, plan=plan
+        )
+        self._window.append((day, day_accumulator))
+        with context.scoped("day"):
+            day_result = self.telescope.infer_accumulated(
+                day_accumulator,
+                use_spoofing_tolerance=self.use_spoofing_tolerance,
+                refine=False,
+                context=context,
+            )
         day_dark = day_result.pipeline.dark_blocks
         self._daily_dark.append(day_dark)
         while len(self._window) > self.window_days:
@@ -295,15 +314,21 @@ class OnlineMetaTelescope:
         window_accumulator = self._window[0][1].copy()
         for _, accumulator in list(self._window)[1:]:
             window_accumulator.merge(accumulator)
-        window_result = self.telescope.infer_accumulated(
-            window_accumulator,
-            use_spoofing_tolerance=self.use_spoofing_tolerance,
-        )
-        self._last_timings = window_result.pipeline.stage_timings
-        if parallel_stats is not None:
-            self._last_timings = (
-                parallel_stats.stage_timings() + self._last_timings
+        with context.scoped("window"):
+            window_result = self.telescope.infer_accumulated(
+                window_accumulator,
+                use_spoofing_tolerance=self.use_spoofing_tolerance,
+                context=context,
             )
+        # Fold rows (fan-out, if any) + window stage rows; the per-day
+        # inference's rows stay trace-only, as before the engine.
+        self._last_timings = context.stage_timings(scopes=("fold", "window"))
+        context.emit(
+            "quarantine",
+            f"d{day}",
+            quarantined=len(self._quarantine),
+            meta={"action": action},
+        )
         stable = self._stable_blocks()
         serving = np.intersect1d(window_result.prefixes, stable)
         quarantined = self.quarantined_blocks()
@@ -385,6 +410,10 @@ class OnlineMetaTelescope:
     def last_stage_timings(self) -> tuple[StageTiming, ...]:
         """Per-stage wall times of the latest window inference."""
         return self._last_timings
+
+    def last_run_context(self) -> RunContext | None:
+        """RunContext of the latest folded day (full event stream)."""
+        return self._last_context
 
     def health_report(self) -> HealthReport:
         """The structured operational record so far."""

@@ -37,7 +37,6 @@ into the existing stage-timing observability.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import time
 from dataclasses import dataclass
 from typing import Sequence
@@ -49,9 +48,21 @@ from repro.core.accum import (
     accumulate_views,
     resolve_chunk_size,
 )
+from repro.core.engine import default_workers, resolve_execution_knobs
 from repro.core.stages import StageTiming
 from repro.traffic.flows import FLOW_COLUMNS, FlowTable
 from repro.vantage.sampling import VantageDayView
+
+__all__ = [
+    "Shard",
+    "ParallelStats",
+    "WorkerReport",
+    "default_workers",
+    "parallel_accumulate_views",
+    "partial_states_identical",
+    "shard_views",
+    "tree_merge",
+]
 
 #: A shard: (view index, first row, one-past-last row).
 Shard = tuple[int, int, int]
@@ -60,14 +71,6 @@ Shard = tuple[int, int, int]
 _FORK_WORK: tuple[list[VantageDayView], frozenset[int], int | str | None] | None = (
     None
 )
-
-
-def default_workers() -> int:
-    """Worker count matching the CPUs this process may run on."""
-    try:
-        return max(1, len(os.sched_getaffinity(0)))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return max(1, os.cpu_count() or 1)
 
 
 @dataclass(frozen=True, slots=True)
@@ -292,20 +295,24 @@ def parallel_accumulate_views(
     workers: int | None = None,
     chunk_size: int | str | None = None,
     max_shard_rows: int | None = None,
+    buckets: list[list[Shard]] | None = None,
 ) -> tuple[PrefixAccumulator, ParallelStats]:
     """Fold views into one accumulator across a process pool.
 
-    ``workers=None``/``0``/``1`` runs the serial fold unchanged
-    (``0`` is resolved to :func:`default_workers` first).  The merged
-    accumulator is bit-identical to ``accumulate_views`` for any worker
-    count — aggregation is exact-integer associative — so callers may
-    treat the knob as pure throughput tuning.
+    ``workers=None``/``1`` runs the serial fold unchanged; ``0`` means
+    one worker per available CPU (knobs resolve through the engine's
+    :func:`~repro.core.engine.resolve_execution_knobs`, the single
+    resolution point).  ``buckets`` lets an
+    :class:`~repro.core.engine.ExecutionPlan` supply its precomputed
+    shard layout; otherwise :func:`shard_views` derives it here.  The
+    merged accumulator is bit-identical to ``accumulate_views`` for any
+    worker count — aggregation is exact-integer associative — so
+    callers may treat the knob as pure throughput tuning.
     """
     global _FORK_WORK
-    if workers == 0:
-        workers = default_workers()
+    workers = resolve_execution_knobs(workers=workers).workers
     views = list(views)
-    if workers is None or workers <= 1 or len(views) == 0:
+    if workers <= 1 or len(views) == 0:
         started = time.perf_counter()
         accumulator = accumulate_views(
             views,
@@ -325,7 +332,8 @@ def parallel_accumulate_views(
         )
 
     ignored = frozenset(ignore_sources_from_asns)
-    buckets = shard_views(views, workers, max_shard_rows)
+    if buckets is None:
+        buckets = shard_views(views, workers, max_shard_rows)
     use_fork = "fork" in multiprocessing.get_all_start_methods()
     started = time.perf_counter()
     if use_fork:

@@ -45,6 +45,8 @@ IPFIX estimates true packet counts.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.bgp.rib import RoutingTable
 from repro.core.accum import PrefixAccumulator, accumulate_views
 from repro.core.stages import (
@@ -58,6 +60,9 @@ from repro.core.stages import (
 )
 from repro.net.special import SPECIAL_PURPOSE_REGISTRY, SpecialPurposeRegistry
 from repro.vantage.sampling import VantageDayView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import RunContext
 
 __all__ = [
     "DEFAULT_STAGES",
@@ -80,10 +85,12 @@ def run_pipeline(
     routing: RoutingTable,
     config: PipelineConfig | None = None,
     special: SpecialPurposeRegistry = SPECIAL_PURPOSE_REGISTRY,
+    context: "RunContext | None" = None,
 ) -> PipelineResult:
     """Run the full inference over pooled vantage-day views."""
     return run_pipeline_chunked(
-        views, routing, config, special=special, chunk_size=None
+        views, routing, config, special=special, chunk_size=None,
+        context=context,
     )
 
 
@@ -93,23 +100,35 @@ def run_pipeline_chunked(
     config: PipelineConfig | None = None,
     special: SpecialPurposeRegistry = SPECIAL_PURPOSE_REGISTRY,
     chunk_size: int | str | None = None,
+    workers: int | None = None,
+    context: "RunContext | None" = None,
 ) -> PipelineResult:
     """Run the inference, ingesting each view in bounded-size chunks.
 
     ``chunk_size=None`` ingests each view as a single chunk (the batch
     path); ``"auto"`` picks a bounded size per view.  Any chunk size
-    yields bit-identical classifications.
+    (and any worker count) yields bit-identical classifications.  The
+    fold itself is planned and executed by :mod:`repro.core.engine` —
+    this facade only builds the plan.
     """
+    from repro.core.engine import ExecutionPlanner, RunContext, execute_plan
+
     if not views:
         raise ValueError("need at least one vantage-day view")
     if config is None:
         config = PipelineConfig()
-    accumulator = accumulate_views(
-        views,
-        ignore_sources_from_asns=config.ignore_sources_from_asns,
-        chunk_size=chunk_size,
+    plan = ExecutionPlanner().plan(
+        views, chunk_size=chunk_size, workers=workers
     )
-    return run_pipeline_accumulated(accumulator, routing, config, special)
+    if context is None:
+        context = RunContext(knobs=plan.knobs, plan=plan)
+    accumulator = execute_plan(
+        plan, views, context,
+        ignore_sources_from_asns=config.ignore_sources_from_asns,
+    )
+    return run_pipeline_accumulated(
+        accumulator, routing, config, special, context=context
+    )
 
 
 def run_pipeline_accumulated(
@@ -117,11 +136,14 @@ def run_pipeline_accumulated(
     routing: RoutingTable,
     config: PipelineConfig | None = None,
     special: SpecialPurposeRegistry = SPECIAL_PURPOSE_REGISTRY,
+    context: "RunContext | None" = None,
 ) -> PipelineResult:
     """Classify from an already-populated accumulator.
 
     This is the online/federation entry: the accumulator may be the
     merge of per-day partials or of other operators' contributions.
+    With a :class:`~repro.core.engine.RunContext` every stage also
+    lands on the observability spine as a ``stage`` event.
     """
     if config is None:
         config = PipelineConfig()
@@ -133,4 +155,4 @@ def run_pipeline_accumulated(
             "than the pipeline config"
         )
     finalized = accumulator.finalize(config.spoof_tolerance)
-    return StageEngine().run(finalized, routing, special, config)
+    return StageEngine().run(finalized, routing, special, config, context)

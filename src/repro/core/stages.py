@@ -325,12 +325,17 @@ class StageEngine:
         routing: RoutingTable,
         special: SpecialPurposeRegistry,
         config: PipelineConfig,
+        context=None,
     ) -> PipelineResult:
+        """Classify finalized columns (``context``: a
+        :class:`~repro.core.engine.RunContext`; each stage also lands
+        on its observability spine as a ``stage`` event)."""
         ctx = StageContext(finalized, config, routing, special)
         surviving = np.ones(ctx.num_blocks, dtype=bool)
         cumulative: list[np.ndarray] = []
         counts: list[int] = []
         timings: list[StageTiming] = []
+        rows_in = ctx.num_blocks
         for stage in self.stages:
             started = time.perf_counter()
             surviving = surviving & stage.mask(ctx)
@@ -338,6 +343,12 @@ class StageEngine:
             cumulative.append(surviving)
             counts.append(int(surviving.sum()))
             timings.append(StageTiming(stage.name, elapsed, counts[-1]))
+            if context is not None:
+                context.emit(
+                    "stage", stage.name, elapsed,
+                    rows_in=rows_in, rows_out=counts[-1],
+                )
+            rows_in = counts[-1]
 
         started = time.perf_counter()
         candidates = cumulative[-1]
@@ -345,11 +356,20 @@ class StageEngine:
         gray = candidates & ctx.block_has_source
         unclean = candidates & ~ctx.block_has_source & ctx.block_any_failed
         volume_filtered = cumulative[-2] & ~cumulative[-1]
+        classify_seconds = time.perf_counter() - started
         timings.append(
-            StageTiming(
-                "classify", time.perf_counter() - started, int(candidates.sum())
-            )
+            StageTiming("classify", classify_seconds, int(candidates.sum()))
         )
+        if context is not None:
+            context.emit(
+                "stage", "classify", classify_seconds,
+                rows_in=rows_in, rows_out=int(candidates.sum()),
+                meta={
+                    "dark": int(dark.sum()),
+                    "unclean": int(unclean.sum()),
+                    "gray": int(gray.sum()),
+                },
+            )
 
         funnel = FunnelCounts(ctx.num_blocks, *counts)
         return PipelineResult(

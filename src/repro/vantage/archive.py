@@ -86,6 +86,11 @@ def _view_meta(view: VantageDayView) -> dict:
 class ArchiveDayView:
     """A vantage-day whose flows live in a flowpack archive on disk."""
 
+    #: Planner-visible storage class: rows stream off the memmap, so
+    #: the planner's cache policy and peak estimate treat the view as
+    #: paged, not resident.
+    storage = "archive"
+
     vantage: str
     day: int
     path: Path

@@ -62,6 +62,9 @@ class BlockAggregates:
 class VantageDayView:
     """Flows one vantage point exported on one day."""
 
+    #: Planner-visible storage class (archive views say ``"archive"``).
+    storage = "memory"
+
     vantage: str
     day: int
     flows: FlowTable

@@ -9,6 +9,7 @@ is discarded — exactly as unstored line-rate traffic is in reality).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -16,6 +17,7 @@ from repro.vantage.sampling import VantageDayView
 from repro.world.builder import World
 
 if TYPE_CHECKING:
+    from repro.core.engine import RunContext
     from repro.world.capture_cache import CaptureCache
 
 
@@ -59,10 +61,15 @@ class Observatory:
     """
 
     def __init__(
-        self, world: World, capture_cache: "CaptureCache | None" = None
+        self,
+        world: World,
+        capture_cache: "CaptureCache | None" = None,
+        context: "RunContext | None" = None,
     ) -> None:
         self.world = world
         self.capture_cache = capture_cache
+        #: Optional trace spine: ``generate`` and ``cache`` events per day.
+        self.context = context
         self._days: dict[int, DayObservation] = {}
 
     def day(self, day: int) -> DayObservation:
@@ -93,10 +100,21 @@ class Observatory:
 
     def _observe(self, day: int) -> DayObservation:
         if self.capture_cache is not None:
+            started = time.perf_counter()
             recalled = self._recall_cached(day)
+            if self.context is not None:
+                self.context.emit(
+                    "cache",
+                    f"d{day}",
+                    time.perf_counter() - started,
+                    cache_hits=1 if recalled is not None else 0,
+                    cache_misses=0 if recalled is not None else 1,
+                    bytes=self._cached_bytes(recalled),
+                )
             if recalled is not None:
                 return recalled
 
+        started = time.perf_counter()
         world = self.world
         traffic_rng = world.config.child_rng(f"traffic-day-{day}")
         ground = world.mix.generate_day(day, traffic_rng)
@@ -115,9 +133,41 @@ class Observatory:
             telescope_views=telescope_views,
             isp_view=isp_view,
         )
+        if self.context is not None:
+            self.context.emit(
+                "generate",
+                f"d{day}",
+                time.perf_counter() - started,
+                rows_in=len(ground),
+                rows_out=sum(
+                    view.num_rows
+                    for view in (
+                        *ixp_views.values(),
+                        *telescope_views.values(),
+                        isp_view,
+                    )
+                ),
+            )
         if self.capture_cache is not None:
             self._store_cached(day, observation)
         return observation
+
+    @staticmethod
+    def _cached_bytes(observation: DayObservation | None) -> int | None:
+        """On-disk size of a recalled day's archives (None on a miss)."""
+        if observation is None:
+            return None
+        total = 0
+        for views in (
+            observation.ixp_views.values(),
+            observation.telescope_views.values(),
+            (observation.isp_view,),
+        ):
+            for view in views:
+                path = getattr(view, "path", None)
+                if path is not None:
+                    total += path.stat().st_size
+        return total
 
     def _vantage_codes(self) -> tuple[list[str], list[str], str]:
         """Every vantage a day observation must cover."""

@@ -1,5 +1,7 @@
 """Tests for serialisation (repro.io) and the CLI (repro.cli)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -222,6 +224,46 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["funnel", "--scale", "micro", "--vantage", "NOPE"])
+
+    def test_plan_prints_without_executing(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "plan", "--scale", "micro", "--workers", "2",
+            "--chunk-size", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "execution plan" in out
+        assert "parallel" in out
+        assert "final meta-telescope" not in out  # nothing was inferred
+
+    def test_infer_explain_matches_plan(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "p.txt"
+        assert main([
+            "infer", "--scale", "micro", "--explain",
+            "--output", str(output),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "execution plan" in out and "serial" in out
+        assert not output.exists()  # --explain never runs the inference
+
+    def test_trace_flag_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core.engine import validate_trace_file
+
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "demo", "--scale", "micro", "--workers", "2",
+            "--trace", str(trace),
+        ]) == 0
+        assert validate_trace_file(trace) > 0
+        kinds = {
+            json.loads(line)["kind"]
+            for line in trace.read_text().splitlines()
+        }
+        assert {"plan", "generate", "worker", "stage"} <= kinds
 
     def test_faults_runs_all_classes(self, capsys):
         from repro.cli import main
