@@ -1,0 +1,114 @@
+"""Robustness — adversarial scenario catalog vs its degradation envelopes.
+
+Runs the full standard catalog (padded-evasive scanners, targeted
+spoofing floods, an epidemic outbreak, a mid-campaign route leak and a
+flash re-activation) through both engine paths — batch/parallel with
+``workers >= 2`` and the online operator under the ``carry`` policy —
+and scores every scenario differentially against the clean baseline.
+The bench is the regression gate at benchmark cadence: every metric
+delta must stay inside its expected-degradation envelope, and the
+targeted scenarios must keep their ground-truth target blocks off the
+serving list (miss rate at the envelope's lower bound or above).
+
+A second pass folds the canonical fault-injection composition from
+``repro.faults`` on top of every scenario, proving the envelopes hold
+even on degraded feeds.  Everything is seeded; two runs produce
+identical verdicts.
+"""
+
+from __future__ import annotations
+
+from _common import emit
+from repro.reporting.tables import format_table
+from repro.robustness import (
+    EvaluationSettings,
+    evaluate_catalog,
+    standard_catalog,
+)
+from repro.world.config import micro_config
+
+SEED = 7
+
+
+def _settings(compose_faults: bool = False) -> EvaluationSettings:
+    return EvaluationSettings(
+        days=3, workers=2, compose_faults=compose_faults, fault_seed=SEED
+    )
+
+
+def _rows(verdict):
+    rows = []
+    for scenario in verdict.verdicts:
+        by_path = {score.path: score for score in scenario.observed}
+        for path in ("parallel", "online"):
+            score = by_path[path]
+            checks = [c for c in scenario.checks if c.path == path]
+            rows.append(
+                (
+                    scenario.scenario,
+                    path,
+                    score.serving,
+                    f"{score.fpr:.3f}",
+                    f"{score.fnr:.3f}",
+                    f"{score.coverage:.3f}",
+                    "-" if score.target_miss_rate is None
+                    else f"{score.target_miss_rate:.3f}",
+                    "ok" if all(c.ok for c in checks) else "VIOLATION",
+                )
+            )
+    return rows
+
+
+def test_bench_scenarios(benchmark):
+    config = micro_config(SEED)
+    catalog = standard_catalog(config)
+
+    def run():
+        clean = evaluate_catalog(catalog, config, _settings())
+        faulted = evaluate_catalog(
+            catalog, config, _settings(compose_faults=True)
+        )
+        return clean, faulted
+
+    clean, faulted = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    header = ["scenario", "path", "serving", "fpr", "fnr", "coverage",
+              "miss", "verdict"]
+    emit(
+        "scenarios_envelopes",
+        format_table(
+            header, _rows(clean),
+            title="Adversarial catalog vs degradation envelopes "
+            "(clean feeds)",
+        )
+        + "\n"
+        + format_table(
+            header, _rows(faulted),
+            title="Adversarial catalog vs degradation envelopes "
+            "(canonical fault composition on top)",
+        ),
+    )
+
+    # The gate: every scenario within its envelope, on both passes.
+    assert clean.ok(), [
+        c.describe() for v in clean.verdicts for c in v.violations()
+    ]
+    assert faulted.ok(), [
+        c.describe() for v in faulted.verdicts for c in v.violations()
+    ]
+    assert len(clean.verdicts) == len(catalog) >= 5
+
+    # Targeted scenarios hold their targets off the serving list even
+    # while the attack runs — the property the gate protects.
+    for verdict in clean.verdicts:
+        for score in verdict.observed:
+            if score.target_miss_rate is not None:
+                assert score.target_miss_rate >= 0.7, (
+                    verdict.scenario, score.path, score.target_miss_rate
+                )
+
+    # Determinism: re-evaluating one scenario reproduces the verdict.
+    scenario = catalog[0]
+    first = evaluate_catalog([scenario], config, _settings())
+    second = evaluate_catalog([scenario], config, _settings())
+    assert first.to_json() == second.to_json()

@@ -12,6 +12,11 @@ Commands:
 * ``report``    — write the full markdown operator report;
 * ``faults``    — run the online telescope through an injected fault
                   plan and print the degraded-operation log;
+* ``scenarios`` — run the adversarial scenario catalog through both
+                  engine paths and check every metric against its
+                  expected-degradation envelope (``scenarios list``
+                  prints the catalog; non-zero exit on violation —
+                  the CI regression gate);
 * ``plan``      — print the ExecutionPlan the engine would run for the
                   given views and knobs, without executing anything
                   (``infer --explain`` does the same);
@@ -55,11 +60,18 @@ from repro.io import (
 )
 from repro.reporting.report import generate_report
 from repro.reporting.tables import format_table
+from repro.robustness import (
+    EvaluationSettings,
+    evaluate_catalog,
+    standard_catalog,
+)
 from repro.world.capture_cache import CaptureCache
+from repro.world.config import micro_config, paper_config, small_config
 from repro.world.observe import Observatory
 from repro.world.scenarios import micro_world, paper_world, small_world
 
 _SCALES = {"micro": micro_world, "small": small_world, "paper": paper_world}
+_CONFIGS = {"micro": micro_config, "small": small_config, "paper": paper_config}
 
 
 def _context(args: argparse.Namespace) -> RunContext:
@@ -325,6 +337,74 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    config = _CONFIGS[args.scale](args.seed)
+    catalog = standard_catalog(config)
+    if args.action == "list":
+        rows = [
+            (
+                scenario.name,
+                scenario.summary,
+                "yes" if scenario.envelope.target_miss_rate else "-",
+            )
+            for scenario in catalog
+        ]
+        print(
+            format_table(
+                ["scenario", "summary", "targeted"],
+                rows,
+                title=f"adversarial scenario catalog — scale={args.scale}",
+            )
+        )
+        return 0
+
+    context = _context(args)
+    settings = EvaluationSettings(
+        days=min(args.days, config.num_days),
+        workers=args.workers if args.workers is not None else 2,
+        chunk_size=args.chunk_size,
+        compose_faults=args.with_faults,
+        fault_seed=args.seed,
+    )
+    verdict = evaluate_catalog(catalog, config, settings, context=context)
+    for scenario in verdict.verdicts:
+        rows = [
+            (
+                check.path,
+                check.metric,
+                f"{check.value:+.3f}",
+                check.bounds.describe(),
+                "ok" if check.ok else "VIOLATION",
+            )
+            for check in scenario.checks
+        ]
+        state = "within envelope" if scenario.ok() else "ENVELOPE VIOLATED"
+        print(
+            format_table(
+                ["path", "metric", "value", "envelope", "verdict"],
+                rows,
+                title=f"{scenario.scenario} — {state}",
+            )
+        )
+        print(f"  {scenario.summary}")
+        print(f"  online: {scenario.online_health}\n")
+    faulted = " (faults composed)" if args.with_faults else ""
+    if verdict.ok():
+        print(
+            f"scenario gate: PASS — {len(verdict.verdicts)} scenario(s) "
+            f"within their envelopes{faulted}"
+        )
+        context.close()
+        return 0
+    failing = [v.scenario for v in verdict.verdicts if not v.ok()]
+    print(
+        f"scenario gate: FAIL — envelope violations in "
+        f"{', '.join(failing)}{faulted}"
+    )
+    context.close()
+    return 1
+
+
 def _chunk_size(value: str) -> int | str:
     if value == "auto":
         return value
@@ -350,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
         "ports": cmd_ports,
         "report": cmd_report,
         "faults": cmd_faults,
+        "scenarios": cmd_scenarios,
         "plan": cmd_plan,
     }
     for name, handler in commands.items():
@@ -428,6 +509,17 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--window", type=int, default=3,
                 help="rolling-window length in days",
+            )
+        if name == "scenarios":
+            p.set_defaults(days=3)
+            p.add_argument(
+                "action", nargs="?", choices=("run", "list"), default="run",
+                help="run the regression gate, or list the catalog",
+            )
+            p.add_argument(
+                "--with-faults", action="store_true",
+                help="compose the canonical transport-fault plan on top "
+                "of every scenario (and the baseline)",
             )
         p.set_defaults(handler=handler)
 

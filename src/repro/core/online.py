@@ -104,6 +104,9 @@ class HealthReport:
     current_staleness: int
     quarantined_blocks: np.ndarray
     serving_size: int
+    #: Robustness-scenario attribution: which adversarial scenario (if
+    #: any) this operation was running under (:mod:`repro.robustness`).
+    scenario: str | None = None
 
     def days_processed(self) -> int:
         """Total days fed to the instance."""
@@ -129,8 +132,9 @@ class HealthReport:
         actions = ", ".join(
             f"{count} {action}" for action, count in sorted(self.days_by_action().items())
         )
+        prefix = f"[{self.scenario}] " if self.scenario else ""
         return (
-            f"{self.days_processed()} day(s) processed ({actions}); "
+            f"{prefix}{self.days_processed()} day(s) processed ({actions}); "
             f"serving {self.serving_size:,} prefixes, "
             f"staleness {self.current_staleness} day(s), "
             f"{len(self.quarantined_blocks):,} quarantined"
@@ -170,6 +174,9 @@ class OnlineMetaTelescope:
     #: :class:`~repro.core.engine.RunContext` (e.g. a
     #: :class:`~repro.core.engine.JsonlSink` for a rolling trace file).
     sinks: tuple = ()
+    #: Robustness-scenario attribution carried into every
+    #: :class:`HealthReport` (None outside scenario evaluation).
+    scenario: str | None = None
     #: Rolling window of ``(day, PrefixAccumulator)`` partial aggregates.
     _window: deque = field(default_factory=deque, repr=False)
     _daily_dark: deque = field(default_factory=deque, repr=False)
@@ -422,4 +429,5 @@ class OnlineMetaTelescope:
             current_staleness=self._staleness,
             quarantined_blocks=self.quarantined_blocks(),
             serving_size=len(self._serving),
+            scenario=self.scenario,
         )

@@ -1,10 +1,12 @@
 """Composable, seeded fault plans.
 
 A :class:`FaultPlan` bundles injectors with a seed and applies them to
-each day's views in order.  Determinism is the whole point: the RNG for
-every (injector, day, vantage) triple is derived from the plan seed
-alone, so the same plan produces byte-identical degraded feeds on every
-run — faults become a reproducible experiment input, not noise.
+each day's views in a canonical order (sorted by injector name).
+Determinism is the whole point: the RNG for every (injector, day,
+vantage) triple is derived from the plan seed and the injector's
+position in that canonical order, so the same plan — declared in any
+construction order — produces byte-identical degraded feeds on every
+run.  Faults become a reproducible experiment input, not noise.
 """
 
 from __future__ import annotations
@@ -60,13 +62,25 @@ class FaultPlan:
             (self.seed, 0xFA017, index, day, zlib.crc32(vantage.encode()))
         )
 
+    def ordered_injectors(self) -> list[FaultInjector]:
+        """The injectors in application order: sorted by name.
+
+        Composition is order-deterministic: the same *set* of injectors
+        produces byte-identical degraded feeds regardless of the order
+        they were added in, because both the application sequence and
+        the per-injector RNG index come from this sorted order (the
+        sort is stable, so same-name injectors keep insertion order).
+        """
+        return sorted(self.injectors, key=lambda injector: injector.name)
+
     def apply(self, day: int, views: list[VantageDayView]) -> FaultedDay:
-        """Run every applicable injector over every view, in order."""
+        """Run every applicable injector over every view, in name order."""
         surviving: list[VantageDayView] = []
         events: list[FaultEvent] = []
+        ordered = self.ordered_injectors()
         for view in views:
             current: VantageDayView | None = view
-            for index, injector in enumerate(self.injectors):
+            for index, injector in enumerate(ordered):
                 if current is None or not injector.applies(day, view.vantage):
                     continue
                 current, detail = injector.inject(

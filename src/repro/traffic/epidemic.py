@@ -1,0 +1,86 @@
+"""Mirai-style epidemic outbreaks: IBR with infection dynamics.
+
+Real darknet studies (the IoT-telescope literature) find that epidemic
+botnets dominate observed radiation during an outbreak: the infected
+population grows logistically as each bot scans for new victims, so the
+telescope sees a characteristic S-curve of port-23/2323 probing that
+can multiply total IBR within days.  For the inference this is *benign
+but violent* input — the extra illumination covers more dark space, yet
+a hot enough outbreak can push blocks over the volume threshold.
+
+:class:`EpidemicOutbreakActor` models one outbreak: a susceptible pool
+of bot hosts in active space, logistic growth of the infected share,
+and per-bot telnet scanning sprayed uniformly over the target universe
+(Mirai famously respected no blacklist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traffic.flows import FlowTable
+from repro.traffic.packets import PacketSizeModel, ibr_tcp_size_model
+from repro.traffic.scanners import ScanCampaign, ScanSource
+
+#: The Mirai family service mix: telnet-dominated with IoT side ports.
+MIRAI_PORTS: tuple[int, ...] = (23, 2323, 5555)
+MIRAI_PORT_WEIGHTS: tuple[float, ...] = (0.78, 0.16, 0.06)
+
+
+@dataclass(slots=True)
+class EpidemicOutbreakActor:
+    """One epidemic outbreak with logistic infection growth.
+
+    ``bot_pool`` is the susceptible host population (drawn from active
+    space); the infected count on day ``d`` follows
+    ``K / (1 + exp(-growth_rate * (d - midpoint_day)))`` with carrying
+    capacity ``K = len(bot_pool)``.  Each infected bot emits
+    ``pkts_per_bot_day`` probe packets uniformly over ``target_blocks``.
+    """
+
+    bot_pool: list[ScanSource]
+    target_blocks: np.ndarray
+    pkts_per_bot_day: float = 120.0
+    growth_rate: float = 2.2
+    midpoint_day: float = 1.0
+    start_day: int = 0
+    size_model: PacketSizeModel = field(default_factory=ibr_tcp_size_model)
+
+    def __post_init__(self) -> None:
+        self.target_blocks = np.asarray(self.target_blocks, dtype=np.int64)
+        if not self.bot_pool:
+            raise ValueError("epidemic needs a susceptible bot pool")
+        if len(self.target_blocks) == 0:
+            raise ValueError("epidemic needs target blocks")
+        if self.growth_rate <= 0:
+            raise ValueError("growth_rate must be positive")
+
+    def infected_on(self, day: int) -> int:
+        """Infected bot count on ``day`` (0 before the outbreak starts)."""
+        if day < self.start_day:
+            return 0
+        elapsed = day - self.start_day
+        capacity = len(self.bot_pool)
+        infected = capacity / (
+            1.0 + np.exp(-self.growth_rate * (elapsed - self.midpoint_day))
+        )
+        return int(np.clip(round(infected), 1, capacity))
+
+    def generate(self, day: int, rng: np.random.Generator) -> FlowTable:
+        """The outbreak's probe flows for one day."""
+        infected = self.infected_on(day)
+        if infected == 0:
+            return FlowTable.empty()
+        campaign = ScanCampaign(
+            name="epidemic-outbreak",
+            sources=self.bot_pool[:infected],
+            ports=MIRAI_PORTS,
+            port_weights=MIRAI_PORT_WEIGHTS,
+            target_blocks=self.target_blocks,
+            target_weights=None,
+            probes_per_day=int(round(self.pkts_per_bot_day * infected)),
+            size_model=self.size_model,
+        )
+        return campaign.generate(day, rng)

@@ -1,0 +1,89 @@
+"""Evasive scanning: probes padded above the packet-size fingerprint.
+
+The pipeline's step 2 keeps a /24 dark only while its average inbound
+TCP packet stays at or below 44 bytes (SYNs with up to one option), with
+per-IP slack to 48 bytes.  A scanner that knows this can pad every probe
+— extra TCP options, a junk payload byte or two — so the blocks it
+sweeps *fail* the size filter and fall out of the inferred dark set.
+:class:`PaddedEvasiveScanner` models exactly that adversary: a targeted
+campaign whose every packet is strictly larger than the per-IP slack,
+so no mixture of evasive probes can ever look like bare SYN radiation.
+
+The actor is the teeth of the padded-evasive robustness scenario: under
+a correct size filter the padded blocks *must* disappear from the dark
+set (an expected, bounded degradation); if a regression weakens the
+filter they stay, and the scenario's envelope gate catches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traffic.flows import FlowTable
+from repro.traffic.packets import PROTO_TCP, TCP_SYN_ONE_OPTION_SIZE, PacketSizeModel
+from repro.traffic.scanners import ScanCampaign, ScanSource
+
+#: Smallest padded probe: strictly above the 48-byte per-IP slack, so
+#: even an all-minimum-size campaign defeats the size fingerprint.
+MIN_PADDED_SIZE = TCP_SYN_ONE_OPTION_SIZE + 4
+
+
+def padded_probe_size_model() -> PacketSizeModel:
+    """Sizes of padded evasive probes (all above the per-IP slack).
+
+    SYNs stuffed with extra options (52-64 B): small enough to stay
+    cheap for the scanner, large enough that every per-packet size —
+    not just the mean — clears both the 44-byte average threshold and
+    the 48-byte per-IP allowance.
+    """
+    return PacketSizeModel(
+        sizes=(MIN_PADDED_SIZE, 56, 60, 64),
+        weights=(0.40, 0.30, 0.20, 0.10),
+    )
+
+
+@dataclass(slots=True)
+class PaddedEvasiveScanner:
+    """A scan campaign that pads every probe above the size fingerprint.
+
+    ``target_blocks`` are the /24s the adversary wants removed from the
+    meta-telescope; ``pkts_per_block_day`` is the ground-truth padding
+    intensity per target (it must dominate the ~34 pkts/day of ordinary
+    bare-SYN radiation for the blended mean to clear the threshold).
+    """
+
+    sources: list[ScanSource]
+    target_blocks: np.ndarray
+    pkts_per_block_day: float = 140.0
+    ports: tuple[int, ...] = (443, 80, 8080)
+    port_weights: tuple[float, ...] = (0.5, 0.3, 0.2)
+    size_model: PacketSizeModel = field(default_factory=padded_probe_size_model)
+    _campaign: ScanCampaign | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.target_blocks = np.asarray(self.target_blocks, dtype=np.int64)
+        if len(self.target_blocks) == 0:
+            raise ValueError("evasive scanner needs target blocks")
+        if min(self.size_model.sizes) <= TCP_SYN_ONE_OPTION_SIZE:
+            raise ValueError(
+                "padded probes must all exceed the per-IP size slack "
+                f"({TCP_SYN_ONE_OPTION_SIZE} B); got {self.size_model.sizes}"
+            )
+        self._campaign = ScanCampaign(
+            name="padded-evasive",
+            sources=self.sources,
+            ports=self.ports,
+            port_weights=self.port_weights,
+            target_blocks=self.target_blocks,
+            target_weights=None,
+            probes_per_day=int(
+                round(self.pkts_per_block_day * len(self.target_blocks))
+            ),
+            size_model=self.size_model,
+        )
+
+    def generate(self, day: int, rng: np.random.Generator) -> FlowTable:
+        """Padded probe flows for one day."""
+        return self._campaign.generate(day, rng)

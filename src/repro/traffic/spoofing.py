@@ -154,3 +154,78 @@ class SpoofedFloodActor:
             dtype=np.int64,
         )
         return self._flow_frame(src_ip, packets, rng)
+
+
+@dataclass(slots=True)
+class TargetedSpoofFlood:
+    """A flood that impersonates *specific* /24s to flip them dark→gray.
+
+    Where :class:`SpoofedFloodActor` sprays whole /16s, this adversary
+    aims: it spoofs heavily from a chosen list of dark /24 blocks so the
+    pipeline's source-seen test (step 3 / step 7) sees each of them
+    "originate" traffic far above any spoofing tolerance, demoting the
+    blocks from the dark set into the graynet.  It is the surgical
+    version of the paper's Figure-9 attack, and the target list is
+    exactly the scenario's ground truth: under a healthy pipeline every
+    targeted block must leave the inferred dark set (bounded, expected
+    degradation) — no more and not much less.
+    """
+
+    #: /24 blocks whose addresses the flood impersonates.
+    target_blocks: np.ndarray
+    #: ASes physically emitting the packets (spoof-capable networks).
+    attacker_asns: np.ndarray
+    victim_ips: np.ndarray
+    victim_asns: np.ndarray
+    #: Spoofed ground-truth packets per targeted /24 per day; must sit
+    #: far above the unrouted-baseline tolerance (a few pkts/day).
+    pkts_per_block_day: int = 400
+    #: Rows per targeted block per day (spoofers recycle fake sources).
+    rows_per_block: int = 8
+    #: First day the flood runs (it persists from then on).
+    start_day: int = 0
+
+    def __post_init__(self) -> None:
+        self.target_blocks = np.asarray(self.target_blocks, dtype=np.int64)
+        self.attacker_asns = np.asarray(self.attacker_asns, dtype=np.int32)
+        self.victim_ips = np.asarray(self.victim_ips, dtype=np.uint32)
+        self.victim_asns = np.asarray(self.victim_asns, dtype=np.int32)
+        if len(self.target_blocks) == 0:
+            raise ValueError("targeted flood needs target blocks")
+        if len(self.attacker_asns) == 0:
+            raise ValueError("targeted flood needs attacker ASes")
+        if len(self.victim_ips) != len(self.victim_asns) or len(self.victim_ips) == 0:
+            raise ValueError("victim arrays must align and be non-empty")
+        if self.rows_per_block < 1:
+            raise ValueError("rows_per_block must be >= 1")
+
+    def generate(self, day: int, rng: np.random.Generator) -> FlowTable:
+        """Spoofed flows impersonating every targeted block, aggregated."""
+        if day < self.start_day:
+            return FlowTable.empty()
+        total_rows = len(self.target_blocks) * self.rows_per_block
+        block_of_row = np.repeat(self.target_blocks, self.rows_per_block)
+        src_ip = (block_of_row.astype(np.uint32) << np.uint32(8)) | rng.integers(
+            0, 256, size=total_rows, dtype=np.uint32
+        )
+        victim_pick = rng.integers(0, len(self.victim_ips), size=total_rows)
+        packets = np.full(
+            total_rows,
+            max(1, self.pkts_per_block_day // self.rows_per_block),
+            dtype=np.int64,
+        )
+        return FlowTable(
+            src_ip=src_ip,
+            dst_ip=self.victim_ips[victim_pick],
+            proto=np.full(total_rows, PROTO_TCP, dtype=np.uint8),
+            dport=rng.choice(
+                np.array([80, 443, 53], dtype=np.uint16), size=total_rows
+            ),
+            packets=packets,
+            bytes=packets * 40,
+            sender_asn=rng.choice(self.attacker_asns, size=total_rows).astype(
+                np.int32
+            ),
+            dst_asn=self.victim_asns[victim_pick],
+            spoofed=np.ones(total_rows, dtype=bool),
+        )

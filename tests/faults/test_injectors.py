@@ -117,12 +117,30 @@ class TestFaultPlan:
         )
 
     def test_outage_short_circuits_later_injectors(self):
-        plan = FaultPlan().add(SiteOutage()).add(
-            DuplicatedRecords(duplicate_fraction=0.5)
-        )
+        # TruncatedDay sorts after SiteOutage in the canonical name
+        # order, so the outage kills the view before truncation runs —
+        # regardless of the (reversed) construction order here.
+        plan = FaultPlan().add(TruncatedDay(keep_fraction=0.5)).add(SiteOutage())
         faulted = plan.apply(0, [sample_view()])
         assert faulted.outage()
         assert [event.fault for event in faulted.events] == ["SiteOutage"]
+
+    def test_composition_is_order_deterministic(self):
+        views = [sample_view(vantage="A"), sample_view(vantage="B")]
+        forwards = FaultPlan(seed=9).add(
+            DuplicatedRecords(duplicate_fraction=0.3)
+        ).add(CorruptedFields(corrupt_fraction=0.2))
+        backwards = FaultPlan(seed=9).add(
+            CorruptedFields(corrupt_fraction=0.2)
+        ).add(DuplicatedRecords(duplicate_fraction=0.3))
+        one = forwards.apply(0, views)
+        two = backwards.apply(0, views)
+        assert [e.fault for e in one.events] == [e.fault for e in two.events]
+        for a, b in zip(one.views, two.views):
+            assert np.array_equal(a.flows.src_ip, b.flows.src_ip)
+            assert np.array_equal(a.flows.dst_ip, b.flows.dst_ip)
+            assert np.array_equal(a.flows.bytes, b.flows.bytes)
+            assert np.array_equal(a.flows.packets, b.flows.packets)
 
     def test_untargeted_views_pass_through(self):
         plan = FaultPlan().add(SiteOutage(vantages=frozenset({"A"})))

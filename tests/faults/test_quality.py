@@ -108,3 +108,47 @@ class TestScoreFeed:
         before = view.flows.packets.copy()
         score_feed(0, [view], history_packets=[1.0], expected_views=2)
         assert np.array_equal(view.flows.packets, before)
+
+
+class TestEmptyFlowTables:
+    """Zero-row days must score cleanly — never divide by zero."""
+
+    def test_duplicate_and_invalid_fractions_guard_empty(self):
+        from repro.faults.quality import _duplicate_fraction, _invalid_fraction
+
+        empty = make_view([]).flows
+        assert _duplicate_fraction(empty) == 0.0
+        assert _invalid_fraction(empty) == 0.0
+
+    def test_zero_row_day_with_history_scores_finite(self):
+        history = [score_feed(0, [clean_view()]).estimated_packets] * 3
+        quality = score_feed(1, [make_view([])], history_packets=history)
+        assert np.isfinite(quality.score)
+        assert quality.score == 0.0
+        assert quality.duplicate_fraction == 0.0
+        assert quality.invalid_fraction == 0.0
+        assert quality.degraded(0.5)
+
+    def test_mixed_empty_and_populated_views(self):
+        quality = score_feed(
+            0, [make_view([]), clean_view()], expected_views=2
+        )
+        assert np.isfinite(quality.score)
+        # The empty view still counts as delivered; the weighted
+        # defect fractions come from the populated one alone.
+        assert quality.num_views == 2
+        assert quality.duplicate_fraction < 0.05
+        assert quality.invalid_fraction == 0.0
+
+    def test_zero_row_day_with_expectations_everywhere(self):
+        history = [100.0, 120.0, 110.0]
+        quality = score_feed(
+            2,
+            [make_view([]), make_view([], vantage="W")],
+            history_packets=history,
+            expected_views=4,
+            typical_factors={"VP1": 1.0, "W": 1.0},
+        )
+        assert np.isfinite(quality.score)
+        assert quality.score == 0.0
+        assert any("empty" in reason for reason in quality.reasons)

@@ -1,0 +1,91 @@
+"""Tests for the adversarial scenario catalog's structure and seeds."""
+
+import numpy as np
+import pytest
+
+from repro.robustness import EvaluationSettings, standard_catalog
+from repro.robustness.catalog import (
+    build_padded_evasive,
+    build_targeted_spoof_flip,
+)
+from repro.world.config import micro_config
+from repro.world.ground_truth import BlockState
+
+EXPECTED_NAMES = [
+    "padded-evasive",
+    "targeted-spoof-flip",
+    "epidemic-outbreak",
+    "route-leak",
+    "flash-reactivation",
+]
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return EvaluationSettings(days=3, workers=2)
+
+
+class TestCatalogStructure:
+    def test_catalog_covers_the_required_scenarios(self):
+        catalog = standard_catalog(micro_config(7))
+        assert [scenario.name for scenario in catalog] == EXPECTED_NAMES
+
+    def test_targeted_scenarios_carry_a_miss_bound(self):
+        catalog = {s.name: s for s in standard_catalog(micro_config(7))}
+        for name in ("padded-evasive", "targeted-spoof-flip",
+                     "flash-reactivation"):
+            assert catalog[name].envelope.target_miss_rate is not None
+        for name in ("epidemic-outbreak", "route-leak"):
+            assert catalog[name].envelope.target_miss_rate is None
+
+    def test_padded_evasive_miss_bound_has_teeth(self):
+        """The lower bound is the regression gate: a weakened size
+        filter drops the miss rate far below it."""
+        catalog = {s.name: s for s in standard_catalog(micro_config(7))}
+        bounds = catalog["padded-evasive"].envelope.target_miss_rate
+        assert bounds.lo is not None and bounds.lo >= 0.9
+
+
+class TestGroundTruthSeeds:
+    def test_target_pools_are_seed_stable(self, settings):
+        """Two generations with the same seed pin identical ground
+        truth — targets are a pure function of the world seed."""
+        config = micro_config(7)
+        first = build_padded_evasive(config, settings)
+        second = build_padded_evasive(config, settings)
+        assert np.array_equal(first.target_blocks, second.target_blocks)
+
+    def test_different_seed_moves_the_targets(self, settings):
+        one = build_padded_evasive(micro_config(7), settings)
+        two = build_padded_evasive(micro_config(11), settings)
+        assert not np.array_equal(one.target_blocks, two.target_blocks)
+
+    def test_targets_are_dark_and_off_telescope(self, settings):
+        built = build_targeted_spoof_flip(micro_config(7), settings)
+        index = built.world.index
+        dark = index.blocks_in_state(BlockState.DARK)
+        telescope_space = index.blocks_in_state(BlockState.TELESCOPE)
+        assert np.isin(built.target_blocks, dark).all()
+        assert not np.isin(built.target_blocks, telescope_space).any()
+
+    def test_scenario_actors_append_after_the_baseline_mix(self, settings):
+        """Scenario worlds extend the actor ensemble at the end, so the
+        baseline actors' shared-RNG draws stay bit-identical — the
+        invariant differential envelope scoring rests on."""
+        from repro.world.builder import build_world
+
+        config = micro_config(7)
+        clean = build_world(config)
+        built = build_padded_evasive(config, settings)
+        base_flows = clean.mix.generate_day(0, config.child_rng("traffic-day-0"))
+        scenario_flows = built.world.mix.generate_day(
+            0, config.child_rng("traffic-day-0")
+        )
+        assert len(scenario_flows) > len(base_flows)
+        prefix = len(base_flows)
+        assert np.array_equal(
+            scenario_flows.src_ip[:prefix], base_flows.src_ip
+        )
+        assert np.array_equal(
+            scenario_flows.bytes[:prefix], base_flows.bytes
+        )
