@@ -1,0 +1,263 @@
+"""Query-service benchmark: latency, publish/swap cost, batch parity.
+
+Folds an online engine over a world, publishes snapshots through the
+atomic-swap handle, then measures what an operator of the *service*
+cares about:
+
+- point-query latency (p50/p99) straight through the socket-free query
+  engine, and through the HTTP daemon for the wire-overhead comparison;
+- snapshot publish time (build + enrich + swap) and the swap itself;
+- sustained queries/sec from concurrent reader threads while a writer
+  keeps republishing — the serving contract says readers never block;
+- batch parity: every point answer must agree with the batch
+  :meth:`MetaTelescope.infer` dark set over the full world sweep.  Any
+  divergence aborts the run — this artifact doubles as the CI gate.
+
+Results land in ``benchmarks/output/BENCH_service.json`` (override
+with ``--output``).  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --scale micro
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+from repro.core.metatelescope import MetaTelescope
+from repro.core.online import OnlineMetaTelescope
+from repro.core.pipeline import PipelineConfig
+from repro.service import (
+    BackgroundFolder,
+    MetaTelescopeService,
+    QueryBudget,
+    run_daemon_in_thread,
+)
+from repro.world.observe import Observatory
+from repro.world.scenarios import micro_world, small_world
+
+_SCALES = {"micro": micro_world, "small": small_world}
+_OUTPUT = (
+    pathlib.Path(__file__).resolve().parent / "output" / "BENCH_service.json"
+)
+
+
+def _telescope(world) -> MetaTelescope:
+    return MetaTelescope(
+        collector=world.collector,
+        liveness=world.datasets.liveness,
+        unrouted_baseline=world.unrouted_baseline_blocks,
+        config=PipelineConfig(
+            avg_size_threshold=world.config.avg_size_threshold,
+            volume_threshold_pkts_day=world.config.volume_threshold_pkts_day,
+        ),
+    )
+
+
+def _percentiles(samples_s: list[float]) -> dict[str, float]:
+    arr = np.asarray(samples_s) * 1e6  # microseconds
+    return {
+        "p50_us": float(np.percentile(arr, 50)),
+        "p99_us": float(np.percentile(arr, 99)),
+        "mean_us": float(arr.mean()),
+    }
+
+
+def bench_scale(scale: str, seed: int, days: int, point_queries: int) -> dict:
+    world = _SCALES[scale](seed)
+    observatory = Observatory(world)
+    days = min(days, world.config.num_days)
+    telescope = _telescope(world)
+    online = OnlineMetaTelescope(
+        telescope=telescope, window_days=min(3, days), min_stable_days=2
+    )
+    service = MetaTelescopeService(
+        pfx2as=world.datasets.pfx2as,
+        geodb=world.datasets.geodb,
+        health_provider=online.health_report,
+        budget=QueryBudget(max_results=1000),
+    )
+    folder = BackgroundFolder(online, service)
+
+    # -- publish cost (fold + enrich + swap), and the bare swap --------
+    publish_s = []
+    views_by_day = {
+        day: list(observatory.day(day).ixp_views.values())
+        for day in range(days)
+    }
+    for day in range(days):
+        online.update(day, views_by_day[day])
+        t0 = time.perf_counter()
+        service.publish(online.snapshot())
+        publish_s.append(time.perf_counter() - t0)
+    snapshot = service.handle.current()
+    swap_s = []
+    for _ in range(200):
+        t0 = time.perf_counter()
+        service.handle.publish(snapshot)
+        swap_s.append(time.perf_counter() - t0)
+
+    # -- engine parity: the served dark set IS the engine's ------------
+    served = snapshot.dark_blocks
+    if not np.array_equal(served, np.sort(online.current_prefixes())):
+        raise SystemExit(
+            f"{scale}: served dark set diverged from the online engine"
+        )
+
+    # -- point latency (and per-answer consistency) --------------------
+    rng = np.random.default_rng(seed)
+    probe_pool = np.concatenate([
+        served,
+        rng.integers(0, 2**24, size=max(1, point_queries // 4)),
+    ])
+    probes = rng.choice(probe_pool, size=point_queries)
+    served_set = set(served.tolist())
+    point_s = []
+    for block in probes:
+        t0 = time.perf_counter()
+        answer = service.point(str(int(block)))
+        point_s.append(time.perf_counter() - t0)
+        if answer["dark"] != (int(block) in served_set):
+            raise SystemExit(
+                f"parity violation: service says dark={answer['dark']} "
+                f"for block {int(block)}, snapshot says "
+                f"{int(block) in served_set}"
+            )
+
+    # -- batch parity: serve a batch-built snapshot, sweep every block -
+    window_views = [
+        view
+        for day in sorted(online.days_in_window())
+        for view in views_by_day[day]
+    ]
+    batch = telescope.infer(window_views)
+    batch_service = MetaTelescopeService()
+    batch_service.publish(telescope.infer_snapshot(window_views))
+    batch_dark = set(np.sort(batch.prefixes).tolist())
+    sweep = np.union1d(
+        batch_service.handle.current().blocks, np.asarray(probes)
+    )
+    for block in sweep:
+        if batch_service.point(str(int(block)))["dark"] != (
+            int(block) in batch_dark
+        ):
+            raise SystemExit(
+                f"batch parity violation on block {int(block)}"
+            )
+    parity_batch = True
+
+    # -- sustained qps: concurrent readers + a republishing writer -----
+    duration = 2.0
+    counts = [0, 0, 0, 0]
+    stop = threading.Event()
+
+    def reader(slot: int) -> None:
+        local_rng = np.random.default_rng(seed + slot)
+        while not stop.is_set():
+            block = int(local_rng.choice(probe_pool))
+            service.point(str(block))
+            counts[slot] += 1
+
+    threads = [
+        threading.Thread(target=reader, args=(i,)) for i in range(len(counts))
+    ]
+    for thread in threads:
+        thread.start()
+    t0 = time.perf_counter()
+    republishes = 0
+    while time.perf_counter() - t0 < duration:
+        service.handle.publish(snapshot)
+        republishes += 1
+        time.sleep(0.01)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    qps = sum(counts) / elapsed
+
+    # -- HTTP wire overhead --------------------------------------------
+    daemon, stop_daemon = run_daemon_in_thread(service)
+    http_s = []
+    try:
+        url = daemon.base_url
+        for block in probes[: min(200, len(probes))]:
+            t0 = time.perf_counter()
+            with urllib.request.urlopen(
+                f"{url}/v1/point?block={int(block)}", timeout=10
+            ) as reply:
+                json.loads(reply.read())
+            http_s.append(time.perf_counter() - t0)
+    finally:
+        stop_daemon()
+
+    return {
+        "scale": scale,
+        "days": days,
+        "blocks": len(snapshot),
+        "dark_blocks": len(served),
+        "publish": {
+            "seconds_per_publish": float(np.mean(publish_s)),
+            "swap_us": _percentiles(swap_s),
+        },
+        "point": _percentiles(point_s),
+        "http_point": _percentiles(http_s),
+        "concurrent": {
+            "readers": len(counts),
+            "republishes": republishes,
+            "queries_per_second": qps,
+        },
+        "parity": {
+            "point_queries_checked": int(point_queries),
+            "batch_sweep_blocks": int(len(sweep)),
+            "batch_identical": parity_batch,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales", nargs="+", choices=sorted(_SCALES), default=["micro"]
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--days", type=int, default=3)
+    parser.add_argument("--point-queries", type=int, default=2000)
+    parser.add_argument("--output", type=pathlib.Path, default=_OUTPUT)
+    args = parser.parse_args(argv)
+
+    records = []
+    for scale in args.scales:
+        record = bench_scale(scale, args.seed, args.days, args.point_queries)
+        records.append(record)
+        print(
+            f"{scale}: {record['blocks']:,} blocks "
+            f"({record['dark_blocks']:,} dark), "
+            f"point p50 {record['point']['p50_us']:.0f}us "
+            f"p99 {record['point']['p99_us']:.0f}us, "
+            f"http p50 {record['http_point']['p50_us']:.0f}us, "
+            f"swap p50 {record['publish']['swap_us']['p50_us']:.1f}us, "
+            f"{record['concurrent']['queries_per_second']:,.0f} qps "
+            f"under {record['concurrent']['republishes']} republishes"
+        )
+        if not record["parity"]["batch_identical"]:
+            raise SystemExit(f"served set diverged from batch on {scale}")
+
+    payload = {
+        "benchmark": "service-latency-and-parity",
+        "seed": args.seed,
+        "worlds": records,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

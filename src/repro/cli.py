@@ -20,6 +20,12 @@ Commands:
 * ``plan``      — print the ExecutionPlan the engine would run for the
                   given views and knobs, without executing anything
                   (``infer --explain`` does the same);
+* ``serve``     — run the meta-telescope-as-a-service daemon: fold days
+                  through the online engine, publish immutable
+                  classification snapshots behind an atomic-swap
+                  handle, and answer point/range/AS/geo/diff queries
+                  over HTTP/JSON (or serve a saved ``snapshot.fpk``);
+* ``query``     — query a running daemon from the command line;
 * ``convert``   — convert a flow file between CSV and the flowpack
                   binary columnar archive format (format sniffed from
                   the input; no world is built).
@@ -43,7 +49,12 @@ the :class:`~repro.core.engine.RunContext` threaded through the run.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
+import urllib.error
+import urllib.parse
+import urllib.request
 
 from repro.analysis.ports import top_ports
 from repro.core import MetaTelescope
@@ -60,10 +71,17 @@ from repro.io import (
 )
 from repro.reporting.report import generate_report
 from repro.reporting.tables import format_table
+from repro.core.snapshot import ClassificationSnapshot
 from repro.robustness import (
     EvaluationSettings,
     evaluate_catalog,
     standard_catalog,
+)
+from repro.service import (
+    BackgroundFolder,
+    MetaTelescopeService,
+    QueryBudget,
+    ServiceDaemon,
 )
 from repro.world.capture_cache import CaptureCache
 from repro.world.config import micro_config, paper_config, small_config
@@ -365,44 +383,177 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         compose_faults=args.with_faults,
         fault_seed=args.seed,
+        service_path=args.service_path,
     )
-    verdict = evaluate_catalog(catalog, config, settings, context=context)
-    for scenario in verdict.verdicts:
-        rows = [
-            (
-                check.path,
-                check.metric,
-                f"{check.value:+.3f}",
-                check.bounds.describe(),
-                "ok" if check.ok else "VIOLATION",
+    # close() in a finally: the JSONL trace artifact must be complete
+    # (flushed) on failure verdicts and on crashes, not only on PASS —
+    # CI reads it precisely when the gate trips.
+    try:
+        verdict = evaluate_catalog(catalog, config, settings, context=context)
+        for scenario in verdict.verdicts:
+            rows = [
+                (
+                    check.path,
+                    check.metric,
+                    f"{check.value:+.3f}",
+                    check.bounds.describe(),
+                    "ok" if check.ok else "VIOLATION",
+                )
+                for check in scenario.checks
+            ]
+            state = "within envelope" if scenario.ok() else "ENVELOPE VIOLATED"
+            print(
+                format_table(
+                    ["path", "metric", "value", "envelope", "verdict"],
+                    rows,
+                    title=f"{scenario.scenario} — {state}",
+                )
             )
-            for check in scenario.checks
-        ]
-        state = "within envelope" if scenario.ok() else "ENVELOPE VIOLATED"
-        print(
-            format_table(
-                ["path", "metric", "value", "envelope", "verdict"],
-                rows,
-                title=f"{scenario.scenario} — {state}",
+            print(f"  {scenario.summary}")
+            print(f"  online: {scenario.online_health}\n")
+        faulted = " (faults composed)" if args.with_faults else ""
+        if verdict.ok():
+            print(
+                f"scenario gate: PASS — {len(verdict.verdicts)} scenario(s) "
+                f"within their envelopes{faulted}"
             )
-        )
-        print(f"  {scenario.summary}")
-        print(f"  online: {scenario.online_health}\n")
-    faulted = " (faults composed)" if args.with_faults else ""
-    if verdict.ok():
+            return 0
+        failing = [v.scenario for v in verdict.verdicts if not v.ok()]
         print(
-            f"scenario gate: PASS — {len(verdict.verdicts)} scenario(s) "
-            f"within their envelopes{faulted}"
+            f"scenario gate: FAIL — envelope violations in "
+            f"{', '.join(failing)}{faulted}"
         )
+        return 1
+    finally:
         context.close()
-        return 0
-    failing = [v.scenario for v in verdict.verdicts if not v.ok()]
-    print(
-        f"scenario gate: FAIL — envelope violations in "
-        f"{', '.join(failing)}{faulted}"
-    )
-    context.close()
-    return 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the query daemon (ROADMAP item 1's product surface)."""
+    if args.snapshot:
+        # Serve a saved snapshot.fpk directly — no world, no folding.
+        context = _context(args)
+        service = MetaTelescopeService(
+            context=context,
+            budget=QueryBudget(max_results=args.max_results),
+            max_inflight=args.max_inflight,
+        )
+        snapshot = service.publish(ClassificationSnapshot.open(args.snapshot))
+        folder = None
+        print(
+            f"serving {args.snapshot}: {len(snapshot):,} blocks, "
+            f"day {snapshot.day}, version {snapshot.version}",
+            flush=True,
+        )
+    else:
+        world, observatory, telescope, context = _build(args)
+        days = min(args.days, world.config.num_days)
+        online = OnlineMetaTelescope(
+            telescope=telescope,
+            window_days=min(args.window, days),
+            min_stable_days=min(2, min(args.window, days)),
+            use_spoofing_tolerance=not args.no_tolerance,
+            policy=args.policy,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
+            sinks=context.sinks,
+        )
+        service = MetaTelescopeService(
+            pfx2as=world.datasets.pfx2as,
+            geodb=world.datasets.geodb,
+            context=context,
+            budget=QueryBudget(max_results=args.max_results),
+            max_inflight=args.max_inflight,
+        )
+        folder = BackgroundFolder(online, service)
+        warm = days if args.warm_days is None else min(args.warm_days, days)
+        for day in range(warm):
+            snapshot = folder.fold(
+                day, _day_views(world, observatory, args, day)
+            )
+            print(
+                f"day {day}: published v{snapshot.version} "
+                f"({len(snapshot.dark_blocks):,} dark of {len(snapshot):,})",
+                flush=True,
+            )
+        if warm < days:
+            # Remaining days fold in the background while we serve.
+            folder.start(
+                (day, _day_views(world, observatory, args, day))
+                for day in range(warm, days)
+            )
+    if args.save_snapshot:
+        service.handle.current().save(args.save_snapshot)
+        print(f"wrote snapshot to {args.save_snapshot}", flush=True)
+
+    daemon = ServiceDaemon(service, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await daemon.start()
+        print(f"meta-telescope service on {daemon.base_url}", flush=True)
+        if args.exit_after is not None:
+            await asyncio.sleep(args.exit_after)
+        else:
+            await asyncio.Event().wait()
+        await daemon.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if folder is not None:
+            folder.join(timeout=1.0)
+        context.close()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Query a running daemon (thin urllib client, JSON to stdout)."""
+    paths = {
+        "point": "/v1/point",
+        "range": "/v1/range",
+        "as": "/v1/as",
+        "geo": "/v1/geo",
+        "diff": "/v1/diff",
+        "snapshot": "/v1/snapshot",
+        "health": "/healthz",
+    }
+    params = {
+        name: getattr(args, dest)
+        for name, dest in (
+            ("prefix", "prefix"),
+            ("block", "block"),
+            ("start", "start"),
+            ("end", "end"),
+            ("asn", "asn"),
+            ("country", "country"),
+            ("since", "since"),
+            ("limit", "limit"),
+        )
+        if getattr(args, dest, None) is not None
+    }
+    url = args.url.rstrip("/") + paths[args.endpoint]
+    if params:
+        url += "?" + urllib.parse.urlencode(params)
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            body = json.load(response)
+            status = response.status
+    except urllib.error.HTTPError as error:
+        status = error.code
+        try:
+            body = json.load(error)
+        except json.JSONDecodeError:
+            body = {"error": str(error)}
+    except urllib.error.URLError as error:
+        print(f"cannot reach {args.url}: {error.reason}", file=sys.stderr)
+        return 1
+    try:
+        print(json.dumps(body, indent=2))
+    except BrokenPipeError:  # e.g. piped through `head`
+        pass
+    return 0 if status == 200 else 1
 
 
 def _chunk_size(value: str) -> int | str:
@@ -414,6 +565,46 @@ def _chunk_size(value: str) -> int | str:
         raise argparse.ArgumentTypeError(
             f"expected an integer or 'auto', got {value!r}"
         ) from None
+
+
+def _add_execution_options(p: argparse.ArgumentParser) -> None:
+    """The engine-knob and observability flags every run-shaped command
+    shares (one definition; these were copy-pasted per subcommand)."""
+    p.add_argument(
+        "--chunk-size", type=_chunk_size, default=None,
+        help="rows per ingestion chunk, or 'auto' (bounds aggregation "
+        "memory; classification is identical at any value)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool workers for the aggregation fan-out "
+        "(default: serial; 0 = one per CPU; classification is "
+        "bit-identical at any worker count)",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="append the run's structured execution events (plan, "
+        "chunks, workers, stages, cache) to PATH as JSONL",
+    )
+
+
+def _add_world_options(p: argparse.ArgumentParser) -> None:
+    """The world-selection flags, plus the shared execution flags."""
+    p.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--days", type=int, default=1)
+    p.add_argument("--vantage", default="All")
+    p.add_argument(
+        "--no-tolerance", action="store_true",
+        help="disable the spoofing tolerance",
+    )
+    p.add_argument(
+        "--capture-cache", default=None, metavar="DIR",
+        help="content-addressed capture cache directory: generated "
+        "vantage-days are stored as flowpack archives and re-runs "
+        "with the same world serve them from disk (bit-identical)",
+    )
+    _add_execution_options(p)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -432,39 +623,11 @@ def build_parser() -> argparse.ArgumentParser:
         "faults": cmd_faults,
         "scenarios": cmd_scenarios,
         "plan": cmd_plan,
+        "serve": cmd_serve,
     }
     for name, handler in commands.items():
         p = sub.add_parser(name)
-        p.add_argument("--scale", choices=sorted(_SCALES), default="small")
-        p.add_argument("--seed", type=int, default=7)
-        p.add_argument("--days", type=int, default=1)
-        p.add_argument("--vantage", default="All")
-        p.add_argument(
-            "--no-tolerance", action="store_true",
-            help="disable the spoofing tolerance",
-        )
-        p.add_argument(
-            "--chunk-size", type=_chunk_size, default=None,
-            help="rows per ingestion chunk, or 'auto' (bounds aggregation "
-            "memory; classification is identical at any value)",
-        )
-        p.add_argument(
-            "--workers", type=int, default=None,
-            help="process-pool workers for the aggregation fan-out "
-            "(default: serial; 0 = one per CPU; classification is "
-            "bit-identical at any worker count)",
-        )
-        p.add_argument(
-            "--capture-cache", default=None, metavar="DIR",
-            help="content-addressed capture cache directory: generated "
-            "vantage-days are stored as flowpack archives and re-runs "
-            "with the same world serve them from disk (bit-identical)",
-        )
-        p.add_argument(
-            "--trace", default=None, metavar="PATH",
-            help="append the run's structured execution events (plan, "
-            "chunks, workers, stages, cache) to PATH as JSONL",
-        )
+        _add_world_options(p)
         if name == "infer":
             p.add_argument(
                 "--explain", action="store_true",
@@ -521,7 +684,79 @@ def build_parser() -> argparse.ArgumentParser:
                 help="compose the canonical transport-fault plan on top "
                 "of every scenario (and the baseline)",
             )
+            p.add_argument(
+                "--service-path", action="store_true",
+                help="also score the service path: the online state "
+                "published as a snapshot and read back through the "
+                "query service (must match the engine bit-for-bit)",
+            )
+        if name == "serve":
+            p.set_defaults(days=3)
+            p.add_argument("--host", default="127.0.0.1")
+            p.add_argument("--port", type=int, default=8300)
+            p.add_argument(
+                "--window", type=int, default=3,
+                help="online engine rolling-window length in days",
+            )
+            p.add_argument(
+                "--policy", choices=POLICIES, default="carry",
+                help="missing/degraded-day policy (default: carry)",
+            )
+            p.add_argument(
+                "--warm-days", type=int, default=None, metavar="N",
+                help="fold only the first N days before listening; the "
+                "rest fold in the background while serving (default: "
+                "fold all --days up front)",
+            )
+            p.add_argument(
+                "--snapshot", default=None, metavar="PATH",
+                help="serve a saved snapshot.fpk instead of building a "
+                "world and folding days",
+            )
+            p.add_argument(
+                "--save-snapshot", default=None, metavar="PATH",
+                help="also write the served snapshot to PATH as "
+                "snapshot.fpk",
+            )
+            p.add_argument(
+                "--max-results", type=int, default=1000,
+                help="per-query result budget for list answers",
+            )
+            p.add_argument(
+                "--max-inflight", type=int, default=64,
+                help="concurrent queries beyond this are shed with 503",
+            )
+            p.add_argument(
+                "--exit-after", type=float, default=None, metavar="SECONDS",
+                help="stop serving after this long (CI smoke; default: "
+                "serve until interrupted)",
+            )
         p.set_defaults(handler=handler)
+
+    query = sub.add_parser(
+        "query",
+        help="query a running meta-telescope service",
+        description="Thin HTTP client for the serve daemon: prints the "
+        "JSON answer and exits non-zero on any non-200 response.",
+    )
+    query.add_argument(
+        "endpoint",
+        choices=("point", "range", "as", "geo", "diff", "snapshot", "health"),
+    )
+    query.add_argument("--url", default="http://127.0.0.1:8300")
+    query.add_argument("--prefix", default=None,
+                       help="CIDR (point: a /24; range: any covering prefix)")
+    query.add_argument("--block", type=int, default=None,
+                       help="point lookup by /24 block id")
+    query.add_argument("--start", type=int, default=None)
+    query.add_argument("--end", type=int, default=None)
+    query.add_argument("--asn", type=int, default=None)
+    query.add_argument("--country", default=None)
+    query.add_argument("--since", type=int, default=None,
+                       help="diff feed base snapshot version")
+    query.add_argument("--limit", type=int, default=None)
+    query.add_argument("--timeout", type=float, default=10.0)
+    query.set_defaults(handler=cmd_query)
 
     convert = sub.add_parser(
         "convert",

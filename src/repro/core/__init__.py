@@ -80,6 +80,20 @@ from repro.core.federation import (
     validate_reports,
 )
 from repro.core.metatelescope import MetaTelescope, MetaTelescopeResult
+from repro.core.snapshot import (
+    SNAPSHOT_COLUMNS,
+    VERDICT_CANDIDATE,
+    VERDICT_DARK,
+    VERDICT_GRAY,
+    VERDICT_NAMES,
+    VERDICT_UNCLEAN,
+    VERDICT_UNKNOWN,
+    ClassificationSnapshot,
+    PointAnswer,
+    SnapshotDiff,
+    build_snapshot,
+    empty_snapshot,
+)
 from repro.core.evaluation import telescope_coverage, confusion_against_truth
 
 __all__ = [
@@ -132,6 +146,18 @@ __all__ = [
     "validate_reports",
     "MetaTelescope",
     "MetaTelescopeResult",
+    "SNAPSHOT_COLUMNS",
+    "VERDICT_CANDIDATE",
+    "VERDICT_DARK",
+    "VERDICT_GRAY",
+    "VERDICT_NAMES",
+    "VERDICT_UNCLEAN",
+    "VERDICT_UNKNOWN",
+    "ClassificationSnapshot",
+    "PointAnswer",
+    "SnapshotDiff",
+    "build_snapshot",
+    "empty_snapshot",
     "telescope_coverage",
     "confusion_against_truth",
 ]

@@ -242,6 +242,30 @@ class FederatedResult:
         """Operators whose reports failed the sanity checks."""
         return tuple(v.operator for v in self.validations if v.excluded())
 
+    def to_snapshot(self, day: int, provenance=None):
+        """Freeze the federated list into a servable snapshot.
+
+        Registry-marked blocks carry confidence 1.0 — their owners
+        *declared* them unused, which is ground truth, not inference;
+        voted blocks keep the builder's single-day score.
+        """
+        import dataclasses
+
+        from repro.core.snapshot import build_snapshot
+
+        record = {
+            "engine": "federated",
+            "members": [v.operator for v in self.validations],
+            "excluded": list(self.excluded_members()),
+        }
+        record.update(provenance or {})
+        snapshot = build_snapshot(day=day, dark=self.prefixes, provenance=record)
+        if len(self.marked_blocks):
+            confidence = snapshot.confidence.copy()
+            confidence[np.isin(snapshot.blocks, self.marked_blocks)] = 1.0
+            snapshot = dataclasses.replace(snapshot, confidence=confidence)
+        return snapshot
+
 
 def validate_reports(
     reports: list[OperatorReport],

@@ -35,6 +35,7 @@ from repro.core.pipeline import (
     run_pipeline_accumulated,
 )
 from repro.core.refine import RefinementResult, refine_with_liveness
+from repro.core.snapshot import ClassificationSnapshot, build_snapshot
 from repro.core.spoofing_tolerance import tolerances_from_accumulator
 from repro.datasets.liveness import LivenessDataset
 from repro.net.special import SPECIAL_PURPOSE_REGISTRY, SpecialPurposeRegistry
@@ -57,6 +58,32 @@ class MetaTelescopeResult:
     def num_prefixes(self) -> int:
         """Number of final meta-telescope /24 prefixes."""
         return len(self.refinement.final_blocks)
+
+    def to_snapshot(
+        self,
+        day: int,
+        history=None,
+        provenance=None,
+    ) -> ClassificationSnapshot:
+        """Freeze this result into an immutable, servable snapshot.
+
+        The served dark set is the *refined* prefix list; blocks the
+        pipeline inferred dark but liveness refinement removed are kept
+        as ``candidate`` so a snapshot consumer can tell "served" from
+        "provisionally dark".  ``history`` is the optional
+        ``[(day, dark_blocks), ...]`` record feeding since-day and
+        confidence (see :func:`repro.core.snapshot.build_snapshot`).
+        """
+        dark = self.refinement.final_blocks
+        return build_snapshot(
+            day=day,
+            dark=dark,
+            unclean=self.pipeline.unclean_blocks,
+            gray=self.pipeline.gray_blocks,
+            candidate=np.setdiff1d(self.pipeline.dark_blocks, dark),
+            history=history,
+            provenance=provenance,
+        )
 
 
 @dataclass
@@ -234,6 +261,37 @@ class MetaTelescope:
                 removed_blocks=pipeline.dark_blocks[:0],
             )
         return MetaTelescopeResult(pipeline=pipeline, refinement=refinement)
+
+    def infer_snapshot(
+        self,
+        views: list[VantageDayView],
+        day: int | None = None,
+        use_spoofing_tolerance: bool = False,
+        refine: bool = True,
+        chunk_size: int | str | None = None,
+        workers: int | None = None,
+        context: RunContext | None = None,
+        provenance: dict | None = None,
+    ) -> ClassificationSnapshot:
+        """Run :meth:`infer` and freeze the outcome as a snapshot.
+
+        The snapshot's provenance records the execution plan that
+        produced it (plus anything the caller adds); ``day`` defaults
+        to the latest day among the views.
+        """
+        plan = self.planner.plan(views, chunk_size=chunk_size, workers=workers)
+        result = self.infer(
+            views,
+            use_spoofing_tolerance=use_spoofing_tolerance,
+            refine=refine,
+            context=context,
+            plan=plan,
+        )
+        if day is None:
+            day = max(view.day for view in views)
+        record = {"plan": plan.to_dict()}
+        record.update(provenance or {})
+        return result.to_snapshot(day, provenance=record)
 
     def captured_traffic(
         self,

@@ -45,7 +45,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.engine import RunContext
-from repro.core.metatelescope import MetaTelescope
+from repro.core.metatelescope import MetaTelescope, MetaTelescopeResult
+from repro.core.snapshot import ClassificationSnapshot, build_snapshot
 from repro.core.stages import StageTiming
 from repro.faults.quality import FeedQuality, score_feed
 from repro.vantage.sampling import VantageDayView
@@ -192,6 +193,11 @@ class OnlineMetaTelescope:
     _last_context: RunContext | None = field(
         default=None, repr=False, compare=False
     )
+    #: Latest window inference (the classification behind the serving
+    #: list); retained so :meth:`snapshot` can publish full verdicts.
+    _last_window_result: MetaTelescopeResult | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.window_days < 1:
@@ -327,6 +333,7 @@ class OnlineMetaTelescope:
                 use_spoofing_tolerance=self.use_spoofing_tolerance,
                 context=context,
             )
+        self._last_window_result = window_result
         # Fold rows (fan-out, if any) + window stage rows; the per-day
         # inference's rows stay trace-only, as before the engine.
         self._last_timings = context.stage_timings(scopes=("fold", "window"))
@@ -421,6 +428,52 @@ class OnlineMetaTelescope:
     def last_run_context(self) -> RunContext | None:
         """RunContext of the latest folded day (full event stream)."""
         return self._last_context
+
+    def snapshot(self, provenance=None) -> ClassificationSnapshot:
+        """Freeze the current serving state into an immutable snapshot.
+
+        The snapshot's dark set is exactly :meth:`current_prefixes`
+        (what the operator actually serves); window-inferred dark
+        blocks that are withheld — not yet stable, or quarantined —
+        appear as ``candidate``, and the latest window inference's
+        unclean/gray verdicts ride along.  Since-day and confidence
+        come from the per-day dark history inside the rolling window,
+        and provenance carries the health summary, so a consumer can
+        judge the feed the snapshot was built under.
+        """
+        day = self._last_day if self._last_day is not None else 0
+        history = list(zip(self.days_in_window(), self._daily_dark))
+        result = self._last_window_result
+        health = self.health_report()
+        record = {
+            "engine": "online",
+            "policy": self.policy,
+            "window_days": self.window_days,
+            "min_stable_days": self.min_stable_days,
+            "health": health.summary(),
+            "health_ok": health.ok(),
+            "staleness": self._staleness,
+        }
+        if self.scenario:
+            record["scenario"] = self.scenario
+        record.update(provenance or {})
+        return build_snapshot(
+            day=day,
+            dark=self._serving,
+            unclean=(
+                result.pipeline.unclean_blocks if result is not None else None
+            ),
+            gray=(
+                result.pipeline.gray_blocks if result is not None else None
+            ),
+            candidate=(
+                np.setdiff1d(result.prefixes, self._serving)
+                if result is not None
+                else None
+            ),
+            history=history,
+            provenance=record,
+        )
 
     def health_report(self) -> HealthReport:
         """The structured operational record so far."""

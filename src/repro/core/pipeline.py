@@ -77,6 +77,7 @@ __all__ = [
     "run_pipeline",
     "run_pipeline_chunked",
     "run_pipeline_accumulated",
+    "snapshot_from_pipeline",
 ]
 
 
@@ -156,3 +157,28 @@ def run_pipeline_accumulated(
         )
     finalized = accumulator.finalize(config.spoof_tolerance)
     return StageEngine().run(finalized, routing, special, config, context)
+
+
+def snapshot_from_pipeline(
+    result: PipelineResult,
+    day: int,
+    history=None,
+    provenance=None,
+):
+    """Freeze a bare :class:`PipelineResult` into a snapshot.
+
+    For unrefined classification (no liveness pass) the pipeline's dark
+    set *is* the served set.  Facade callers should prefer
+    :meth:`repro.core.metatelescope.MetaTelescopeResult.to_snapshot`,
+    which additionally distinguishes refinement-removed candidates.
+    """
+    from repro.core.snapshot import build_snapshot
+
+    return build_snapshot(
+        day=day,
+        dark=result.dark_blocks,
+        unclean=result.unclean_blocks,
+        gray=result.gray_blocks,
+        history=history,
+        provenance=provenance,
+    )

@@ -1,0 +1,557 @@
+"""Immutable, versioned classification snapshots.
+
+The paper's end product is *operational*: an operator continuously
+knows which /24s are dark and treats traffic toward them as IBR
+(Section 9's "meta-telescope information as a service").  Until this
+module, that knowledge only existed as the transient return values of
+:meth:`~repro.core.metatelescope.MetaTelescope.infer` /
+:meth:`~repro.core.online.OnlineMetaTelescope.update` — batch results
+a caller had to hold onto and re-derive per question.
+
+A :class:`ClassificationSnapshot` freezes one day's complete verdict
+state into a first-class artifact:
+
+* **per-/24 verdict** (dark / unclean / gray / candidate — see
+  :data:`VERDICT_NAMES`), **confidence** and **since-day** (start of
+  the latest consecutive dark streak), sorted by block id;
+* optional **AS and country enrichment** so range/AS/geo queries need
+  no datasets at query time;
+* **provenance**: the world seed, the
+  :class:`~repro.core.engine.ExecutionPlan` that produced it, and the
+  producing engine's feed-quality/HealthReport summary;
+* a **flowpack-backed on-disk form** (``snapshot.fpk``): the generic
+  table-archive kind of :mod:`repro.flowpack`, so opening is an
+  O(header) scan plus zero-copy ``np.memmap`` column views, with
+  per-column CRC-32 verification;
+* **O(log n) lookups**: point queries are one ``np.searchsorted``
+  probe of the sorted block column, and dark-membership over arbitrary
+  block arrays goes through the same sorted cumulative-max interval
+  table the routing trie uses
+  (:func:`repro.net.trie.interval_covered_mask`), built once per
+  snapshot from the run-length-compressed dark set.
+
+Snapshots are immutable and versioned: the serving layer
+(:mod:`repro.service`) stamps a monotonically increasing ``version``
+at publish time via :func:`dataclasses.replace` and swaps whole
+snapshots atomically — readers never observe a partial state, and
+:meth:`ClassificationSnapshot.diff` answers "what changed since
+version/day N" between any two of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.flowpack import TableArchive, write_table_archive
+from repro.net.ipv4 import Prefix, block_to_prefix
+from repro.net.trie import interval_covered_mask
+
+#: Verdict codes stored in the snapshot's ``verdicts`` column.  Code 0
+#: is reserved for "not in the snapshot" (an unobserved block) so a
+#: failed lookup has a spelling.
+VERDICT_UNKNOWN = 0
+VERDICT_DARK = 1
+VERDICT_UNCLEAN = 2
+VERDICT_GRAY = 3
+#: Inferred dark by the window inference but withheld from serving
+#: (stability requirement not yet met, or quarantined) — the online
+#: engine's "almost dark" state, so a snapshot distinguishes "served
+#: dark" from "provisionally dark".
+VERDICT_CANDIDATE = 4
+
+VERDICT_NAMES = {
+    VERDICT_UNKNOWN: "unknown",
+    VERDICT_DARK: "dark",
+    VERDICT_UNCLEAN: "unclean",
+    VERDICT_GRAY: "gray",
+    VERDICT_CANDIDATE: "candidate",
+}
+
+#: The on-disk column schema of a ``snapshot.fpk`` table archive.
+SNAPSHOT_COLUMNS = {
+    "blocks": np.dtype(np.int64),
+    "verdicts": np.dtype(np.uint8),
+    "confidence": np.dtype(np.float64),
+    "since_day": np.dtype(np.int32),
+    "asns": np.dtype(np.int32),
+    "countries": np.dtype("S2"),
+}
+
+#: Archive-kind tag in the flowpack header meta.
+SNAPSHOT_KIND = "classification-snapshot"
+
+#: ``asns`` value for "not enriched / no covering announcement".
+NO_ASN = -1
+#: ``countries`` value for "not enriched / unknown".
+NO_COUNTRY = b"??"
+
+
+def _streak_confidence(streak_days: np.ndarray) -> np.ndarray:
+    """Confidence from a consecutive-dark-day streak: ``s / (s + 1)``.
+
+    Monotone in the streak, parameter-free, and deterministic — one
+    day of evidence scores 0.5, and each further consecutive day
+    closes half the remaining gap to 1.0 (the §7.1 multi-day
+    confirmation recommendation as a number).
+    """
+    streak = np.asarray(streak_days, dtype=np.float64)
+    return streak / (streak + 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class PointAnswer:
+    """One block's full answer ("is 203.0.113.0/24 dark? since when?")."""
+
+    block: int
+    verdict: int
+    confidence: float
+    since_day: int
+    asn: int
+    country: str
+
+    @property
+    def verdict_name(self) -> str:
+        return VERDICT_NAMES[self.verdict]
+
+    @property
+    def dark(self) -> bool:
+        return self.verdict == VERDICT_DARK
+
+    @property
+    def prefix(self) -> Prefix:
+        return block_to_prefix(self.block)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON shape the query service returns."""
+        return {
+            "prefix": str(self.prefix),
+            "block": self.block,
+            "verdict": self.verdict_name,
+            "dark": self.dark,
+            "confidence": round(self.confidence, 6),
+            "since_day": self.since_day if self.verdict else None,
+            "asn": self.asn if self.asn != NO_ASN else None,
+            "country": self.country if self.country != "??" else None,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotDiff:
+    """What changed between two snapshots of the same telescope."""
+
+    base_version: int
+    base_day: int
+    version: int
+    day: int
+    #: Blocks newly served dark.
+    added_dark: np.ndarray
+    #: Blocks no longer served dark.
+    removed_dark: np.ndarray
+    #: Blocks present in both whose verdict changed (any direction).
+    changed: np.ndarray
+
+    def is_empty(self) -> bool:
+        return not (
+            len(self.added_dark) or len(self.removed_dark) or len(self.changed)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "base_version": self.base_version,
+            "base_day": self.base_day,
+            "version": self.version,
+            "day": self.day,
+            "added_dark": [
+                str(block_to_prefix(int(b))) for b in self.added_dark
+            ],
+            "removed_dark": [
+                str(block_to_prefix(int(b))) for b in self.removed_dark
+            ],
+            "changed": [str(block_to_prefix(int(b))) for b in self.changed],
+        }
+
+
+def _dark_intervals(dark_blocks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Run-length-compress sorted dark blocks into a sorted interval
+    table (starts, cumulative-max ends) — the same shape
+    :meth:`repro.net.trie.PrefixTrie.block_intervals` produces, so the
+    trie's :func:`~repro.net.trie.interval_covered_mask` probes it
+    directly."""
+    if len(dark_blocks) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    breaks = np.flatnonzero(np.diff(dark_blocks) > 1)
+    starts = dark_blocks[np.concatenate(([0], breaks + 1))]
+    ends = dark_blocks[np.concatenate((breaks, [len(dark_blocks) - 1]))]
+    # Disjoint by construction, so ends are already monotone; assert the
+    # cumulative-max invariant interval_covered_mask relies on anyway.
+    return starts, np.maximum.accumulate(ends)
+
+
+@dataclass(frozen=True)
+class ClassificationSnapshot:
+    """One day's complete, immutable classification state.
+
+    Columns are aligned, sorted by ``blocks``, and read-only; the
+    snapshot as a whole is hashable-by-identity and safe to share
+    across threads without locks (the serving layer's atomic-swap
+    handle relies on exactly that).
+    """
+
+    #: Day the snapshot describes (the last folded vantage-day).
+    day: int
+    #: Sorted, unique /24 block ids of every classified block.
+    blocks: np.ndarray
+    #: Verdict code per block (see :data:`VERDICT_NAMES`; never 0).
+    verdicts: np.ndarray
+    #: Confidence in [0, 1] per block.
+    confidence: np.ndarray
+    #: First day of the latest consecutive streak of this verdict.
+    since_day: np.ndarray
+    #: Origin ASN per block (:data:`NO_ASN` when unenriched/unknown).
+    asns: np.ndarray
+    #: ISO country code per block (``"??"`` when unenriched/unknown).
+    countries: np.ndarray
+    #: Producer provenance: world seed, execution plan, health summary.
+    provenance: Mapping[str, Any] = field(default_factory=dict)
+    #: Monotone publish version; 0 until a handle publishes it.
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        columns = {
+            name: np.ascontiguousarray(getattr(self, name), dtype=dtype)
+            for name, dtype in SNAPSHOT_COLUMNS.items()
+        }
+        lengths = {len(column) for column in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged snapshot columns: lengths {lengths}")
+        blocks = columns["blocks"]
+        if len(blocks) > 1 and not np.all(np.diff(blocks) > 0):
+            raise ValueError("snapshot blocks must be sorted and unique")
+        verdicts = columns["verdicts"]
+        if len(verdicts) and (
+            verdicts.min() < VERDICT_DARK or verdicts.max() > VERDICT_CANDIDATE
+        ):
+            raise ValueError("snapshot verdict codes out of range")
+        for name, column in columns.items():
+            try:
+                column.setflags(write=False)
+            except ValueError:  # memmap-backed views are already frozen
+                pass
+            object.__setattr__(self, name, column)
+
+    # -- lookups -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @cached_property
+    def dark_blocks(self) -> np.ndarray:
+        """Sorted blocks served dark (the meta-telescope prefix list)."""
+        return self.blocks[self.verdicts == VERDICT_DARK]
+
+    @cached_property
+    def dark_intervals(self) -> tuple[np.ndarray, np.ndarray]:
+        """The dark set as a sorted-interval trie table (starts, ends)."""
+        return _dark_intervals(self.dark_blocks)
+
+    def indices_of(self, blocks: np.ndarray) -> np.ndarray:
+        """Row index per queried block (-1 where absent); O(log n) each."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        idx = np.searchsorted(self.blocks, blocks)
+        idx = np.clip(idx, 0, max(len(self.blocks) - 1, 0))
+        present = (
+            (len(self.blocks) > 0) & (self.blocks[idx] == blocks)
+            if len(self.blocks)
+            else np.zeros(blocks.shape, dtype=bool)
+        )
+        return np.where(present, idx, -1)
+
+    def is_dark(self, blocks: np.ndarray) -> np.ndarray:
+        """Vectorised dark membership via the interval trie table."""
+        starts, ends = self.dark_intervals
+        return interval_covered_mask(starts, ends, blocks)
+
+    def lookup(self, block: int) -> PointAnswer:
+        """Full point answer for one /24 block."""
+        idx = int(self.indices_of(np.array([block]))[0])
+        if idx < 0:
+            return PointAnswer(
+                block=int(block),
+                verdict=VERDICT_UNKNOWN,
+                confidence=0.0,
+                since_day=self.day,
+                asn=NO_ASN,
+                country="??",
+            )
+        return PointAnswer(
+            block=int(block),
+            verdict=int(self.verdicts[idx]),
+            confidence=float(self.confidence[idx]),
+            since_day=int(self.since_day[idx]),
+            asn=int(self.asns[idx]),
+            country=self.countries[idx].decode(),
+        )
+
+    def range(self, start_block: int, end_block: int) -> "ClassificationSnapshot":
+        """The sub-snapshot covering ``[start_block, end_block]``.
+
+        Two ``searchsorted`` probes; the returned snapshot's columns are
+        zero-copy slices of this one's.
+        """
+        lo = int(np.searchsorted(self.blocks, start_block, side="left"))
+        hi = int(np.searchsorted(self.blocks, end_block, side="right"))
+        return self._sliced(slice(lo, hi))
+
+    def within_prefix(self, prefix: Prefix) -> "ClassificationSnapshot":
+        """The sub-snapshot inside ``prefix`` (must be /24 or shorter)."""
+        if prefix.length > 24:
+            raise ValueError(f"{prefix} is more specific than a /24")
+        first = prefix.first_block()
+        return self.range(first, first + prefix.num_blocks() - 1)
+
+    def where(self, mask: np.ndarray) -> "ClassificationSnapshot":
+        """The sub-snapshot of rows selected by a boolean mask."""
+        return self._sliced(np.flatnonzero(mask))
+
+    def head(self, count: int) -> "ClassificationSnapshot":
+        """The first ``count`` rows (a query budget's truncation)."""
+        return self._sliced(slice(0, max(count, 0)))
+
+    def _sliced(self, index) -> "ClassificationSnapshot":
+        return replace(
+            self,
+            **{
+                name: getattr(self, name)[index]
+                for name in SNAPSHOT_COLUMNS
+            },
+        )
+
+    def rows(self) -> list[PointAnswer]:
+        """Every row as a :class:`PointAnswer` (small snapshots only)."""
+        return [
+            PointAnswer(
+                block=int(self.blocks[i]),
+                verdict=int(self.verdicts[i]),
+                confidence=float(self.confidence[i]),
+                since_day=int(self.since_day[i]),
+                asn=int(self.asns[i]),
+                country=self.countries[i].decode(),
+            )
+            for i in range(len(self.blocks))
+        ]
+
+    def verdict_counts(self) -> dict[str, int]:
+        """How many blocks hold each verdict."""
+        codes, counts = np.unique(self.verdicts, return_counts=True)
+        return {
+            VERDICT_NAMES[int(code)]: int(count)
+            for code, count in zip(codes, counts)
+        }
+
+    # -- enrichment ----------------------------------------------------
+
+    def enrich(self, pfx2as=None, geodb=None) -> "ClassificationSnapshot":
+        """A copy with AS/geo columns filled from the datasets.
+
+        ``pfx2as`` is a :class:`~repro.datasets.pfx2as.PrefixToAsMap`,
+        ``geodb`` a :class:`~repro.datasets.geodb.GeoDatabase`; either
+        may be None to leave that column as-is.
+        """
+        updates: dict[str, np.ndarray] = {}
+        if pfx2as is not None and len(self.blocks):
+            asns = pfx2as.asns_of_blocks(self.blocks)
+            updates["asns"] = np.where(asns < 0, NO_ASN, asns)
+        if geodb is not None and len(self.blocks):
+            updates["countries"] = geodb.lookup(self.blocks)
+        if not updates:
+            return self
+        return replace(self, **updates)
+
+    # -- diffs ---------------------------------------------------------
+
+    def diff(self, older: "ClassificationSnapshot") -> SnapshotDiff:
+        """What changed from ``older`` to this snapshot."""
+        added = np.setdiff1d(self.dark_blocks, older.dark_blocks)
+        removed = np.setdiff1d(older.dark_blocks, self.dark_blocks)
+        common = np.intersect1d(self.blocks, older.blocks)
+        new_idx = self.indices_of(common)
+        old_idx = older.indices_of(common)
+        changed = common[
+            self.verdicts[new_idx] != older.verdicts[old_idx]
+        ]
+        return SnapshotDiff(
+            base_version=older.version,
+            base_day=older.day,
+            version=self.version,
+            day=self.day,
+            added_dark=added,
+            removed_dark=removed,
+            changed=changed,
+        )
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the ``snapshot.fpk`` on-disk form (flowpack table
+        archive: O(header) open, memory-mapped columns, per-column
+        CRC)."""
+        write_table_archive(
+            {name: getattr(self, name) for name in SNAPSHOT_COLUMNS},
+            path,
+            meta={
+                "kind": SNAPSHOT_KIND,
+                "day": int(self.day),
+                "version": int(self.version),
+                "provenance": dict(self.provenance),
+            },
+        )
+
+    @classmethod
+    def open(
+        cls, path: str | Path, verify: bool = True
+    ) -> "ClassificationSnapshot":
+        """Open a ``snapshot.fpk``: O(header) structural scan, zero-copy
+        ``np.memmap`` column views, CRC verification (skippable)."""
+        archive = TableArchive(path, expected_columns=SNAPSHOT_COLUMNS)
+        meta = archive.meta
+        if meta.get("kind") != SNAPSHOT_KIND:
+            raise ValueError(
+                f"{path}: not a classification snapshot "
+                f"(kind={meta.get('kind')!r})"
+            )
+        arrays = archive.read_arrays(verify=verify)
+        return cls(
+            day=int(meta.get("day", 0)),
+            provenance=meta.get("provenance", {}),
+            version=int(meta.get("version", 0)),
+            **arrays,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+
+def _since_days(
+    blocks: np.ndarray,
+    history: Sequence[tuple[int, np.ndarray]] | None,
+    day: int,
+) -> np.ndarray:
+    """First day of each block's latest consecutive presence streak.
+
+    ``history`` is ``[(day, present_blocks), ...]`` in day order (the
+    online engine's window); a block absent from it is treated as first
+    seen today.  "Consecutive" means consecutive *entries* — with a gap
+    policy in play the engine may legitimately skip calendar days.
+    """
+    since = np.full(len(blocks), day, dtype=np.int32)
+    if not history:
+        return since
+    alive = np.ones(len(blocks), dtype=bool)
+    for streak_day, present in sorted(
+        history, key=lambda item: item[0], reverse=True
+    ):
+        hit = alive & np.isin(blocks, present)
+        since[hit] = streak_day
+        alive = hit
+        if not alive.any():
+            break
+    return since
+
+
+def _streaks(
+    blocks: np.ndarray,
+    history: Sequence[tuple[int, np.ndarray]] | None,
+) -> np.ndarray:
+    """Length (in entries) of each block's latest consecutive streak.
+
+    A block absent from the newest entry still scores 1: the caller is
+    snapshotting it *because* today's inference holds it, so today is
+    always evidence.
+    """
+    streaks = np.zeros(len(blocks), dtype=np.int64)
+    alive = np.ones(len(blocks), dtype=bool)
+    for _, present in sorted(
+        history or (), key=lambda item: item[0], reverse=True
+    ):
+        hit = alive & np.isin(blocks, present)
+        streaks[hit] += 1
+        alive = hit
+        if not alive.any():
+            break
+    return np.maximum(streaks, 1)
+
+
+def build_snapshot(
+    day: int,
+    dark: np.ndarray,
+    unclean: np.ndarray | None = None,
+    gray: np.ndarray | None = None,
+    candidate: np.ndarray | None = None,
+    history: Sequence[tuple[int, np.ndarray]] | None = None,
+    provenance: Mapping[str, Any] | None = None,
+) -> ClassificationSnapshot:
+    """Assemble a snapshot from verdict sets.
+
+    ``dark`` wins over ``candidate`` wins over ``gray`` wins over
+    ``unclean`` when a block appears in several (it cannot, coming from
+    the pipeline, but the builder is defensive).  ``history`` feeds the
+    since-day and confidence columns; without it every verdict is
+    one-day evidence (confidence 0.5, since-day = ``day``).
+    """
+    empty = np.empty(0, dtype=np.int64)
+    sets = {
+        VERDICT_UNCLEAN: np.unique(
+            np.asarray(unclean if unclean is not None else empty, dtype=np.int64)
+        ),
+        VERDICT_GRAY: np.unique(
+            np.asarray(gray if gray is not None else empty, dtype=np.int64)
+        ),
+        VERDICT_CANDIDATE: np.unique(
+            np.asarray(
+                candidate if candidate is not None else empty, dtype=np.int64
+            )
+        ),
+        VERDICT_DARK: np.unique(np.asarray(dark, dtype=np.int64)),
+    }
+    all_blocks = np.unique(np.concatenate(list(sets.values())))
+    verdicts = np.zeros(len(all_blocks), dtype=np.uint8)
+    for code, members in sets.items():  # later wins: dict order ends dark
+        verdicts[np.isin(all_blocks, members)] = code
+
+    dark_like = (verdicts == VERDICT_DARK) | (verdicts == VERDICT_CANDIDATE)
+    streaks = np.ones(len(all_blocks), dtype=np.int64)
+    since = np.full(len(all_blocks), day, dtype=np.int32)
+    if history and dark_like.any():
+        streaks[dark_like] = _streaks(all_blocks[dark_like], history)
+        since[dark_like] = _since_days(all_blocks[dark_like], history, day)
+    confidence = _streak_confidence(streaks)
+    # Unclean/gray verdicts rest on directly observed traffic (a live
+    # source, payload-bearing flows) rather than inference; score them
+    # as single-day certainty.
+    confidence[~dark_like] = 1.0
+
+    return ClassificationSnapshot(
+        day=day,
+        blocks=all_blocks,
+        verdicts=verdicts,
+        confidence=confidence,
+        since_day=since,
+        asns=np.full(len(all_blocks), NO_ASN, dtype=np.int32),
+        countries=np.full(len(all_blocks), NO_COUNTRY, dtype="S2"),
+        provenance=dict(provenance or {}),
+    )
+
+
+def empty_snapshot(
+    day: int = 0, provenance: Mapping[str, Any] | None = None
+) -> ClassificationSnapshot:
+    """A valid zero-block snapshot (service boot state)."""
+    return build_snapshot(day, np.empty(0, dtype=np.int64), provenance=provenance)

@@ -1,11 +1,22 @@
-"""Flowpack: a binary columnar flow-archive format.
+"""Flowpack: binary columnar archives (flows, and generic tables).
 
 Row-oriented CSV is untenable at replay scale — a multi-GB vantage-day
 costs one Python ``int()`` call per cell in both directions.  Flowpack
-stores a :class:`~repro.traffic.flows.FlowTable` the way the pipeline
-already holds it: **per-column contiguous numpy buffers**, so reading a
-day back is an ``np.memmap`` plus nine zero-copy views instead of
-millions of string conversions.
+stores columnar data the way the pipeline already holds it: **per-column
+contiguous numpy buffers**, so reading a day back is an ``np.memmap``
+plus a handful of zero-copy views instead of millions of string
+conversions.
+
+The container is schema-generic: the header JSON names the columns and
+their dtypes, and two archive *kinds* are built on it —
+
+* **flow archives** (:class:`FlowpackArchive`, the original kind): the
+  nine :data:`~repro.traffic.flows.FLOW_COLUMNS` of a
+  :class:`~repro.traffic.flows.FlowTable`;
+* **table archives** (:class:`TableArchive` / :class:`TableWriter`):
+  any caller-declared column set.  This is what
+  :mod:`repro.core.snapshot` uses for ``snapshot.fpk`` files — the
+  immutable classification snapshots the query service memory-maps.
 
 Layout (all integers little-endian)::
 
@@ -22,12 +33,12 @@ Design properties:
 
 * **Append-able** — a segment is self-describing, so a chunked vantage
   capture streams straight to disk: every
-  :meth:`FlowpackWriter.write` call appends one segment and nothing is
-  ever rewritten.
-* **Zero-copy reads** — :meth:`FlowpackArchive.segment_flows` returns
-  a :class:`~repro.traffic.flows.FlowTable` whose columns are views
-  into one shared ``np.memmap``; slicing chunks out of it never copies
-  a row.  All offsets are 8-byte aligned by construction.
+  :meth:`TableWriter.write_columns` call appends one segment and
+  nothing is ever rewritten.
+* **Zero-copy reads** — readers return numpy views into one shared
+  ``np.memmap``; slicing chunks out of them never copies a row.  All
+  offsets are 8-byte aligned by construction, and opening an archive is
+  O(header): column payloads are touched only when read.
 * **Per-column checksums** — every buffer carries a CRC-32.  Strict
   readers raise :class:`FlowpackError` naming the file, segment and
   column; the lenient reader degrades exactly like damaged CSV does,
@@ -36,10 +47,10 @@ Design properties:
   :mod:`repro.faults` policies key on).
 * **Self-describing metadata** — the header JSON carries an arbitrary
   ``meta`` mapping, which vantage exports use to store the vantage
-  code, day and sampling factor, making an archive a complete
-  vantage-day on its own (:mod:`repro.vantage.archive`).
+  code, day and sampling factor (:mod:`repro.vantage.archive`), and
+  snapshots use for their provenance record.
 
-The public entry points mirror the CSV ones re-exported from
+The public flow entry points mirror the CSV ones re-exported from
 :mod:`repro.io`: :func:`write_flows_archive`, :func:`read_flows_archive`,
 :func:`read_flows_archive_lenient` and :func:`iter_flows_archive` are
 drop-in for their ``*_csv`` counterparts.
@@ -81,8 +92,13 @@ def _pad8(n: int) -> int:
     return (-n) % 8
 
 
+def _spec_of(columns: Mapping[str, Any]) -> list[list[str]]:
+    """The header-JSON form of a ``name -> dtype`` column schema."""
+    return [[name, np.dtype(dtype).str] for name, dtype in columns.items()]
+
+
 def _column_spec() -> list[list[str]]:
-    return [[name, np.dtype(dtype).str] for name, dtype in FLOW_COLUMNS.items()]
+    return _spec_of(FLOW_COLUMNS)
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,31 +122,41 @@ class SegmentInfo:
 # -- writing ------------------------------------------------------------
 
 
-class FlowpackWriter:
-    """Append-able flowpack writer (one segment per :meth:`write`).
+class TableWriter:
+    """Append-able writer for a generic columnar archive.
 
+    ``columns`` declares the schema (``name -> dtype``); every
+    :meth:`write_columns` call appends one self-describing segment.
     ``append=True`` re-opens an existing archive, validates its header
-    against the current schema, and appends after the last intact
-    segment.  Use as a context manager; an empty ``write`` is a no-op
+    against the declared schema, and appends after the last intact
+    segment.  Use as a context manager; an empty write is a no-op
     (segments always hold at least one row).
     """
 
     def __init__(
         self,
         path: str | Path,
+        columns: Mapping[str, Any],
         meta: Mapping[str, Any] | None = None,
         append: bool = False,
     ) -> None:
         self.path = Path(path)
+        self.columns = {
+            name: np.dtype(dtype) for name, dtype in columns.items()
+        }
+        if not self.columns:
+            raise ValueError("an archive needs at least one column")
         self._rows = 0
         if append and self.path.exists() and self.path.stat().st_size > 0:
-            _, segments, _ = scan_archive(self.path, strict=True)
+            _, _, segments, _ = _scan_table(
+                self.path, strict=True, expected=_spec_of(self.columns)
+            )
             self._rows = segments[-1].stop_row if segments else 0
             self._handle = open(self.path, "ab")
         else:
             self._handle = open(self.path, "wb")
             payload = json.dumps(
-                {"columns": _column_spec(), "meta": dict(meta or {})},
+                {"columns": _spec_of(self.columns), "meta": dict(meta or {})},
                 sort_keys=True,
             ).encode()
             self._handle.write(MAGIC)
@@ -143,15 +169,26 @@ class FlowpackWriter:
         """Total rows in the archive, appended-to segments included."""
         return self._rows
 
-    def write(self, flows: FlowTable) -> None:
-        """Append one segment holding ``flows`` (no-op when empty)."""
-        if len(flows) == 0:
+    def write_columns(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Append one segment holding ``arrays`` (no-op when empty).
+
+        Every schema column must be present, and all arrays must share
+        one length.
+        """
+        missing = set(self.columns) - set(arrays)
+        if missing:
+            raise ValueError(f"segment lacks columns: {sorted(missing)}")
+        lengths = {len(arrays[name]) for name in self.columns}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged segment columns: lengths {lengths}")
+        rows = lengths.pop()
+        if rows == 0:
             return
         buffers = []
-        for name, dtype in FLOW_COLUMNS.items():
-            column = np.ascontiguousarray(getattr(flows, name), dtype=dtype)
+        for name, dtype in self.columns.items():
+            column = np.ascontiguousarray(arrays[name], dtype=dtype)
             buffers.append(column.tobytes())
-        header = [_SEGMENT_MAGIC, _SEGMENT_HEADER.pack(len(flows))]
+        header = [_SEGMENT_MAGIC, _SEGMENT_HEADER.pack(rows)]
         for buffer in buffers:
             header.append(
                 _COLUMN_HEADER.pack(len(buffer), zlib.crc32(buffer))
@@ -162,17 +199,35 @@ class FlowpackWriter:
         for buffer in buffers:
             self._handle.write(buffer)
             self._handle.write(b"\x00" * _pad8(len(buffer)))
-        self._rows += len(flows)
+        self._rows += rows
 
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()
 
-    def __enter__(self) -> "FlowpackWriter":
+    def __enter__(self) -> "TableWriter":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class FlowpackWriter(TableWriter):
+    """Append-able flow-archive writer (one segment per :meth:`write`)."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        meta: Mapping[str, Any] | None = None,
+        append: bool = False,
+    ) -> None:
+        super().__init__(path, FLOW_COLUMNS, meta=meta, append=append)
+
+    def write(self, flows: FlowTable) -> None:
+        """Append one segment holding ``flows`` (no-op when empty)."""
+        self.write_columns(
+            {name: getattr(flows, name) for name in FLOW_COLUMNS}
+        )
 
 
 def write_flows_archive(
@@ -198,6 +253,22 @@ def append_flows_archive(flows: FlowTable, path: str | Path) -> None:
         writer.write(flows)
 
 
+def write_table_archive(
+    arrays: Mapping[str, np.ndarray],
+    path: str | Path,
+    meta: Mapping[str, Any] | None = None,
+) -> None:
+    """Write aligned arrays as a one-segment generic table archive.
+
+    The schema is taken from the arrays themselves (name and dtype, in
+    mapping order).  Empty arrays yield a valid zero-segment archive
+    that still carries the schema and ``meta``.
+    """
+    columns = {name: array.dtype for name, array in arrays.items()}
+    with TableWriter(path, columns, meta=meta) as writer:
+        writer.write_columns(arrays)
+
+
 # -- scanning -----------------------------------------------------------
 
 
@@ -210,28 +281,31 @@ def is_flowpack(path: str | Path) -> bool:
         return False
 
 
-def scan_archive(
-    path: str | Path, strict: bool = True
+def _scan_table(
+    path: str | Path,
+    strict: bool = True,
+    expected: list[list[str]] | None = None,
 ):
     """Walk an archive's headers without touching the column data.
 
-    Returns ``(meta, segments, report)``.  Structural damage before the
-    first segment (bad magic, header, schema) is always fatal — then
-    nothing about the file can be trusted, exactly like a wrong CSV
-    header.  A truncated or malformed *segment* is fatal in strict
-    mode; lenient mode stops at the damage and records it in the
-    report (everything after a truncation point is unreadable).
+    Returns ``(meta, columns_spec, segments, report)`` where
+    ``columns_spec`` is the header's ``[[name, dtype], ...]`` schema.
+    With ``expected`` the header schema must match it exactly —
+    structural damage before the first segment (bad magic, header,
+    schema) is always fatal, exactly like a wrong CSV header.  A
+    truncated or malformed *segment* is fatal in strict mode; lenient
+    mode stops at the damage and records it in the report (everything
+    after a truncation point is unreadable).
 
     Checksums are **not** verified here — scanning must stay O(header)
-    so an ``np.memmap`` open of a multi-GB day is instant; per-segment
-    verification happens on first read.
+    so an ``np.memmap`` open of a multi-GB archive is instant;
+    per-segment verification happens on first read.
     """
     from repro.io import ParseReport, RowError  # local: io imports us
 
     path = Path(path)
     report = ParseReport(path=str(path))
     size = path.stat().st_size
-    ncols = len(FLOW_COLUMNS)
     with open(path, "rb") as handle:
         prefix = handle.read(len(MAGIC) + _FILE_HEADER.size)
         if len(prefix) < len(MAGIC) + _FILE_HEADER.size or not prefix.startswith(
@@ -250,11 +324,27 @@ def scan_archive(
             header = json.loads(payload.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise FlowpackError(f"{path}: corrupt header JSON: {error}") from None
-        if header.get("columns") != _column_spec():
+        spec = header.get("columns")
+        if expected is not None and spec != expected:
             raise FlowpackError(
-                f"{path}: unexpected flowpack schema: {header.get('columns')}"
+                f"{path}: unexpected flowpack schema: {spec}"
             )
+        if (
+            not isinstance(spec, list)
+            or not spec
+            or not all(
+                isinstance(col, list) and len(col) == 2 for col in spec
+            )
+        ):
+            raise FlowpackError(f"{path}: malformed column schema: {spec}")
+        try:
+            itemsizes = [np.dtype(dtype).itemsize for _, dtype in spec]
+        except TypeError as error:
+            raise FlowpackError(
+                f"{path}: unreadable column dtype: {error}"
+            ) from None
         meta = header.get("meta", {})
+        ncols = len(spec)
         handle.seek(_pad8(json_len), 1)
 
         segments: list[SegmentInfo] = []
@@ -278,13 +368,13 @@ def scan_archive(
                 offsets, nbytes, checksums = [], [], []
                 cursor = base + seg_header_size
                 pos = len(_SEGMENT_MAGIC) + _SEGMENT_HEADER.size
-                for name, dtype in FLOW_COLUMNS.items():
+                for (name, _), itemsize in zip(spec, itemsizes):
                     length, crc = _COLUMN_HEADER.unpack_from(raw, pos)
                     pos += _COLUMN_HEADER.size
-                    if length != rows * np.dtype(dtype).itemsize:
+                    if length != rows * itemsize:
                         damage = (
                             f"column {name!r} holds {length} bytes, "
-                            f"expected {rows * np.dtype(dtype).itemsize}"
+                            f"expected {rows * itemsize}"
                         )
                         break
                     offsets.append(cursor)
@@ -310,8 +400,8 @@ def scan_archive(
                 )
                 # Resync: scan forward for the next segment magic, so a
                 # single damaged header loses one segment, not the rest
-                # of the archive.  (A 4-byte magic plus nine exact
-                # column-length checks makes a false resync vanishingly
+                # of the archive.  (A 4-byte magic plus per-column exact
+                # length checks makes a false resync vanishingly
                 # unlikely.)  No magic ahead = a truncated tail; stop.
                 handle.seek(base + 1)
                 rest = handle.read()
@@ -334,28 +424,60 @@ def scan_archive(
             report.good_rows += rows
             start_row += rows
             handle.seek(cursor)
+    return meta, spec, segments, report
+
+
+def scan_archive(
+    path: str | Path, strict: bool = True
+):
+    """Walk a *flow* archive's headers without touching column data.
+
+    Returns ``(meta, segments, report)``; the schema must be exactly
+    :data:`~repro.traffic.flows.FLOW_COLUMNS`.  See :func:`_scan_table`
+    for the strict/lenient damage semantics.
+    """
+    meta, _, segments, report = _scan_table(
+        path, strict=strict, expected=_column_spec()
+    )
     return meta, segments, report
 
 
 # -- reading ------------------------------------------------------------
 
 
-class FlowpackArchive:
-    """A memory-mapped flowpack archive.
+class TableArchive:
+    """A memory-mapped generic columnar archive.
 
-    Column data is a single shared ``np.memmap``; every
-    :class:`~repro.traffic.flows.FlowTable` this object hands out holds
-    zero-copy (read-only) views into it.  Each segment's checksums are
-    verified once, on first read; pass ``verify=False`` to skip (e.g.
-    a worker re-reading a range the coordinator already verified).
+    Column data is a single shared ``np.memmap``; every array this
+    object hands out is a zero-copy (read-only) view into it.  Each
+    segment's checksums are verified once, on first read; pass
+    ``verify=False`` to skip (e.g. a worker re-reading a range the
+    coordinator already verified).  ``expected_columns`` pins the
+    schema (open fails on a mismatch); without it the archive's own
+    header schema is served as-is.
     """
 
-    def __init__(self, path: str | Path, *, _scanned=None) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        expected_columns: Mapping[str, Any] | None = None,
+        *,
+        _scanned=None,
+    ) -> None:
         self.path = Path(path)
+        expected = (
+            _spec_of(expected_columns) if expected_columns is not None else None
+        )
         if _scanned is None:
-            self.meta, self.segments, _ = scan_archive(self.path, strict=True)
+            self.meta, spec, self.segments, _ = _scan_table(
+                self.path, strict=True, expected=expected
+            )
         else:  # pre-scanned (the lenient reader's salvage path)
-            self.meta, self.segments = _scanned
+            self.meta, spec, self.segments = _scanned
+        #: The archive's schema, as ``name -> np.dtype``.
+        self.columns: dict[str, np.dtype] = {
+            name: np.dtype(dtype) for name, dtype in spec
+        }
         self.num_rows = (
             self.segments[-1].stop_row if self.segments else 0
         )
@@ -373,8 +495,8 @@ class FlowpackArchive:
             return
         segment = self.segments[index]
         data = self._data()
-        for (name, _), offset, nbytes, expected in zip(
-            FLOW_COLUMNS.items(), segment.offsets, segment.nbytes,
+        for name, offset, nbytes, expected in zip(
+            self.columns, segment.offsets, segment.nbytes,
             segment.checksums,
         ):
             actual = zlib.crc32(data[offset:offset + nbytes])
@@ -386,18 +508,74 @@ class FlowpackArchive:
                 )
         self._verified[index] = True
 
-    def segment_flows(self, index: int, verify: bool = True) -> FlowTable:
-        """One segment as a zero-copy memmap-backed flow table."""
+    def segment_arrays(
+        self, index: int, verify: bool = True
+    ) -> dict[str, np.ndarray]:
+        """One segment as zero-copy memmap-backed column arrays."""
         if verify:
             self.verify_segment(index)
         segment = self.segments[index]
         data = self._data()
-        columns = {}
+        arrays = {}
         for (name, dtype), offset, nbytes in zip(
-            FLOW_COLUMNS.items(), segment.offsets, segment.nbytes
+            self.columns.items(), segment.offsets, segment.nbytes
         ):
-            columns[name] = data[offset:offset + nbytes].view(dtype)
-        return FlowTable(**columns)
+            arrays[name] = data[offset:offset + nbytes].view(dtype)
+        return arrays
+
+    def read_arrays(self, verify: bool = True) -> dict[str, np.ndarray]:
+        """All columns, concatenated (zero-copy iff one segment)."""
+        if not self.segments:
+            return {
+                name: np.empty(0, dtype=dtype)
+                for name, dtype in self.columns.items()
+            }
+        if len(self.segments) == 1:
+            return self.segment_arrays(0, verify=verify)
+        parts = [
+            self.segment_arrays(i, verify=verify)
+            for i in range(len(self.segments))
+        ]
+        return {
+            name: np.concatenate([part[name] for part in parts])
+            for name in self.columns
+        }
+
+    def read_column(self, name: str, verify: bool = True) -> np.ndarray:
+        """One column, concatenated across segments."""
+        if name not in self.columns:
+            raise KeyError(f"{self.path}: no column {name!r}")
+        return self.read_arrays(verify=verify)[name]
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+
+def open_table_archive(
+    path: str | Path, expected_columns: Mapping[str, Any] | None = None
+) -> TableArchive:
+    """Open (and structurally validate) a generic table archive."""
+    return TableArchive(path, expected_columns=expected_columns)
+
+
+class FlowpackArchive(TableArchive):
+    """A memory-mapped *flow* archive (schema pinned to FLOW_COLUMNS).
+
+    Every :class:`~repro.traffic.flows.FlowTable` this object hands out
+    holds zero-copy (read-only) views into one shared ``np.memmap``.
+    """
+
+    def __init__(self, path: str | Path, *, _scanned=None) -> None:
+        if _scanned is not None:  # legacy (meta, segments) form
+            meta, segments = _scanned
+            _scanned = (meta, _column_spec(), segments)
+        super().__init__(
+            path, expected_columns=FLOW_COLUMNS, _scanned=_scanned
+        )
+
+    def segment_flows(self, index: int, verify: bool = True) -> FlowTable:
+        """One segment as a zero-copy memmap-backed flow table."""
+        return FlowTable(**self.segment_arrays(index, verify=verify))
 
     def read_rows(
         self, start: int, stop: int, verify: bool = True
@@ -455,9 +633,6 @@ class FlowpackArchive:
             self.segment_flows(i, verify=verify)
             for i in range(len(self.segments))
         )
-
-    def __len__(self) -> int:
-        return self.num_rows
 
 
 def open_flows_archive(path: str | Path) -> FlowpackArchive:
@@ -524,5 +699,5 @@ def read_flows_archive_lenient(path: str | Path):
 
 def archive_meta(path: str | Path) -> dict:
     """The header ``meta`` mapping (without touching column data)."""
-    meta, _, _ = scan_archive(path, strict=True)
+    meta, _, _, _ = _scan_table(path, strict=True)
     return dict(meta)

@@ -20,6 +20,7 @@ from repro.robustness.envelope import (
     Envelope,
     MetricCheck,
     PathScore,
+    SERVICE_PATH,
     ScenarioVerdict,
     composition_fault_plan,
     evaluate_catalog,
@@ -33,6 +34,7 @@ __all__ = [
     "EvaluationSettings",
     "MetricCheck",
     "PathScore",
+    "SERVICE_PATH",
     "Scenario",
     "ScenarioVerdict",
     "ScenarioWorld",

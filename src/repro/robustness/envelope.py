@@ -45,6 +45,11 @@ if TYPE_CHECKING:
 #: The two engine paths every scenario is scored on.
 PATHS = ("parallel", "online")
 
+#: The opt-in third path: the online state published as an immutable
+#: snapshot and read back through the query service
+#: (:mod:`repro.service`), so the gate also covers the product surface.
+SERVICE_PATH = "service"
+
 
 @dataclass(frozen=True, slots=True)
 class Bounds:
@@ -217,6 +222,12 @@ class EvaluationSettings:
     #: (baseline and scenario alike, so deltas stay differential).
     compose_faults: bool = False
     fault_seed: int = 0
+    #: Also score the **service** path: publish the online engine's
+    #: snapshot through a :class:`~repro.service.MetaTelescopeService`
+    #: and answer from the query surface.  The service must agree with
+    #: the engine bit-for-bit — any divergence is an evaluation error,
+    #: not a scored degradation.
+    service_path: bool = False
 
     def effective_workers(self) -> int:
         """The fan-out actually used (parallel path mandatory)."""
@@ -374,7 +385,50 @@ def _run_paths(
             active_overrides, target_blocks,
         )
     )
+
+    if settings.service_path:
+        served = _service_served_blocks(online, context)
+        scores.append(
+            _score(
+                served, world, SERVICE_PATH, active_overrides, target_blocks
+            )
+        )
     return tuple(scores), health.summary()
+
+
+def _service_served_blocks(
+    online: OnlineMetaTelescope, context: RunContext | None
+) -> np.ndarray:
+    """Publish the online state and read the served set back through the
+    query service, verifying point-query parity along the way.
+
+    The service path must be a *transport*, never a classifier: every
+    sampled point query and the full dark set have to match the engine
+    bit-for-bit, or the evaluation itself is broken and raises.
+    """
+    from repro.service import MetaTelescopeService
+
+    service = MetaTelescopeService(
+        health_provider=online.health_report, context=context
+    )
+    service.publish(online.snapshot())
+    snapshot = service.handle.current()
+    served = snapshot.dark_blocks
+    engine_served = online.current_prefixes()
+    if not np.array_equal(served, np.asarray(engine_served, dtype=np.int64)):
+        raise ValueError(
+            "service path diverged from the online engine: "
+            f"{len(served)} served via snapshot vs {len(engine_served)}"
+        )
+    step = max(1, len(served) // 16)
+    for block in served[::step]:
+        answer = service.point(str(int(block)))
+        if not answer["dark"]:
+            raise ValueError(
+                f"service point query disagrees with the engine for "
+                f"block {int(block)}: {answer}"
+            )
+    return served
 
 
 def evaluate_scenario(

@@ -1,0 +1,574 @@
+"""The query daemon: stdlib-asyncio HTTP/JSON over snapshot state.
+
+Two layers, deliberately separated:
+
+* :class:`MetaTelescopeService` — the pure query engine.  Every
+  operation grabs the current snapshot from the
+  :class:`~repro.service.handle.SnapshotHandle` **once** and answers
+  entirely from that reference, so a concurrent publish can never mix
+  two snapshots inside one answer.  Budgets (result caps), load-shed
+  accounting, health and trace emission all live here, which is what
+  lets the robustness catalog, the tests and the benchmark drive the
+  *service path* without a socket.
+* :class:`ServiceDaemon` — a minimal HTTP/1.1 front end on
+  ``asyncio.start_server`` (GET + JSON; keep-alive).  No third-party
+  web framework: the paper's operators run this next to a collector,
+  and the stdlib is the only dependency that is always there.
+
+Endpoints (all JSON)::
+
+    GET /healthz                        liveness + HealthReport summary
+    GET /v1/snapshot                    current snapshot metadata
+    GET /v1/point?prefix=203.0.113.0/24 one /24's verdict
+    GET /v1/range?start=B&end=B         blocks in [start, end]
+    GET /v1/range?prefix=198.51.0.0/16  blocks inside a covering prefix
+    GET /v1/as?asn=64500                blocks originated by an AS
+    GET /v1/geo?country=DE              blocks geolocated to a country
+    GET /v1/diff?since=V                change feed since version V
+
+Load-shed: requests beyond ``max_inflight`` are answered ``503``
+immediately (readers never queue behind a stampede), as are data
+queries before the first publish.  List answers are capped by the
+:class:`QueryBudget` and flagged ``truncated`` rather than streamed
+unbounded.  With a :class:`~repro.core.engine.RunContext` attached,
+every query emits a ``query`` event and every publish a ``publish``
+event through the PR-5 sink API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.engine import RunContext
+from repro.core.snapshot import ClassificationSnapshot
+from repro.net.ipv4 import AddressError, Prefix, block_of_ip, parse_ip
+from repro.service.handle import SnapshotHandle
+
+
+class QueryError(ValueError):
+    """A malformed query (HTTP 400)."""
+
+
+@dataclass(frozen=True, slots=True)
+class QueryBudget:
+    """Per-query result budget.
+
+    ``max_results`` caps every list-shaped answer; callers may ask for
+    less via ``limit`` but never more.  Keeps a single range query over
+    a paper-scale snapshot from serialising millions of rows.
+    """
+
+    max_results: int = 1000
+
+    def clamp(self, requested: int | None) -> int:
+        if requested is None or requested <= 0:
+            return self.max_results
+        return min(requested, self.max_results)
+
+
+def parse_block(text: str) -> int:
+    """A /24 block id from a CIDR /24, a bare IP, or a block integer."""
+    text = text.strip()
+    if "/" in text:
+        prefix = Prefix.parse(text)
+        if prefix.length != 24:
+            raise QueryError(
+                f"point queries are per /24; got /{prefix.length}"
+            )
+        return prefix.first_block()
+    try:
+        if "." in text:
+            return block_of_ip(parse_ip(text))
+        return int(text)
+    except (AddressError, ValueError) as error:
+        raise QueryError(f"not a /24, IP or block id: {text!r}") from error
+
+
+class MetaTelescopeService:
+    """The socket-free query engine every front end shares."""
+
+    def __init__(
+        self,
+        handle: SnapshotHandle | None = None,
+        pfx2as=None,
+        geodb=None,
+        health_provider: Callable[[], Any] | None = None,
+        context: RunContext | None = None,
+        budget: QueryBudget | None = None,
+        max_inflight: int = 64,
+    ) -> None:
+        self.handle = handle if handle is not None else SnapshotHandle()
+        self.pfx2as = pfx2as
+        self.geodb = geodb
+        #: Callable returning the producing engine's HealthReport (the
+        #: PR-1 machinery), or None when serving a static snapshot.
+        self.health_provider = health_provider
+        self.context = context
+        self.budget = budget if budget is not None else QueryBudget()
+        self.max_inflight = max_inflight
+        self.queries_served = 0
+        self.queries_shed = 0
+        self.publishes = 0
+        self._inflight = 0
+        self._stats_lock = threading.Lock()
+
+    # -- publishing ----------------------------------------------------
+
+    def publish(
+        self, snapshot: ClassificationSnapshot
+    ) -> ClassificationSnapshot:
+        """Enrich (AS/geo, if datasets are attached) and swap in.
+
+        Enrichment happens on the writer's side, before the atomic
+        swap, so queries never pay for it.
+        """
+        started = time.perf_counter()
+        stamped = self.handle.publish(
+            snapshot.enrich(pfx2as=self.pfx2as, geodb=self.geodb)
+        )
+        with self._stats_lock:
+            self.publishes += 1
+        if self.context is not None:
+            self.context.emit(
+                "publish",
+                f"v{stamped.version}",
+                time.perf_counter() - started,
+                rows_out=len(stamped),
+                meta={"day": stamped.day, "version": stamped.version},
+            )
+        return stamped
+
+    # -- load-shed accounting -----------------------------------------
+
+    def admit(self) -> bool:
+        """Admit one query, or shed it (caller answers 503)."""
+        with self._stats_lock:
+            if self._inflight >= self.max_inflight:
+                self.queries_shed += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        with self._stats_lock:
+            self._inflight -= 1
+            self.queries_served += 1
+
+    # -- queries (each grabs ONE snapshot reference) -------------------
+
+    def _require(self) -> ClassificationSnapshot:
+        snapshot = self.handle.current()
+        if snapshot is None:
+            raise LookupError("no snapshot published yet")
+        return snapshot
+
+    def point(self, target: str) -> dict[str, Any]:
+        """Is this /24 dark?  Since when?  With what confidence?"""
+        snapshot = self._require()
+        answer = snapshot.lookup(parse_block(target)).to_dict()
+        answer["snapshot_version"] = snapshot.version
+        answer["snapshot_day"] = snapshot.day
+        return answer
+
+    def _rows(
+        self, sub: ClassificationSnapshot, limit: int | None
+    ) -> dict[str, Any]:
+        cap = self.budget.clamp(limit)
+        return {
+            "total": len(sub),
+            "truncated": len(sub) > cap,
+            "rows": [answer.to_dict() for answer in sub.head(cap).rows()],
+        }
+
+    def range(
+        self,
+        start: int | None = None,
+        end: int | None = None,
+        prefix: str | None = None,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """All classified blocks in a block range or covering prefix."""
+        snapshot = self._require()
+        if prefix is not None:
+            parsed = Prefix.parse(prefix)
+            if parsed.length > 24:
+                raise QueryError(f"{prefix}: more specific than a /24")
+            sub = snapshot.within_prefix(parsed)
+        elif start is not None and end is not None:
+            if end < start:
+                raise QueryError(f"empty range: start {start} > end {end}")
+            sub = snapshot.range(start, end)
+        else:
+            raise QueryError("range needs ?prefix= or ?start=&end=")
+        answer = self._rows(sub, limit)
+        answer["snapshot_version"] = snapshot.version
+        return answer
+
+    def by_as(self, asn: int, limit: int | None = None) -> dict[str, Any]:
+        """All classified blocks originated by ``asn`` (needs an
+        AS-enriched snapshot, i.e. a service with a ``pfx2as``)."""
+        snapshot = self._require()
+        answer = self._rows(snapshot.where(snapshot.asns == asn), limit)
+        answer["asn"] = asn
+        answer["snapshot_version"] = snapshot.version
+        return answer
+
+    def by_geo(
+        self, country: str, limit: int | None = None
+    ) -> dict[str, Any]:
+        """All classified blocks geolocated to ``country`` (needs a
+        geo-enriched snapshot)."""
+        snapshot = self._require()
+        code = country.strip().upper().encode()
+        answer = self._rows(snapshot.where(snapshot.countries == code), limit)
+        answer["country"] = country.upper()
+        answer["snapshot_version"] = snapshot.version
+        return answer
+
+    def diff(self, since: int) -> dict[str, Any]:
+        """What changed since version ``since``.
+
+        When the base has been evicted from the handle's history the
+        answer says so (``"base_retained": false``) and carries the
+        current version, so the client knows to re-fetch in full.
+        """
+        snapshot = self._require()
+        delta = self.handle.diff_since(since)
+        if delta is None:
+            return {
+                "base_retained": False,
+                "since": since,
+                "version": snapshot.version,
+                "day": snapshot.day,
+            }
+        answer = delta.to_dict()
+        answer["base_retained"] = True
+        return answer
+
+    def snapshot_info(self) -> dict[str, Any]:
+        """Metadata of the currently served snapshot."""
+        snapshot = self._require()
+        return {
+            "version": snapshot.version,
+            "day": snapshot.day,
+            "blocks": len(snapshot),
+            "verdicts": snapshot.verdict_counts(),
+            "provenance": dict(snapshot.provenance),
+            "diffable_versions": self.handle.versions_retained(),
+        }
+
+    def healthz(self) -> tuple[bool, dict[str, Any]]:
+        """Liveness verdict plus the producing engine's health."""
+        snapshot = self.handle.current()
+        body: dict[str, Any] = {
+            "serving": snapshot is not None,
+            "version": snapshot.version if snapshot is not None else 0,
+            "queries_served": self.queries_served,
+            "queries_shed": self.queries_shed,
+            "publishes": self.publishes,
+        }
+        ok = snapshot is not None
+        if self.health_provider is not None:
+            report = self.health_provider()
+            if report is not None:
+                body["health"] = report.summary()
+                body["health_ok"] = report.ok()
+                body["staleness"] = report.current_staleness
+                body["quarantined"] = len(report.quarantined_blocks)
+        return ok, body
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+
+def _response(status: int, body: dict[str, Any], keep_alive: bool) -> bytes:
+    payload = json.dumps(body).encode()
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: {connection}\r\n"
+        + ("Retry-After: 1\r\n" if status == 503 else "")
+        + "\r\n"
+    )
+    return head.encode() + payload
+
+
+def _first_int(params: dict[str, list[str]], name: str) -> int | None:
+    values = params.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError as error:
+        raise QueryError(f"{name} must be an integer: {values[0]!r}") from error
+
+
+def _first(params: dict[str, list[str]], name: str) -> str | None:
+    values = params.get(name)
+    return values[0] if values else None
+
+
+class ServiceDaemon:
+    """Asyncio HTTP/1.1 JSON daemon over a :class:`MetaTelescopeService`."""
+
+    def __init__(
+        self,
+        service: MetaTelescopeService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request handling ---------------------------------------------
+
+    async def _client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, version = (
+                        request_line.decode("latin-1").split()
+                    )
+                except ValueError:
+                    writer.write(
+                        _response(400, {"error": "malformed request"}, False)
+                    )
+                    break
+                keep_alive = version.upper() != "HTTP/1.0"
+                while True:  # drain headers (GET: no body expected)
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    header = line.decode("latin-1").strip().lower()
+                    if header == "connection: close":
+                        keep_alive = False
+                status, body = self._dispatch(method, target)
+                writer.write(_response(status, body, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _dispatch(self, method: str, target: str) -> tuple[int, dict]:
+        started = time.perf_counter()
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        if method != "GET":
+            return 405, {"error": f"method {method} not allowed"}
+        if path == "/healthz":
+            ok, body = self.service.healthz()
+            return (200 if ok else 503), body
+        if not self.service.admit():
+            return 503, {"error": "overloaded; retry"}
+        try:
+            params = parse_qs(split.query)
+            status, body = self._route(path, params)
+        except QueryError as error:
+            status, body = 400, {"error": str(error)}
+        except AddressError as error:
+            status, body = 400, {"error": str(error)}
+        except LookupError as error:
+            status, body = 503, {"error": str(error)}
+        finally:
+            self.service.release()
+        if self.service.context is not None:
+            self.service.context.emit(
+                "query",
+                path,
+                time.perf_counter() - started,
+                meta={"status": status},
+            )
+        return status, body
+
+    def _route(
+        self, path: str, params: dict[str, list[str]]
+    ) -> tuple[int, dict]:
+        service = self.service
+        if path == "/v1/point":
+            target = _first(params, "prefix") or _first(params, "block")
+            if target is None:
+                raise QueryError("point needs ?prefix= or ?block=")
+            return 200, service.point(target)
+        if path == "/v1/range":
+            return 200, service.range(
+                start=_first_int(params, "start"),
+                end=_first_int(params, "end"),
+                prefix=_first(params, "prefix"),
+                limit=_first_int(params, "limit"),
+            )
+        if path == "/v1/as":
+            asn = _first_int(params, "asn")
+            if asn is None:
+                raise QueryError("as needs ?asn=")
+            return 200, service.by_as(asn, limit=_first_int(params, "limit"))
+        if path == "/v1/geo":
+            country = _first(params, "country")
+            if country is None:
+                raise QueryError("geo needs ?country=")
+            return 200, service.by_geo(
+                country, limit=_first_int(params, "limit")
+            )
+        if path == "/v1/diff":
+            since = _first_int(params, "since")
+            if since is None:
+                raise QueryError("diff needs ?since=<version>")
+            return 200, service.diff(since)
+        if path == "/v1/snapshot":
+            return 200, service.snapshot_info()
+        return 404, {"error": f"no such endpoint: {path}"}
+
+
+def run_daemon_in_thread(
+    service: MetaTelescopeService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> tuple[ServiceDaemon, Callable[[], None]]:
+    """Boot a daemon on a background event-loop thread.
+
+    Returns ``(daemon, stop)`` once the socket is listening (the bound
+    port is on ``daemon.port``).  This is what the tests, the benchmark
+    and the CI smoke use; the ``serve`` CLI runs the loop in the
+    foreground instead.
+    """
+    daemon = ServiceDaemon(service, host=host, port=port)
+    started = threading.Event()
+    boot_error: list[BaseException] = []
+    loop = asyncio.new_event_loop()
+
+    def runner() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(daemon.start())
+        except BaseException as error:  # surface bind failures to caller
+            boot_error.append(error)
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+            loop.run_until_complete(daemon.stop())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(
+        target=runner, name="meta-telescope-daemon", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=30):
+        raise RuntimeError("daemon failed to start listening in time")
+    if boot_error:
+        raise boot_error[0]
+
+    def stop() -> None:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+
+    return daemon, stop
+
+
+# ---------------------------------------------------------------------------
+# Background folding
+# ---------------------------------------------------------------------------
+
+
+class BackgroundFolder:
+    """Folds vantage-days off the read path and publishes snapshots.
+
+    Wraps an :class:`~repro.core.online.OnlineMetaTelescope`: each
+    :meth:`fold` runs the (expensive) daily update, derives the new
+    immutable snapshot, and publishes it through the service's handle —
+    readers keep answering from the previous snapshot until the single
+    atomic swap.  :meth:`start` drives a whole feed on a daemon thread,
+    which is how ``serve`` keeps folding while the HTTP loop serves.
+    """
+
+    def __init__(self, online, service: MetaTelescopeService) -> None:
+        self.online = online
+        self.service = service
+        if service.health_provider is None:
+            service.health_provider = online.health_report
+        self._thread: threading.Thread | None = None
+        self.days_folded = 0
+        self.error: BaseException | None = None
+
+    def fold(self, day: int, views) -> ClassificationSnapshot:
+        """Fold one day and publish the resulting snapshot."""
+        self.online.update(day, views)
+        snapshot = self.service.publish(self.online.snapshot())
+        self.days_folded += 1
+        return snapshot
+
+    def start(
+        self, feed: Iterable[tuple[int, list]]
+    ) -> threading.Thread:
+        """Fold ``(day, views)`` pairs on a background thread."""
+        if self._thread is not None and self._thread.is_alive():
+            raise RuntimeError("a feed is already being folded")
+
+        def runner() -> None:
+            try:
+                for day, views in feed:
+                    self.fold(day, views)
+            except BaseException as error:
+                self.error = error
+
+        self._thread = threading.Thread(
+            target=runner, name="meta-telescope-folder", daemon=True
+        )
+        self._thread.start()
+        return self._thread
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the background feed; re-raise its failure, if any."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+        if self.error is not None:
+            raise self.error

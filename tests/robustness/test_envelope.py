@@ -148,3 +148,22 @@ class TestRegressionGate:
         assert {c["metric"] for c in payload["checks"]} == {
             "fpr_delta", "fnr_delta", "coverage_delta", "target_miss_rate"
         }
+
+
+class TestServicePath:
+    def test_service_path_scores_identically_to_online(self):
+        """Publishing through the snapshot/service layer must not move
+        a single metric: the served answers ARE the engine's answers."""
+        service_settings = EvaluationSettings(
+            days=3, workers=2, service_path=True
+        )
+        config = micro_config(7)
+        scores, _ = _run_paths(
+            build_world(config), service_settings, None, None, None, None
+        )
+        by_path = {score.path: score for score in scores}
+        assert set(by_path) == {"parallel", "online", "service"}
+        online, service = by_path["online"], by_path["service"]
+        assert service.fpr == online.fpr
+        assert service.fnr == online.fnr
+        assert service.coverage == online.coverage

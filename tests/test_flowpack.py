@@ -370,3 +370,80 @@ class TestArchiveFedInference:
         _, segments, _ = scan_archive(path)
         assert len(segments) == 2
         assert read_flows_archive(path).packets.tolist() == [1, 2]
+
+
+class TestGenericTables:
+    """The generic (non-flow) table layer under snapshot archives."""
+
+    COLUMNS = {"ids": np.int64, "score": np.float64, "tag": "S2"}
+
+    def arrays(self, rows=5):
+        return {
+            "ids": np.arange(rows, dtype=np.int64),
+            "score": np.linspace(0.0, 1.0, rows),
+            "tag": np.full(rows, b"ok", dtype="S2"),
+        }
+
+    def test_table_round_trip(self, tmp_path):
+        from repro.flowpack import open_table_archive, write_table_archive
+
+        path = tmp_path / "t.fpk"
+        arrays = self.arrays()
+        write_table_archive(arrays, path, meta={"kind": "test-table"})
+        archive = open_table_archive(path)
+        assert archive.meta["kind"] == "test-table"
+        assert archive.num_rows == 5
+        back = archive.read_arrays()
+        for name, expect in arrays.items():
+            np.testing.assert_array_equal(back[name], expect)
+
+    def test_table_writer_multi_segment(self, tmp_path):
+        from repro.flowpack import TableWriter, open_table_archive
+
+        path = tmp_path / "t.fpk"
+        with TableWriter(path, self.COLUMNS, meta={"kind": "k"}) as writer:
+            writer.write_columns(self.arrays(3))
+            writer.write_columns(self.arrays(2))
+            assert writer.rows_written == 5
+        archive = open_table_archive(path)
+        assert len(archive.segments) == 2
+        assert archive.read_column("ids").tolist() == [0, 1, 2, 0, 1]
+
+    def test_ragged_columns_rejected(self, tmp_path):
+        from repro.flowpack import TableWriter
+
+        with TableWriter(tmp_path / "t.fpk", self.COLUMNS) as writer:
+            bad = self.arrays(3)
+            bad["score"] = bad["score"][:2]
+            with pytest.raises(ValueError):
+                writer.write_columns(bad)
+
+    def test_expected_columns_enforced(self, tmp_path):
+        from repro.flowpack import open_table_archive, write_table_archive
+
+        path = tmp_path / "t.fpk"
+        write_table_archive(self.arrays(), path)
+        with pytest.raises(FlowpackError):
+            open_table_archive(
+                path, expected_columns={"other": np.int32}
+            )
+
+    def test_flows_reader_rejects_generic_table(self, tmp_path):
+        from repro.flowpack import write_table_archive
+
+        path = tmp_path / "t.fpk"
+        write_table_archive(self.arrays(), path)
+        with pytest.raises(FlowpackError):
+            read_flows_archive(path)
+
+    def test_generic_checksum_verification(self, tmp_path):
+        from repro.flowpack import open_table_archive, write_table_archive
+
+        path = tmp_path / "t.fpk"
+        write_table_archive(self.arrays(64), path)
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF  # flip a bit inside the last column buffer
+        path.write_bytes(bytes(data))
+        archive = open_table_archive(path)
+        with pytest.raises(FlowpackError):
+            archive.read_arrays()
