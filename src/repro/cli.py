@@ -30,7 +30,7 @@ Commands:
                   binary columnar archive format (format sniffed from
                   the input; no world is built).
 
-World commands accept ``--scale {micro,small,paper}``, ``--seed``,
+World commands accept ``--scale {micro,small,paper,giant}``, ``--seed``,
 ``--days``, ``--vantage`` (an IXP code or ``All``), ``--chunk-size``
 (rows per ingestion chunk, or ``auto``; classification is identical at
 any value — the flag only bounds aggregation memory), ``--workers``
@@ -84,12 +84,34 @@ from repro.service import (
     ServiceDaemon,
 )
 from repro.world.capture_cache import CaptureCache
-from repro.world.config import micro_config, paper_config, small_config
+from repro.world.config import (
+    giant_config,
+    micro_config,
+    paper_config,
+    small_config,
+)
 from repro.world.observe import Observatory
-from repro.world.scenarios import micro_world, paper_world, small_world
+from repro.world.scenarios import (
+    giant_world,
+    micro_world,
+    paper_world,
+    small_world,
+)
 
-_SCALES = {"micro": micro_world, "small": small_world, "paper": paper_world}
-_CONFIGS = {"micro": micro_config, "small": small_config, "paper": paper_config}
+# ``giant`` (≥50 M rows/day) takes minutes to simulate and gigabytes to
+# archive — pair it with ``--capture-cache`` so generation is paid once.
+_SCALES = {
+    "micro": micro_world,
+    "small": small_world,
+    "paper": paper_world,
+    "giant": giant_world,
+}
+_CONFIGS = {
+    "micro": micro_config,
+    "small": small_config,
+    "paper": paper_config,
+    "giant": giant_config,
+}
 
 
 def _context(args: argparse.Namespace) -> RunContext:
@@ -140,6 +162,7 @@ def _infer(world, observatory, telescope, args: argparse.Namespace,
         use_spoofing_tolerance=not args.no_tolerance,
         chunk_size=args.chunk_size,
         workers=args.workers,
+        kernel=args.kernel,
         context=context,
     )
 
@@ -153,7 +176,8 @@ def cmd_plan(args: argparse.Namespace) -> int:
     world, observatory, telescope, context = _build(args)
     views = _views(world, observatory, args)
     plan = telescope.plan(
-        views, chunk_size=args.chunk_size, workers=args.workers
+        views, chunk_size=args.chunk_size, workers=args.workers,
+        kernel=args.kernel,
     )
     _print_plan(plan)
     context.close()
@@ -195,7 +219,8 @@ def cmd_infer(args: argparse.Namespace) -> int:
     if args.explain:
         views = _views(world, observatory, args)
         plan = telescope.plan(
-            views, chunk_size=args.chunk_size, workers=args.workers
+            views, chunk_size=args.chunk_size, workers=args.workers,
+            kernel=args.kernel,
         )
         _print_plan(plan)
         context.close()
@@ -312,6 +337,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         policy=args.policy,
         chunk_size=args.chunk_size,
         workers=args.workers,
+        kernel=args.kernel,
         sinks=context.sinks,
     )
     rows = []
@@ -381,6 +407,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         days=min(args.days, config.num_days),
         workers=args.workers if args.workers is not None else 2,
         chunk_size=args.chunk_size,
+        kernel=args.kernel,
         compose_faults=args.with_faults,
         fault_seed=args.seed,
         service_path=args.service_path,
@@ -456,6 +483,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             policy=args.policy,
             chunk_size=args.chunk_size,
             workers=args.workers,
+            kernel=args.kernel,
             sinks=context.sinks,
         )
         service = MetaTelescopeService(
@@ -580,6 +608,12 @@ def _add_execution_options(p: argparse.ArgumentParser) -> None:
         help="process-pool workers for the aggregation fan-out "
         "(default: serial; 0 = one per CPU; classification is "
         "bit-identical at any worker count)",
+    )
+    p.add_argument(
+        "--kernel", choices=["auto", "numpy", "native"], default=None,
+        help="aggregation kernel backend (default: auto — native when "
+        "a compiled provider is available, else the numpy reference; "
+        "classification is bit-identical on either backend)",
     )
     p.add_argument(
         "--trace", default=None, metavar="PATH",

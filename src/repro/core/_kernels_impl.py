@@ -1,0 +1,594 @@
+"""Numba-compatible kernel implementations (plain-Python loops).
+
+This module is the **algorithm source** for the native backend's Numba
+provider: every function here is written in the nopython-jittable
+subset and mirrors ``_kernels.c`` operation for operation, so the C
+(ctypes) provider, the Numba provider and the unjitted Python form all
+produce identical bits.  The test suite drives these functions *unjitted*
+(slow, small inputs), which is what gates the Numba leg's correctness
+even on machines without Numba installed.
+
+Identity contract: per-key sums accumulate in original row order and
+parts merge left-to-right — exactly the float operation order of the
+``np.unique`` + ``np.bincount`` reference (see docs/architecture.md
+§11).
+
+All outputs are caller-preallocated; functions return counts (or a
+negative status for "fall back to the reference path").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DIRECT_BITS = 13
+DIRECT_SLOTS = 1 << DIRECT_BITS
+DIRECT_MASK = DIRECT_SLOTS - 1
+RADIX_BITS = 11
+MAX_PASS_BITS = 13
+
+_PROTO_TCP = 6
+_I32_MAX = 2**31 - 1
+_I32_MIN = -(2**31)
+
+
+def _bits_of(value):
+    bits = 0
+    while (value >> bits) != 0:
+        bits += 1
+    return bits
+
+
+def _sorted_slots(seen, touched, nt, smin, smax):
+    """Order the touched slots ascending, in place.
+
+    Sparse windows insertion-sort the touched list; dense windows scan
+    the [smin, smax] span instead (every touched slot has seen == 1).
+    """
+    if nt * nt < smax - smin + 1:
+        for i in range(1, nt):
+            slot = touched[i]
+            j = i - 1
+            while j >= 0 and touched[j] > slot:
+                touched[j + 1] = touched[j]
+                j -= 1
+            touched[j + 1] = slot
+    else:
+        t = 0
+        for s in range(smin, smax + 1):
+            if seen[s] != 0:
+                touched[t] = s
+                t += 1
+
+
+def _pass_plan(bits):
+    """Split ``bits`` into 1-3 stable LSD passes of <= MAX_PASS_BITS."""
+    if bits <= MAX_PASS_BITS:
+        npass = 1
+    elif bits <= 2 * MAX_PASS_BITS:
+        npass = 2
+    else:
+        npass = 3
+    base = bits // npass
+    rem = bits - base * npass
+    w0 = base + (1 if rem > 0 else 0)
+    w1 = base + (1 if rem > 1 else 0)
+    w2 = base
+    return npass, w0, w1, w2
+
+
+def fold3_impl(
+    keys, proto, packets, bytes_, factor,
+    out_keys, out_a, out_b, out_c,
+    blk_keys, blk_vals,
+    key_a, pktcp_a, by_a, key_b, pktcp_b, by_b,
+    counts,
+):
+    """Grouped (tcp pkts, tcp bytes, total pkts) per dst key + /24 regroup.
+
+    Full stable LSD radix sort of (key offset, pk|tcp-sign, bytes)
+    records, then a branchless segmented reduce accumulating unscaled
+    float64 sums in original row order; ``factor`` is applied once at
+    the end — the numpy reference's operation order.  counts = [nu,
+    nblk]; returns -1 on a 31-bit value overflow (caller falls back).
+    """
+    n = len(keys)
+    counts[0] = 0
+    counts[1] = 0
+    if n == 0:
+        return 0
+    kmin = np.int64(keys[0])
+    kmax = np.int64(keys[0])
+    for i in range(n):
+        k = np.int64(keys[i])
+        if k < kmin:
+            kmin = k
+        if k > kmax:
+            kmax = k
+        if packets[i] >= _I32_MAX or bytes_[i] >= _I32_MAX:
+            return -1
+        if packets[i] < 0 or bytes_[i] < 0:
+            return -1
+    bits = _bits_of(kmax - kmin)
+    npass, w0, w1, w2 = _pass_plan(bits)
+
+    h0 = np.zeros(1 << w0, dtype=np.int64)
+    h1 = np.zeros((1 << w1) if npass > 1 else 1, dtype=np.int64)
+    h2 = np.zeros((1 << w2) if npass > 2 else 1, dtype=np.int64)
+    m0 = np.int64((1 << w0) - 1)
+    m1 = np.int64((1 << w1) - 1)
+    for i in range(n):
+        u = np.int64(keys[i]) - kmin
+        h0[u & m0] += 1
+        if npass > 1:
+            h1[(u >> w0) & m1] += 1
+        if npass > 2:
+            h2[u >> (w0 + w1)] += 1
+    run = np.int64(0)
+    for b in range(len(h0)):
+        count = h0[b]
+        h0[b] = run
+        run += count
+    if npass > 1:
+        run = np.int64(0)
+        for b in range(len(h1)):
+            count = h1[b]
+            h1[b] = run
+            run += count
+    if npass > 2:
+        run = np.int64(0)
+        for b in range(len(h2)):
+            count = h2[b]
+            h2[b] = run
+            run += count
+
+    # Pass 1 scatters records straight from the input columns; the TCP
+    # flag rides in the sign bit of the packet field.
+    for i in range(n):
+        u = np.int64(keys[i]) - kmin
+        pos = h0[u & m0]
+        h0[u & m0] = pos + 1
+        key_a[pos] = u
+        pktcp = np.int32(packets[i])
+        if proto[i] == _PROTO_TCP:
+            pktcp = np.int32(pktcp | _I32_MIN)
+        pktcp_a[pos] = pktcp
+        by_a[pos] = np.int32(bytes_[i])
+    rkey, rpktcp, rby = key_a, pktcp_a, by_a
+    if npass > 1:
+        for i in range(n):
+            u = np.int64(key_a[i])
+            d = (u >> w0) & m1
+            pos = h1[d]
+            h1[d] = pos + 1
+            key_b[pos] = u
+            pktcp_b[pos] = pktcp_a[i]
+            by_b[pos] = by_a[i]
+        rkey, rpktcp, rby = key_b, pktcp_b, by_b
+    if npass > 2:
+        shift = w0 + w1
+        for i in range(n):
+            u = np.int64(key_b[i])
+            d = u >> shift
+            pos = h2[d]
+            h2[d] = pos + 1
+            key_a[pos] = u
+            pktcp_a[pos] = pktcp_b[i]
+            by_a[pos] = by_b[i]
+        rkey, rpktcp, rby = key_a, pktcp_a, by_a
+
+    # Branchless segmented reduce: records are in full key order with
+    # original row order preserved per key.
+    prev = np.int64(rkey[0])
+    tcp = np.float64((rpktcp[0] >> 31) & 1)
+    pk = np.float64(rpktcp[0] & _I32_MAX)
+    out_keys[0] = kmin + prev
+    out_a[0] = tcp * pk
+    out_b[0] = tcp * np.float64(rby[0])
+    out_c[0] = pk
+    nu = 1
+    for i in range(1, n):
+        u = np.int64(rkey[i])
+        fresh = u != prev
+        prev = u
+        if fresh:
+            nu += 1
+        m = nu - 1
+        out_keys[m] = kmin + u
+        sum_a = 0.0 if fresh else out_a[m]
+        sum_b = 0.0 if fresh else out_b[m]
+        sum_c = 0.0 if fresh else out_c[m]
+        tcp = np.float64((rpktcp[i] >> 31) & 1)
+        pk = np.float64(rpktcp[i] & _I32_MAX)
+        out_a[m] = sum_a + tcp * pk
+        out_b[m] = sum_b + tcp * np.float64(rby[i])
+        out_c[m] = sum_c + pk
+
+    # Per-/24 regroup of the (still unscaled) totals.
+    prev_blk = out_keys[0] >> 8
+    blk_keys[0] = prev_blk
+    blk_vals[0] = out_c[0]
+    nblk = 1
+    for i in range(1, nu):
+        blk = out_keys[i] >> 8
+        fresh = blk != prev_blk
+        prev_blk = blk
+        if fresh:
+            nblk += 1
+        m = nblk - 1
+        blk_keys[m] = blk
+        sum_v = 0.0 if fresh else blk_vals[m]
+        blk_vals[m] = sum_v + out_c[i]
+    for i in range(nu):
+        out_a[i] *= factor
+        out_b[i] *= factor
+        out_c[i] *= factor
+    for i in range(nblk):
+        blk_vals[i] *= factor
+    counts[0] = nu
+    counts[1] = nblk
+    return 0
+
+
+def fold1_impl(
+    keys, packets,
+    out_keys, out_a,
+    blk_keys, blk_vals,
+    key_a, pk_a, key_b, pk_b,
+    counts,
+):
+    """Grouped packet sums per src key + the /24 regroup (unscaled)."""
+    n = len(keys)
+    counts[0] = 0
+    counts[1] = 0
+    if n == 0:
+        return 0
+    kmin = np.int64(keys[0])
+    kmax = np.int64(keys[0])
+    for i in range(n):
+        k = np.int64(keys[i])
+        if k < kmin:
+            kmin = k
+        if k > kmax:
+            kmax = k
+        if packets[i] >= _I32_MAX or packets[i] < 0:
+            return -1
+    bits = _bits_of(kmax - kmin)
+    npass, w0, w1, w2 = _pass_plan(bits)
+
+    h0 = np.zeros(1 << w0, dtype=np.int64)
+    h1 = np.zeros((1 << w1) if npass > 1 else 1, dtype=np.int64)
+    h2 = np.zeros((1 << w2) if npass > 2 else 1, dtype=np.int64)
+    m0 = np.int64((1 << w0) - 1)
+    m1 = np.int64((1 << w1) - 1)
+    for i in range(n):
+        u = np.int64(keys[i]) - kmin
+        h0[u & m0] += 1
+        if npass > 1:
+            h1[(u >> w0) & m1] += 1
+        if npass > 2:
+            h2[u >> (w0 + w1)] += 1
+    run = np.int64(0)
+    for b in range(len(h0)):
+        count = h0[b]
+        h0[b] = run
+        run += count
+    if npass > 1:
+        run = np.int64(0)
+        for b in range(len(h1)):
+            count = h1[b]
+            h1[b] = run
+            run += count
+    if npass > 2:
+        run = np.int64(0)
+        for b in range(len(h2)):
+            count = h2[b]
+            h2[b] = run
+            run += count
+
+    for i in range(n):
+        u = np.int64(keys[i]) - kmin
+        pos = h0[u & m0]
+        h0[u & m0] = pos + 1
+        key_a[pos] = u
+        pk_a[pos] = np.int32(packets[i])
+    rkey, rpk = key_a, pk_a
+    if npass > 1:
+        for i in range(n):
+            u = np.int64(key_a[i])
+            d = (u >> w0) & m1
+            pos = h1[d]
+            h1[d] = pos + 1
+            key_b[pos] = u
+            pk_b[pos] = pk_a[i]
+        rkey, rpk = key_b, pk_b
+    if npass > 2:
+        shift = w0 + w1
+        for i in range(n):
+            u = np.int64(key_b[i])
+            d = u >> shift
+            pos = h2[d]
+            h2[d] = pos + 1
+            key_a[pos] = u
+            pk_a[pos] = pk_b[i]
+        rkey, rpk = key_a, pk_a
+
+    prev = np.int64(rkey[0])
+    out_keys[0] = kmin + prev
+    out_a[0] = np.float64(rpk[0])
+    nu = 1
+    for i in range(1, n):
+        u = np.int64(rkey[i])
+        fresh = u != prev
+        prev = u
+        if fresh:
+            nu += 1
+        m = nu - 1
+        out_keys[m] = kmin + u
+        sum_a = 0.0 if fresh else out_a[m]
+        out_a[m] = sum_a + np.float64(rpk[i])
+
+    prev_blk = out_keys[0] >> 8
+    blk_keys[0] = prev_blk
+    blk_vals[0] = out_a[0]
+    nblk = 1
+    for i in range(1, nu):
+        blk = out_keys[i] >> 8
+        fresh = blk != prev_blk
+        prev_blk = blk
+        if fresh:
+            nblk += 1
+        m = nblk - 1
+        blk_keys[m] = blk
+        sum_v = 0.0 if fresh else blk_vals[m]
+        blk_vals[m] = sum_v + out_a[i]
+    counts[0] = nu
+    counts[1] = nblk
+    return 0
+
+
+def group_sum_impl(
+    keys, cols, out_keys, out_cols,
+    key_a, off_a, key_b, off_b,
+    acc, seen, touched,
+):
+    """Grouped f64 sums over an i64-keyed part (row-order accumulation).
+
+    ``cols``/``out_cols`` are (ncols, n) 2-D float64 arrays.  Key range
+    must fit 32 bits (status -1 otherwise: caller falls back).  Values
+    are gathered through a row-index indirection — this path compacts
+    raw (unsorted) parts, which are rare and small next to the fused
+    fold.
+    """
+    n = len(keys)
+    ncols = cols.shape[0]
+    if n == 0:
+        return 0
+    kmin = keys[0]
+    kmax = keys[0]
+    for i in range(n):
+        k = keys[i]
+        if k < kmin:
+            kmin = k
+        if k > kmax:
+            kmax = k
+    if (kmax - kmin) > np.int64(4294967295):
+        return -1
+    bits = _bits_of(kmax - kmin)
+
+    use_direct = bits <= DIRECT_BITS
+    if use_direct:
+        rkey, roff = key_a, off_a
+        for i in range(n):
+            rkey[i] = keys[i] - kmin
+            roff[i] = i
+    else:
+        part_bits = bits - DIRECT_BITS
+        d1 = RADIX_BITS if part_bits > RADIX_BITS else part_bits
+        d2 = part_bits - d1
+        mask1 = (1 << d1) - 1
+        shift2 = DIRECT_BITS + d1
+
+        h1 = np.zeros(1 << d1, dtype=np.int64)
+        h2 = np.zeros((1 << d2) if d2 > 0 else 1, dtype=np.int64)
+        for i in range(n):
+            u = keys[i] - kmin
+            h1[(u >> DIRECT_BITS) & mask1] += 1
+            if d2 > 0:
+                h2[u >> shift2] += 1
+        run = np.int64(0)
+        for b in range(len(h1)):
+            count = h1[b]
+            h1[b] = run
+            run += count
+        if d2 > 0:
+            run = np.int64(0)
+            for b in range(len(h2)):
+                count = h2[b]
+                h2[b] = run
+                run += count
+        for i in range(n):
+            u = keys[i] - kmin
+            d = (u >> DIRECT_BITS) & mask1
+            pos = h1[d]
+            h1[d] = pos + 1
+            key_a[pos] = u
+            off_a[pos] = i
+        if d2 > 0:
+            for i in range(n):
+                u = key_a[i]
+                d = u >> shift2
+                pos = h2[d]
+                h2[d] = pos + 1
+                key_b[pos] = u
+                off_b[pos] = off_a[i]
+            rkey, roff = key_b, off_b
+        else:
+            rkey, roff = key_a, off_a
+
+    nu = 0
+    nt = 0
+    smin = DIRECT_SLOTS
+    smax = -1
+    cur = rkey[0] >> DIRECT_BITS
+    for i in range(n + 1):
+        u = np.int64(0)
+        if i < n:
+            u = rkey[i]
+            g = u >> DIRECT_BITS
+        else:
+            g = cur + 1
+        if g != cur:
+            _sorted_slots(seen, touched, nt, smin, smax)
+            base = kmin + (cur << DIRECT_BITS)
+            for t in range(nt):
+                s = np.int64(touched[t])
+                out_keys[nu] = base + s
+                for c in range(ncols):
+                    out_cols[c, nu] = acc[3 * s + c]
+                seen[s] = 0
+                nu += 1
+            nt = 0
+            smin = DIRECT_SLOTS
+            smax = -1
+            if i == n:
+                break
+            cur = g
+        s = u & DIRECT_MASK
+        if seen[s] == 0:
+            seen[s] = 1
+            touched[nt] = s
+            nt += 1
+            for c in range(ncols):
+                acc[3 * s + c] = 0.0
+            if s < smin:
+                smin = s
+            if s > smax:
+                smax = s
+        row = roff[i]
+        for c in range(ncols):
+            acc[3 * s + c] += cols[c, row]
+    return nu
+
+
+def merge_sorted_impl(ka, va, kb, vb, ko, vo):
+    """Two-way merge of sorted-unique parts, summing equal keys a + b.
+
+    ``va``/``vb``/``vo`` are (ncols, n) float64 arrays.  Returns the
+    merged length.
+    """
+    na = len(ka)
+    nb = len(kb)
+    ncols = va.shape[0]
+    i = 0
+    j = 0
+    m = 0
+    while i < na and j < nb:
+        a = ka[i]
+        b = kb[j]
+        if a < b:
+            ko[m] = a
+            for c in range(ncols):
+                vo[c, m] = va[c, i]
+            i += 1
+        elif b < a:
+            ko[m] = b
+            for c in range(ncols):
+                vo[c, m] = vb[c, j]
+            j += 1
+        else:
+            ko[m] = a
+            for c in range(ncols):
+                vo[c, m] = va[c, i] + vb[c, j]
+            i += 1
+            j += 1
+        m += 1
+    while i < na:
+        ko[m] = ka[i]
+        for c in range(ncols):
+            vo[c, m] = va[c, i]
+        i += 1
+        m += 1
+    while j < nb:
+        ko[m] = kb[j]
+        for c in range(ncols):
+            vo[c, m] = vb[c, j]
+        j += 1
+        m += 1
+    return m
+
+
+def merge_k_impl(keys_cat, cols_cat, part_ends, out_keys, out_cols):
+    """K-way merge of sorted-unique parts laid out back to back.
+
+    ``keys_cat``/``cols_cat`` hold all parts concatenated (part p spans
+    ``[part_ends[p-1], part_ends[p])``); ``cols_cat``/``out_cols`` are
+    (ncols, n) float64 arrays.  Each key's sum accumulates over parts
+    in part order starting from 0.0 — the float operation order
+    np.bincount applies to the concatenation.  Returns the merged
+    length.
+    """
+    nparts = len(part_ends)
+    ncols = cols_cat.shape[0]
+    idx = np.empty(nparts, dtype=np.int64)
+    start = np.int64(0)
+    for p in range(nparts):
+        idx[p] = start
+        start = part_ends[p]
+    m = 0
+    while True:
+        best = np.int64(0)
+        live = False
+        for p in range(nparts):
+            if idx[p] < part_ends[p]:
+                k = keys_cat[idx[p]]
+                if not live or k < best:
+                    best = k
+                live = True
+        if not live:
+            break
+        out_keys[m] = best
+        for c in range(ncols):
+            out_cols[c, m] = 0.0
+        for p in range(nparts):
+            i = idx[p]
+            if i < part_ends[p] and keys_cat[i] == best:
+                for c in range(ncols):
+                    out_cols[c, m] += cols_cat[c, i]
+                idx[p] = i + 1
+        m += 1
+    return m
+
+
+def member_mask_impl(values, table, out):
+    """values[i] in sorted table (the searchsorted probe, fused)."""
+    n = len(values)
+    m = len(table)
+    for i in range(n):
+        v = values[i]
+        lo = 0
+        hi = m
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if table[mid] < v:
+                lo = mid + 1
+            else:
+                hi = mid
+        out[i] = 1 if (lo < m and table[lo] == v) else 0
+
+
+def interval_mask_impl(starts, ends, blocks, out):
+    """blocks[i] inside any [start, end] cumulative-max interval."""
+    n = len(blocks)
+    m = len(starts)
+    for i in range(n):
+        b = blocks[i]
+        lo = 0
+        hi = m
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if starts[mid] <= b:
+                lo = mid + 1
+            else:
+                hi = mid
+        out[i] = 1 if (lo > 0 and b <= ends[lo - 1]) else 0

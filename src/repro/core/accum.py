@@ -106,20 +106,40 @@ def resolve_chunk_size(
 class _KeyedSums:
     """Mergeable sorted ``int64 key -> float64 sums`` column family."""
 
-    __slots__ = ("num_values", "compact_every", "_parts", "_normalized")
+    __slots__ = (
+        "num_values", "compact_every", "kernel", "_parts", "_sorted",
+        "_normalized",
+    )
 
     def __init__(
-        self, num_values: int, compact_every: int = DEFAULT_COMPACT_EVERY
+        self,
+        num_values: int,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
+        kernel=None,
     ) -> None:
         if compact_every < 2:
             raise ValueError(f"compact_every must be >= 2: {compact_every}")
         self.num_values = num_values
         self.compact_every = compact_every
+        self.kernel = kernel
         self._parts: list[tuple[np.ndarray, tuple[np.ndarray, ...]]] = []
+        # Parallel flags: True when that part is known sorted-unique
+        # (fold/compaction output), unlocking linear merge compaction.
+        self._sorted: list[bool] = []
         self._normalized = True
 
-    def add(self, keys: np.ndarray, *values: np.ndarray) -> None:
-        """Append one keyed part (keys need not be unique or sorted)."""
+    def add(
+        self,
+        keys: np.ndarray,
+        *values: np.ndarray,
+        sorted_unique: bool = False,
+    ) -> None:
+        """Append one keyed part (keys need not be unique or sorted).
+
+        ``sorted_unique`` asserts the part already has strictly
+        ascending unique keys — the shape every grouped-fold output has
+        — letting compaction merge linearly instead of re-sorting.
+        """
         if len(values) != self.num_values:
             raise ValueError(
                 f"expected {self.num_values} value column(s), got {len(values)}"
@@ -130,7 +150,8 @@ class _KeyedSums:
         self._parts.append(
             (keys, tuple(np.asarray(v, dtype=np.float64) for v in values))
         )
-        self._normalized = False
+        self._sorted.append(bool(sorted_unique))
+        self._normalized = len(self._parts) == 1 and sorted_unique
         if len(self._parts) >= self.compact_every:
             self.compacted()
 
@@ -146,16 +167,47 @@ class _KeyedSums:
         keys, values = other.compacted()
         if len(keys):
             self._parts.append((keys, values))
+            self._sorted.append(True)
             self._normalized = False
         if len(self._parts) >= self.compact_every:
             self.compacted()
 
     def copy(self) -> "_KeyedSums":
         """An independent copy (parts share immutable arrays)."""
-        duplicate = _KeyedSums(self.num_values, self.compact_every)
+        duplicate = _KeyedSums(self.num_values, self.compact_every, self.kernel)
         duplicate._parts = list(self._parts)
+        duplicate._sorted = list(self._sorted)
         duplicate._normalized = self._normalized
         return duplicate
+
+    def _group_parts(
+        self, parts: list[tuple[np.ndarray, tuple[np.ndarray, ...]]],
+        sorted_flags: list[bool],
+    ) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+        """Group-by-sum a run of parts into one sorted-unique part.
+
+        Sums per key follow part order, then row order within a part —
+        the ``np.bincount``-over-concatenation operation order — so the
+        linear merge chain the native kernel takes and the reference
+        regroup produce identical bits.
+        """
+        if len(parts) == 1 and sorted_flags[0]:
+            return parts[0]
+        kernel = self.kernel
+        if kernel is not None and all(sorted_flags):
+            keys, values = kernel.merge_sorted_parts(parts)
+            return keys, tuple(values)
+        keys = np.concatenate([part[0] for part in parts])
+        stacked = [
+            np.concatenate([part[1][i] for part in parts])
+            for i in range(self.num_values)
+        ]
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        sums = tuple(
+            np.bincount(inverse, weights=column, minlength=len(unique_keys))
+            for column in stacked
+        )
+        return unique_keys, sums
 
     def squash_pending(self) -> None:
         """Collapse the pending parts without touching the base part.
@@ -170,18 +222,10 @@ class _KeyedSums:
         """
         if len(self._parts) <= 2:
             return
-        keys = np.concatenate([part[0] for part in self._parts[1:]])
-        stacked = [
-            np.concatenate([part[1][i] for part in self._parts[1:]])
-            for i in range(self.num_values)
-        ]
-        unique_keys, inverse = np.unique(keys, return_inverse=True)
-        sums = tuple(
-            np.bincount(inverse, weights=column, minlength=len(unique_keys))
-            for column in stacked
-        )
-        self._parts = [self._parts[0], (unique_keys, sums)]
-        if len(unique_keys) >= len(self._parts[0][0]):
+        squashed = self._group_parts(self._parts[1:], self._sorted[1:])
+        self._parts = [self._parts[0], squashed]
+        self._sorted = [self._sorted[0], True]
+        if len(squashed[0]) >= len(self._parts[0][0]):
             self.compacted()
 
     def compacted(self) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
@@ -192,20 +236,12 @@ class _KeyedSums:
             )
         if self._normalized:
             return self._parts[0]
-        if len(self._parts) > 1:
-            keys = np.concatenate([part[0] for part in self._parts])
-            stacked = [
-                np.concatenate([part[1][i] for part in self._parts])
-                for i in range(self.num_values)
-            ]
-            unique_keys, inverse = np.unique(keys, return_inverse=True)
-            sums = tuple(
-                np.bincount(inverse, weights=column, minlength=len(unique_keys))
-                for column in stacked
-            )
-            self._parts = [(unique_keys, sums)]
+        if len(self._parts) > 1 or self._sorted[0]:
+            # A lone sorted-unique part falls through `_group_parts`
+            # untouched: already-compacted state costs nothing.
+            self._parts = [self._group_parts(self._parts, self._sorted)]
         else:
-            # A lone part may still carry duplicate keys; normalise it.
+            # A lone raw part may still carry duplicate keys.
             keys, columns = self._parts[0]
             unique_keys, inverse = np.unique(keys, return_inverse=True)
             if len(unique_keys) != len(keys):
@@ -217,6 +253,7 @@ class _KeyedSums:
             elif not np.array_equal(unique_keys, keys):
                 order = np.argsort(keys)
                 self._parts = [(keys[order], tuple(c[order] for c in columns))]
+        self._sorted = [True]
         self._normalized = True
         return self._parts[0]
 
@@ -277,18 +314,30 @@ class PrefixAccumulator:
         self,
         ignore_sources_from_asns: frozenset[int] = frozenset(),
         compact_every: int = DEFAULT_COMPACT_EVERY,
+        kernel=None,
     ) -> None:
+        from repro.core.kernels import get_kernel
+
         self.ignore_sources_from_asns = frozenset(ignore_sources_from_asns)
         self.compact_every = compact_every
+        # ``None`` means the numpy reference: direct library use stays
+        # on the extracted semantics; the execution engine resolves the
+        # public ``kernel`` knob (including ``auto``) before passing a
+        # name or backend instance down.
+        self.kernel = (
+            get_kernel(kernel if kernel is not None else "numpy")
+            if kernel is None or isinstance(kernel, str)
+            else kernel
+        )
         self._ignored_asns = (
             np.fromiter(self.ignore_sources_from_asns, dtype=np.int32)
             if self.ignore_sources_from_asns
             else None
         )
         # dst IP -> (tcp pkts est, tcp bytes est, total pkts est)
-        self._dst_ip_sums = _KeyedSums(3, compact_every)
+        self._dst_ip_sums = _KeyedSums(3, compact_every, self.kernel)
         # src IP -> sampled packets (ignored senders filtered out)
-        self._src_ip_sums = _KeyedSums(1, compact_every)
+        self._src_ip_sums = _KeyedSums(1, compact_every, self.kernel)
         # vantage -> src /24 -> (filtered sampled pkts, raw sampled pkts)
         self._src_by_vantage: dict[str, _KeyedSums] = {}
         # day -> dst /24 -> estimated total packets
@@ -306,9 +355,11 @@ class PrefixAccumulator:
         """
         self._days_by_vantage.setdefault(vantage, set()).add(day)
         self._src_by_vantage.setdefault(
-            vantage, _KeyedSums(2, self.compact_every)
+            vantage, _KeyedSums(2, self.compact_every, self.kernel)
         )
-        self._volume_by_day.setdefault(day, _KeyedSums(1, self.compact_every))
+        self._volume_by_day.setdefault(
+            day, _KeyedSums(1, self.compact_every, self.kernel)
+        )
 
     def update(
         self,
@@ -325,8 +376,24 @@ class PrefixAccumulator:
         factor = float(sampling_factor)
         self._rows_ingested += len(chunk)
         packets = chunk.packets
-        is_tcp = chunk.proto == PROTO_TCP
+        per_vantage = self._src_by_vantage[vantage]
+        if self._ignored_asns is None:
+            # The fused hot path: one kernel call folds all four keyed
+            # parts of a chunk (per-dst-IP sums, the /24 volume regroup,
+            # per-src-IP sums, the raw /24 source regroup).  Every part
+            # comes back sorted-unique, so downstream compaction can
+            # merge linearly instead of re-sorting.
+            dst, vol, src, raw = self.kernel.fold_chunk(
+                chunk.src_ip, chunk.dst_ip, chunk.proto, packets,
+                chunk.bytes, factor,
+            )
+            self._dst_ip_sums.add(dst[0], *dst[1], sorted_unique=True)
+            self._volume_by_day[day].add(vol[0], *vol[1], sorted_unique=True)
+            per_vantage.add(raw[0], raw[1][0], raw[1][0], sorted_unique=True)
+            self._src_ip_sums.add(src[0], *src[1], sorted_unique=True)
+            return self
 
+        is_tcp = chunk.proto == PROTO_TCP
         dst_ips, (tcp_pkts, tcp_bytes, total_pkts) = aggregate_sums(
             chunk.dst_ip.astype(np.int64),
             np.where(is_tcp, packets, 0),
@@ -334,31 +401,28 @@ class PrefixAccumulator:
             packets,
         )
         self._dst_ip_sums.add(
-            dst_ips, tcp_pkts * factor, tcp_bytes * factor, total_pkts * factor
+            dst_ips, tcp_pkts * factor, tcp_bytes * factor,
+            total_pkts * factor, sorted_unique=True,
         )
 
         # Re-group the per-IP sums by /24 instead of sorting the raw
         # rows a second time: the unique-IP table is far smaller than
         # the chunk, and integer sums regroup exactly.
         vol_blocks, (vol_pkts,) = aggregate_sums(dst_ips >> 8, total_pkts)
-        self._volume_by_day[day].add(vol_blocks, vol_pkts * factor)
+        self._volume_by_day[day].add(
+            vol_blocks, vol_pkts * factor, sorted_unique=True
+        )
 
-        per_vantage = self._src_by_vantage[vantage]
-        if self._ignored_asns is None:
-            src_ips, (src_pkts,) = aggregate_sums(
-                chunk.src_ip.astype(np.int64), packets
-            )
-            raw_blocks, (raw_pkts,) = aggregate_sums(src_ips >> 8, src_pkts)
-            per_vantage.add(raw_blocks, raw_pkts, raw_pkts)
-        else:
-            raw_blocks, (raw_pkts,) = aggregate_sums(chunk.src_blocks(), packets)
-            kept = chunk.filter(~np.isin(chunk.sender_asn, self._ignored_asns))
-            src_ips, (src_pkts,) = aggregate_sums(
-                kept.src_ip.astype(np.int64), kept.packets
-            )
-            per_vantage.add(raw_blocks, np.zeros(len(raw_blocks)), raw_pkts)
-            per_vantage.add(src_ips >> 8, src_pkts, np.zeros(len(src_ips)))
-        self._src_ip_sums.add(src_ips, src_pkts)
+        raw_blocks, (raw_pkts,) = aggregate_sums(chunk.src_blocks(), packets)
+        kept = chunk.filter(~np.isin(chunk.sender_asn, self._ignored_asns))
+        src_ips, (src_pkts,) = aggregate_sums(
+            kept.src_ip.astype(np.int64), kept.packets
+        )
+        per_vantage.add(
+            raw_blocks, np.zeros(len(raw_blocks)), raw_pkts, sorted_unique=True
+        )
+        per_vantage.add(src_ips >> 8, src_pkts, np.zeros(len(src_ips)))
+        self._src_ip_sums.add(src_ips, src_pkts, sorted_unique=True)
         return self
 
     def update_view(
@@ -420,13 +484,17 @@ class PrefixAccumulator:
         for vantage, theirs in other._src_by_vantage.items():
             mine = self._src_by_vantage.get(vantage)
             if mine is None:
-                mine = _KeyedSums(theirs.num_values, self.compact_every)
+                mine = _KeyedSums(
+                    theirs.num_values, self.compact_every, self.kernel
+                )
                 self._src_by_vantage[vantage] = mine
             mine.absorb(theirs)
         for day, theirs in other._volume_by_day.items():
             mine = self._volume_by_day.get(day)
             if mine is None:
-                mine = _KeyedSums(theirs.num_values, self.compact_every)
+                mine = _KeyedSums(
+                    theirs.num_values, self.compact_every, self.kernel
+                )
                 self._volume_by_day[day] = mine
             mine.absorb(theirs)
         for vantage, days in other._days_by_vantage.items():
@@ -452,7 +520,7 @@ class PrefixAccumulator:
     def copy(self) -> "PrefixAccumulator":
         """An independent copy safe to merge elsewhere."""
         duplicate = PrefixAccumulator(
-            self.ignore_sources_from_asns, self.compact_every
+            self.ignore_sources_from_asns, self.compact_every, self.kernel
         )
         duplicate._dst_ip_sums = self._dst_ip_sums.copy()
         duplicate._src_ip_sums = self._src_ip_sums.copy()
@@ -510,13 +578,14 @@ class PrefixAccumulator:
         cls,
         state: Mapping[str, Any],
         compact_every: int = DEFAULT_COMPACT_EVERY,
+        kernel=None,
     ) -> "PrefixAccumulator":
         """Rebuild an accumulator from :meth:`to_state` output.
 
         The round trip is exact: the rebuilt accumulator finalizes (and
-        merges) bit-identically to the original.  ``compact_every`` is a
-        local memory policy, not data, so it is not part of the wire
-        form.
+        merges) bit-identically to the original.  ``compact_every`` and
+        ``kernel`` are local execution policy, not data, so they are
+        not part of the wire form.
         """
         version = state.get("version")
         if version != _STATE_VERSION:
@@ -524,21 +593,24 @@ class PrefixAccumulator:
                 f"unsupported accumulator state version: {version!r}"
             )
         accumulator = cls(
-            frozenset(state["ignore_sources_from_asns"]), compact_every
+            frozenset(state["ignore_sources_from_asns"]), compact_every, kernel
         )
+        resolved = accumulator.kernel
 
         def load(sums: _KeyedSums, part: tuple[np.ndarray, ...]) -> None:
             keys, *values = part
-            sums.add(keys, *values)
+            # Wire parts come from `compacted()` — sorted-unique by
+            # construction.
+            sums.add(keys, *values, sorted_unique=True)
 
         load(accumulator._dst_ip_sums, state["dst_ip_sums"])
         load(accumulator._src_ip_sums, state["src_ip_sums"])
         for vantage, part in state["src_by_vantage"].items():
-            family = _KeyedSums(2, compact_every)
+            family = _KeyedSums(2, compact_every, resolved)
             load(family, part)
             accumulator._src_by_vantage[vantage] = family
         for day, part in state["volume_by_day"].items():
-            family = _KeyedSums(1, compact_every)
+            family = _KeyedSums(1, compact_every, resolved)
             load(family, part)
             accumulator._volume_by_day[int(day)] = family
         for vantage, days in state["days_by_vantage"].items():
@@ -546,7 +618,7 @@ class PrefixAccumulator:
                 int(day) for day in days
             )
             accumulator._src_by_vantage.setdefault(
-                vantage, _KeyedSums(2, compact_every)
+                vantage, _KeyedSums(2, compact_every, resolved)
             )
         accumulator._rows_ingested = int(state["rows_ingested"])
         return accumulator
@@ -610,12 +682,14 @@ class PrefixAccumulator:
         src_ips, (src_ip_pkts,) = self._src_ip_sums.compacted()
 
         applied: dict[str, float] = {}
-        excess = _KeyedSums(1)
+        excess = _KeyedSums(1, kernel=self.kernel)
         for vantage, sums in self._src_by_vantage.items():
             blocks, (filtered, _) = sums.compacted()
             tolerance = self._tolerance_of(spoof_tolerance, vantage)
             applied[vantage] = tolerance
-            excess.add(blocks, np.maximum(filtered - tolerance, 0))
+            excess.add(
+                blocks, np.maximum(filtered - tolerance, 0), sorted_unique=True
+            )
         src_blocks, (src_excess,) = excess.compacted()
 
         days = self.days()
@@ -659,9 +733,12 @@ def accumulate_views(
     ignore_sources_from_asns: frozenset[int] = frozenset(),
     chunk_size: int | str | None = None,
     compact_every: int = DEFAULT_COMPACT_EVERY,
+    kernel=None,
 ) -> PrefixAccumulator:
     """Accumulator over an iterable of views (the one-liner entry)."""
-    accumulator = PrefixAccumulator(ignore_sources_from_asns, compact_every)
+    accumulator = PrefixAccumulator(
+        ignore_sources_from_asns, compact_every, kernel
+    )
     for view in views:
         accumulator.update_view(view, chunk_size=chunk_size)
     return accumulator

@@ -52,6 +52,7 @@ from repro.core.accum import (
     adaptive_chunk_rows,
     resolve_chunk_size,
 )
+from repro.core.kernels import get_kernel, resolve_kernel_name
 from repro.core.stages import StageTiming
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -116,12 +117,14 @@ class ExecutionKnobs:
 
     ``chunk_size`` keeps the public tri-state form (``None`` | int |
     ``"auto"``) because chunk rows resolve *per view*;
-    ``workers`` is always a concrete count >= 1.
+    ``workers`` is always a concrete count >= 1; ``kernel`` is always
+    a concrete backend name (``auto`` resolves at knob time).
     """
 
     chunk_size: int | str | None
     workers: int
     compact_every: int
+    kernel: str = "numpy"
 
     def parallel(self) -> bool:
         """Whether this knob set fans out across a process pool."""
@@ -132,6 +135,7 @@ def resolve_execution_knobs(
     chunk_size: int | str | None = None,
     workers: int | None = None,
     compact_every: int | None = None,
+    kernel: str | None = None,
     *,
     cpus: int | None = None,
 ) -> ExecutionKnobs:
@@ -146,6 +150,11 @@ def resolve_execution_knobs(
       ``num_rows`` via :func:`~repro.core.accum.resolve_chunk_size`.
     * ``compact_every``: accumulator compaction cadence (default
       :data:`~repro.core.accum.DEFAULT_COMPACT_EVERY`).
+    * ``kernel``: compute backend (``numpy`` | ``native`` | ``auto``;
+      default ``auto``).  Resolved here to a concrete backend name via
+      :func:`~repro.core.kernels.resolve_kernel_name` — ``auto`` plans
+      ``native`` only when a provider is actually available.
+      Classification is bit-identical either way.
     """
     if cpus is None:
         cpus = default_workers()
@@ -167,7 +176,10 @@ def resolve_execution_knobs(
     elif compact_every < 2:
         raise ValueError(f"compact_every must be >= 2: {compact_every}")
     return ExecutionKnobs(
-        chunk_size=chunk_size, workers=workers, compact_every=compact_every
+        chunk_size=chunk_size,
+        workers=workers,
+        compact_every=compact_every,
+        kernel=resolve_kernel_name(kernel),
     )
 
 
@@ -247,6 +259,7 @@ class ExecutionPlan:
                 ", ".join(f"{rows:,}" for rows in chunk_rows) or "whole view",
             ),
             ("compact every", f"{self.knobs.compact_every} parts"),
+            ("kernel", self.knobs.kernel),
             ("cache policy", self.cache_policy),
             ("est. peak", f"{self.est_peak_mib:.1f} MiB"),
         ]
@@ -260,6 +273,7 @@ class ExecutionPlan:
             "cache_policy": self.cache_policy,
             "est_peak_mib": round(self.est_peak_mib, 3),
             "compact_every": self.knobs.compact_every,
+            "kernel": self.knobs.kernel,
             "views": [
                 {
                     "vantage": view.vantage,
@@ -313,6 +327,7 @@ class ExecutionPlanner:
         workers: int | None = None,
         compact_every: int | None = None,
         mode: str | None = None,
+        kernel: str | None = None,
     ) -> ExecutionPlan:
         """Build the plan for one fold (``mode`` forces the decision).
 
@@ -322,7 +337,7 @@ class ExecutionPlanner:
         else ``serial``.
         """
         knobs = resolve_execution_knobs(
-            chunk_size, workers, compact_every, cpus=self.cpus
+            chunk_size, workers, compact_every, kernel, cpus=self.cpus
         )
         chunk_size = knobs.chunk_size
         if (
@@ -354,12 +369,14 @@ class ExecutionPlanner:
                 chunk_size=chunk_size,
                 workers=1,
                 compact_every=knobs.compact_every,
+                kernel=knobs.kernel,
             )
         else:
             knobs = ExecutionKnobs(
                 chunk_size=chunk_size,
                 workers=max(2, knobs.workers) if specs else 1,
                 compact_every=knobs.compact_every,
+                kernel=knobs.kernel,
             )
 
         shards: tuple[tuple[tuple[int, int, int], ...], ...] = ()
@@ -690,9 +707,14 @@ def execute_plan(
         rows_in=plan.total_rows(),
         meta=plan.to_dict(),
     )
+    # One "kernel" event per execution: which backend actually computes
+    # (``native`` may degrade to reference semantics — the describe()
+    # meta carries the provider and the fallback reason, if any).
+    kernel = get_kernel(plan.knobs.kernel)
+    context.emit("kernel", kernel.name, meta=kernel.describe())
     if plan.mode == "parallel" and plan.views:
         return _execute_parallel(plan, views, context, ignore_sources_from_asns)
-    return _execute_serial(plan, views, context, ignore_sources_from_asns)
+    return _execute_serial(plan, views, context, ignore_sources_from_asns, kernel)
 
 
 def _execute_serial(
@@ -700,8 +722,9 @@ def _execute_serial(
     views: Sequence["VantageDayView"],
     context: RunContext,
     ignored: frozenset[int],
+    kernel,
 ) -> PrefixAccumulator:
-    accumulator = PrefixAccumulator(ignored, plan.knobs.compact_every)
+    accumulator = PrefixAccumulator(ignored, plan.knobs.compact_every, kernel)
     for view, spec in zip(views, plan.views):
         wall = time.time()
         started = time.perf_counter()
@@ -743,6 +766,7 @@ def _execute_parallel(
         workers=plan.knobs.workers,
         chunk_size=plan.knobs.chunk_size,
         buckets=[list(bucket) for bucket in plan.shards] or None,
+        kernel=plan.knobs.kernel,
     )
     emit_parallel_events(context, stats)
     return accumulator

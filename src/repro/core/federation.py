@@ -136,13 +136,20 @@ class QuorumError(ValueError):
     """Too few credible members remained to federate."""
 
 
-def _coerce_partial(operator: str, partial) -> PrefixAccumulator:
-    """Accept an accumulator or its ``to_state()`` wire form."""
+def _coerce_partial(
+    operator: str, partial, kernel: str | None = None
+) -> PrefixAccumulator:
+    """Accept an accumulator or its ``to_state()`` wire form.
+
+    ``kernel`` names the backend decoded wire states are rebuilt on —
+    an accumulator sent as an object keeps whatever backend its member
+    built it with (both classify identically).
+    """
     if isinstance(partial, PrefixAccumulator):
         return partial
     if isinstance(partial, Mapping):
         try:
-            return PrefixAccumulator.from_state(partial)
+            return PrefixAccumulator.from_state(partial, kernel=kernel)
         except (KeyError, ValueError) as error:
             raise ValueError(
                 f"member {operator!r} sent a malformed wire state: {error}"
@@ -331,6 +338,7 @@ def federate(
     use_spoofing_tolerance: bool = False,
     workers: int | None = None,
     context: RunContext | None = None,
+    kernel: str | None = None,
 ) -> FederatedResult:
     """Combine member reports (and the marking registry) into one list.
 
@@ -355,9 +363,11 @@ def federate(
     partial may be a :class:`PrefixAccumulator` or its compact columnar
     wire form (:meth:`~PrefixAccumulator.to_state`) — what a remote
     member would actually put on the wire.  ``workers`` > 1 classifies
-    members across a process pool (same reports, pure throughput), and
-    a ``context`` records one ``member`` event per classified operator
-    on the observability spine.
+    members across a process pool (same reports, pure throughput),
+    ``kernel`` picks the backend decoded wire states are folded on
+    (bit-identical reports either way), and a ``context`` records one
+    ``member`` event per classified operator on the observability
+    spine.
     """
     if partials:
         if coordinator is None:
@@ -368,7 +378,8 @@ def federate(
         members: dict[str, list[PrefixAccumulator]] = {}
         for operator, accumulators in partials.items():
             decoded = [
-                _coerce_partial(operator, partial) for partial in accumulators
+                _coerce_partial(operator, partial, kernel=kernel)
+                for partial in accumulators
             ]
             if not decoded:
                 raise ValueError(f"member {operator!r} sent no partials")

@@ -138,14 +138,18 @@ class MetaTelescope:
         views: list[VantageDayView],
         chunk_size: int | str | None = None,
         workers: int | None = None,
+        kernel: str | None = None,
     ) -> ExecutionPlan:
         """Build (without executing) the plan a fold of ``views`` would run.
 
         This is what ``python -m repro plan`` (and ``infer --explain``)
-        prints: mode, shard layout, chunk resolution, cache policy and
-        the estimated peak memory — pure data, nothing folded.
+        prints: mode, shard layout, chunk resolution, cache policy, the
+        resolved kernel backend and the estimated peak memory — pure
+        data, nothing folded.
         """
-        return self.planner.plan(views, chunk_size=chunk_size, workers=workers)
+        return self.planner.plan(
+            views, chunk_size=chunk_size, workers=workers, kernel=kernel
+        )
 
     def last_run_context(self) -> RunContext | None:
         """RunContext of the most recent fold (its full event stream)."""
@@ -158,6 +162,7 @@ class MetaTelescope:
         workers: int | None = None,
         context: RunContext | None = None,
         plan: ExecutionPlan | None = None,
+        kernel: str | None = None,
     ) -> PrefixAccumulator:
         """Fold views into a mergeable accumulator with this instance's
         ASN-ignore configuration applied.
@@ -166,11 +171,12 @@ class MetaTelescope:
         serial / chunked / parallel from the knobs and the views (or a
         hand-built ``plan`` forces the choice), and every chunk, view
         and worker lands on the ``context``'s observability spine.  The
-        result is bit-identical for any plan.
+        result is bit-identical for any plan (and for either kernel
+        backend).
         """
         if plan is None:
             plan = self.planner.plan(
-                views, chunk_size=chunk_size, workers=workers
+                views, chunk_size=chunk_size, workers=workers, kernel=kernel
             )
         if context is None:
             context = RunContext(knobs=plan.knobs, plan=plan)
@@ -191,21 +197,23 @@ class MetaTelescope:
         workers: int | None = None,
         context: RunContext | None = None,
         plan: ExecutionPlan | None = None,
+        kernel: str | None = None,
     ) -> MetaTelescopeResult:
         """Run the full pipeline (+ optional tolerance and refinement).
 
         ``chunk_size`` bounds ingestion memory (``"auto"`` picks a size
-        per view) and ``workers`` shards the fold across a process
-        pool; classification is bit-identical under any combination.
-        The returned stage timings are derived from the run's event
-        stream, so parallel runs carry their ``fanout[wK]``/``ipc``/
-        ``merge`` rows in the same shape as every other path.
+        per view), ``workers`` shards the fold across a process pool
+        and ``kernel`` picks the fold backend; classification is
+        bit-identical under any combination.  The returned stage
+        timings are derived from the run's event stream, so parallel
+        runs carry their ``fanout[wK]``/``ipc``/``merge`` rows in the
+        same shape as every other path.
         """
         if not views:
             raise ValueError("need at least one vantage-day view")
         if plan is None:
             plan = self.planner.plan(
-                views, chunk_size=chunk_size, workers=workers
+                views, chunk_size=chunk_size, workers=workers, kernel=kernel
             )
         if context is None:
             context = RunContext(knobs=plan.knobs, plan=plan)
@@ -272,14 +280,18 @@ class MetaTelescope:
         workers: int | None = None,
         context: RunContext | None = None,
         provenance: dict | None = None,
+        kernel: str | None = None,
     ) -> ClassificationSnapshot:
         """Run :meth:`infer` and freeze the outcome as a snapshot.
 
         The snapshot's provenance records the execution plan that
-        produced it (plus anything the caller adds); ``day`` defaults
-        to the latest day among the views.
+        produced it — including the resolved kernel backend — plus
+        anything the caller adds; ``day`` defaults to the latest day
+        among the views.
         """
-        plan = self.planner.plan(views, chunk_size=chunk_size, workers=workers)
+        plan = self.planner.plan(
+            views, chunk_size=chunk_size, workers=workers, kernel=kernel
+        )
         result = self.infer(
             views,
             use_spoofing_tolerance=use_spoofing_tolerance,

@@ -171,6 +171,10 @@ class OnlineMetaTelescope:
     #: Process-pool workers for each day's fold (None/1: serial,
     #: ``0``: one per CPU).  Any worker count classifies bit-identically.
     workers: int | None = None
+    #: Fold kernel backend (``"numpy"``, ``"native"``, ``"auto"`` or
+    #: None for the engine default).  Either backend classifies
+    #: bit-identically; the knob only trades speed.
+    kernel: str | None = None
     #: Extra trace sinks attached to every day's
     #: :class:`~repro.core.engine.RunContext` (e.g. a
     #: :class:`~repro.core.engine.JsonlSink` for a rolling trace file).
@@ -290,7 +294,8 @@ class OnlineMetaTelescope:
         # window inference all land on the same event stream, separated
         # by scope labels.
         plan = self.telescope.plan(
-            views, chunk_size=self.chunk_size, workers=self.workers
+            views, chunk_size=self.chunk_size, workers=self.workers,
+            kernel=self.kernel,
         )
         context = RunContext(
             knobs=plan.knobs, plan=plan, sinks=self.sinks, scope="fold"

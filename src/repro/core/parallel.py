@@ -22,24 +22,32 @@ count, shard order or merge grouping classifies bit-identically to the
 serial path.  ``workers`` <= 1 short-circuits to the serial fold, so
 existing behaviour and determinism guarantees are untouched by default.
 
-On platforms with ``fork`` the views are inherited copy-on-write and
-only shard indices cross the pipe; elsewhere (``spawn``) the shard
-payloads are pickled across — **except** for archive-backed views
-(:class:`~repro.vantage.archive.ArchiveDayView`), whose shards travel
-as (path, row-range) descriptors under either start method: each
-worker opens the flowpack memmap itself and folds its assigned row
-range straight off the page cache, so no flow payload ever crosses
-the pipe.  Per-worker wall time, IPC overhead and merge time are
-reported as :class:`~repro.core.stages.StageTiming` rows, folding
+When every view is archive-backed (exposes ``slice_ref``), the fold
+runs on a **persistent worker pool**: the pool is created once per
+process count and reused across calls — chunks, days, rolling windows
+— instead of re-forking per fold, and shards travel as picklable
+(path, row-range) descriptors; each worker opens the flowpack memmap
+itself and folds its assigned row range straight off the page cache,
+so no flow payload ever crosses the pipe.  Re-forking per call was
+the parallel engine's dominant overhead (IPC-bound ``agg_speedup``
+< 1 in the pipeline benchmark); descriptor entries make pool reuse
+safe because nothing depends on fork-time copy-on-write state.
+
+In-memory views cannot ship as descriptors, so they keep the one-shot
+path: under ``fork`` the views are inherited copy-on-write and only
+shard indices cross the pipe; under ``spawn`` the shard payloads are
+pickled across.  Per-worker wall time, IPC overhead and merge time
+are reported as :class:`~repro.core.stages.StageTiming` rows, folding
 into the existing stage-timing observability.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -61,16 +69,47 @@ __all__ = [
     "parallel_accumulate_views",
     "partial_states_identical",
     "shard_views",
+    "shutdown_worker_pools",
     "tree_merge",
 ]
 
 #: A shard: (view index, first row, one-past-last row).
 Shard = tuple[int, int, int]
 
-#: Work inherited by forked workers (views, ignored ASNs, chunk size).
-_FORK_WORK: tuple[list[VantageDayView], frozenset[int], int | str | None] | None = (
-    None
-)
+#: Work inherited by forked workers (views, ignored ASNs, chunk size,
+#: kernel name).
+_FORK_WORK: tuple[
+    list[VantageDayView], frozenset[int], int | str | None, str | None
+] | None = None
+
+#: Persistent pools, keyed by process count (descriptor entries only —
+#: nothing a pooled worker runs depends on fork-time state).
+_POOLS: dict[int, Any] = {}
+
+
+def _persistent_pool(processes: int):
+    """The reusable pool for ``processes`` workers (created on demand)."""
+    pool = _POOLS.get(processes)
+    if pool is None:
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        pool = multiprocessing.get_context(method).Pool(processes=processes)
+        _POOLS[processes] = pool
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Terminate every persistent worker pool (tests; process exit)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_worker_pools)
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,7 +130,8 @@ class ParallelStats:
     """Observability record of one parallel (or serial) fold."""
 
     workers: int
-    #: ``"serial"``, ``"fork"`` or ``"spawn"``.
+    #: ``"serial"``, ``"pool"`` (persistent pool over archive
+    #: descriptors), ``"fork"`` or ``"spawn"``.
     mode: str
     #: Wall time of the whole fan-out phase (pool included).
     fanout_seconds: float
@@ -237,15 +277,18 @@ def _fold_entries(
     entries: list[tuple[str, int, float, object]],
     ignored: frozenset[int],
     chunk_size: int | str | None,
+    kernel: str | None,
 ) -> tuple[dict, int, int, float, float]:
     """Fold shard entries into a partial; return its wire state + stats.
 
     An entry's payload is either a :class:`FlowTable` or a lazy
     reference with a ``load()`` method (an archive slice); loading in
     here means the rows first exist inside the worker doing the fold.
+    ``kernel`` is the resolved backend *name* — each worker resolves
+    its own backend instance (compiled libraries don't pickle).
     """
     started = time.perf_counter()
-    accumulator = PrefixAccumulator(ignored)
+    accumulator = PrefixAccumulator(ignored, kernel=kernel)
     rows = 0
     for vantage, day, sampling_factor, payload in entries:
         flows = payload.load() if hasattr(payload, "load") else payload
@@ -266,7 +309,7 @@ def _fold_entries(
 
 def _fold_fork_bucket(bucket: list[Shard]):
     """Worker entry under ``fork``: views come in via copy-on-write."""
-    views, ignored, chunk_size = _FORK_WORK
+    views, ignored, chunk_size, kernel = _FORK_WORK
     entries = [
         (
             views[index].vantage,
@@ -276,16 +319,17 @@ def _fold_fork_bucket(bucket: list[Shard]):
         )
         for index, start, stop in bucket
     ]
-    return _fold_entries(entries, ignored, chunk_size)
+    return _fold_entries(entries, ignored, chunk_size, kernel)
 
 
 def _fold_payload_bucket(
     entries: list[tuple[str, int, float, FlowTable]],
     ignored: frozenset[int],
     chunk_size: int | str | None,
+    kernel: str | None = None,
 ):
-    """Worker entry under ``spawn``: the shard payloads were pickled in."""
-    return _fold_entries(entries, ignored, chunk_size)
+    """Worker entry for pickled shard entries (persistent pool; spawn)."""
+    return _fold_entries(entries, ignored, chunk_size, kernel)
 
 
 def parallel_accumulate_views(
@@ -296,6 +340,7 @@ def parallel_accumulate_views(
     chunk_size: int | str | None = None,
     max_shard_rows: int | None = None,
     buckets: list[list[Shard]] | None = None,
+    kernel: str | None = None,
 ) -> tuple[PrefixAccumulator, ParallelStats]:
     """Fold views into one accumulator across a process pool.
 
@@ -304,10 +349,16 @@ def parallel_accumulate_views(
     :func:`~repro.core.engine.resolve_execution_knobs`, the single
     resolution point).  ``buckets`` lets an
     :class:`~repro.core.engine.ExecutionPlan` supply its precomputed
-    shard layout; otherwise :func:`shard_views` derives it here.  The
-    merged accumulator is bit-identical to ``accumulate_views`` for any
-    worker count — aggregation is exact-integer associative — so
+    shard layout; otherwise :func:`shard_views` derives it here.
+    ``kernel`` names the fold backend each worker resolves locally
+    (compiled kernels don't pickle, so the *name* crosses the pipe).
+    The merged accumulator is bit-identical to ``accumulate_views`` for
+    any worker count — aggregation is exact-integer associative — so
     callers may treat the knob as pure throughput tuning.
+
+    When every view is archive-backed the shards go out as (path,
+    row-range) descriptors over the persistent pool; otherwise the
+    one-shot fork/spawn path carries the in-memory payloads.
     """
     global _FORK_WORK
     workers = resolve_execution_knobs(workers=workers).workers
@@ -318,6 +369,7 @@ def parallel_accumulate_views(
             views,
             ignore_sources_from_asns=ignore_sources_from_asns,
             chunk_size=chunk_size,
+            kernel=kernel,
         )
         elapsed = time.perf_counter() - started
         report = WorkerReport(
@@ -334,16 +386,43 @@ def parallel_accumulate_views(
     ignored = frozenset(ignore_sources_from_asns)
     if buckets is None:
         buckets = shard_views(views, workers, max_shard_rows)
+    all_descriptor = all(
+        getattr(view, "slice_ref", None) is not None for view in views
+    )
     use_fork = "fork" in multiprocessing.get_all_start_methods()
     started = time.perf_counter()
-    if use_fork:
+    if all_descriptor:
+        # Archive-backed: descriptor entries are tiny and carry no
+        # process state, so the persistent pool folds them safely.
+        payloads = [
+            (
+                [
+                    (
+                        views[index].vantage,
+                        views[index].day,
+                        views[index].sampling_factor,
+                        _shard_payload(views[index], start, stop),
+                    )
+                    for index, start, stop in bucket
+                ],
+                ignored,
+                chunk_size,
+                kernel,
+            )
+            for bucket in buckets
+        ]
+        pool = _persistent_pool(len(buckets))
+        results = pool.starmap(_fold_payload_bucket, payloads)
+        mode = "pool"
+    elif use_fork:
         context = multiprocessing.get_context("fork")
-        _FORK_WORK = (views, ignored, chunk_size)
+        _FORK_WORK = (views, ignored, chunk_size, kernel)
         try:
             with context.Pool(processes=len(buckets)) as pool:
                 results = pool.map(_fold_fork_bucket, buckets)
         finally:
             _FORK_WORK = None
+        mode = "fork"
     else:  # pragma: no cover - exercised only on spawn-only platforms
         context = multiprocessing.get_context("spawn")
         payloads = [
@@ -359,15 +438,20 @@ def parallel_accumulate_views(
                 ],
                 ignored,
                 chunk_size,
+                kernel,
             )
             for bucket in buckets
         ]
         with context.Pool(processes=len(buckets)) as pool:
             results = pool.starmap(_fold_payload_bucket, payloads)
+        mode = "spawn"
     fanout_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    partials = [PrefixAccumulator.from_state(state) for state, *_ in results]
+    partials = [
+        PrefixAccumulator.from_state(state, kernel=kernel)
+        for state, *_ in results
+    ]
     decode_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
@@ -385,7 +469,7 @@ def parallel_accumulate_views(
     )
     stats = ParallelStats(
         workers=len(buckets),
-        mode="fork" if use_fork else "spawn",
+        mode=mode,
         fanout_seconds=fanout_seconds,
         decode_seconds=decode_seconds,
         merge_seconds=merge_seconds,

@@ -103,14 +103,16 @@ def run_pipeline_chunked(
     chunk_size: int | str | None = None,
     workers: int | None = None,
     context: "RunContext | None" = None,
+    kernel: str | None = None,
 ) -> PipelineResult:
     """Run the inference, ingesting each view in bounded-size chunks.
 
     ``chunk_size=None`` ingests each view as a single chunk (the batch
     path); ``"auto"`` picks a bounded size per view.  Any chunk size
-    (and any worker count) yields bit-identical classifications.  The
-    fold itself is planned and executed by :mod:`repro.core.engine` —
-    this facade only builds the plan.
+    (and any worker count, and either ``kernel`` backend) yields
+    bit-identical classifications.  The fold itself is planned and
+    executed by :mod:`repro.core.engine` — this facade only builds the
+    plan.
     """
     from repro.core.engine import ExecutionPlanner, RunContext, execute_plan
 
@@ -119,7 +121,7 @@ def run_pipeline_chunked(
     if config is None:
         config = PipelineConfig()
     plan = ExecutionPlanner().plan(
-        views, chunk_size=chunk_size, workers=workers
+        views, chunk_size=chunk_size, workers=workers, kernel=kernel
     )
     if context is None:
         context = RunContext(knobs=plan.knobs, plan=plan)
@@ -144,7 +146,9 @@ def run_pipeline_accumulated(
     This is the online/federation entry: the accumulator may be the
     merge of per-day partials or of other operators' contributions.
     With a :class:`~repro.core.engine.RunContext` every stage also
-    lands on the observability spine as a ``stage`` event.
+    lands on the observability spine as a ``stage`` event.  The stage
+    masks run on the accumulator's own kernel backend, so fold and
+    classification always share one backend.
     """
     if config is None:
         config = PipelineConfig()
@@ -156,7 +160,10 @@ def run_pipeline_accumulated(
             "than the pipeline config"
         )
     finalized = accumulator.finalize(config.spoof_tolerance)
-    return StageEngine().run(finalized, routing, special, config, context)
+    return StageEngine().run(
+        finalized, routing, special, config, context,
+        kernel=getattr(accumulator, "kernel", None),
+    )
 
 
 def snapshot_from_pipeline(

@@ -25,7 +25,6 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.bgp.rib import RoutingTable
-from repro.net.blocksets import sorted_member_mask
 from repro.net.special import SpecialPurposeRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (accum ← stages)
@@ -123,11 +122,17 @@ class StageContext:
         config: PipelineConfig,
         routing: RoutingTable,
         special: SpecialPurposeRegistry,
+        kernel=None,
     ) -> None:
+        from repro.core.kernels import get_kernel
+
         self.finalized = finalized
         self.config = config
         self.routing = routing
         self.special = special
+        # The mask kernel: membership and interval probes run on the
+        # same backend as the fold (reference numpy unless told else).
+        self.kernel = get_kernel("numpy") if kernel is None else kernel
         ip_blocks = finalized.dst_ips >> 8
         if len(ip_blocks) and np.all(ip_blocks[1:] >= ip_blocks[:-1]):
             # Finalized columns are sorted by construction: the block
@@ -186,9 +191,9 @@ class StageContext:
         # A block's sources are forgiven entirely when their pooled
         # sampled packets stay within the pooled tolerance.  Both id
         # tables are sorted, so membership is a searchsorted probe.
-        ip_is_source = sorted_member_mask(
+        ip_is_source = self.kernel.sorted_member_mask(
             finalized.dst_ips, finalized.src_ips
-        ) & sorted_member_mask(
+        ) & self.kernel.sorted_member_mask(
             finalized.dst_ips >> 8, self.blocks_with_real_sources
         )
         survives = has_tcp & ip_size_ok & ~ip_is_source
@@ -208,7 +213,9 @@ class StageContext:
     @cached_property
     def block_has_source(self) -> np.ndarray:
         """Per block: unforgiven source sightings exist."""
-        return sorted_member_mask(self.blocks, self.blocks_with_real_sources)
+        return self.kernel.sorted_member_mask(
+            self.blocks, self.blocks_with_real_sources
+        )
 
     @cached_property
     def block_tcp_pkts(self) -> np.ndarray:
@@ -277,7 +284,7 @@ class RoutedStage(Stage):
     name = "routed"
 
     def mask(self, ctx: StageContext) -> np.ndarray:
-        return ctx.routing.routed_mask(ctx.blocks)
+        return ctx.routing.routed_mask(ctx.blocks, kernel=ctx.kernel)
 
 
 class VolumeStage(Stage):
@@ -326,11 +333,13 @@ class StageEngine:
         special: SpecialPurposeRegistry,
         config: PipelineConfig,
         context=None,
+        kernel=None,
     ) -> PipelineResult:
         """Classify finalized columns (``context``: a
         :class:`~repro.core.engine.RunContext`; each stage also lands
-        on its observability spine as a ``stage`` event)."""
-        ctx = StageContext(finalized, config, routing, special)
+        on its observability spine as a ``stage`` event).  ``kernel``
+        selects the mask backend (reference numpy when ``None``)."""
+        ctx = StageContext(finalized, config, routing, special, kernel)
         surviving = np.ones(ctx.num_blocks, dtype=bool)
         cumulative: list[np.ndarray] = []
         counts: list[int] = []

@@ -216,6 +216,9 @@ class EvaluationSettings:
     #: anything below 2 is raised to 2.
     workers: int = 2
     chunk_size: int | str | None = None
+    #: Fold kernel backend (None: engine default; both backends
+    #: classify bit-identically, so the gate scores are unaffected).
+    kernel: str | None = None
     #: Online degraded-day policy (the operational default).
     policy: str = "carry"
     #: Fold a canonical transport-fault plan on top of every feed
@@ -351,6 +354,7 @@ def _run_paths(
         use_spoofing_tolerance=True,
         chunk_size=settings.chunk_size,
         workers=workers,
+        kernel=settings.kernel,
     )
     scores = [
         _score(
@@ -373,6 +377,7 @@ def _run_paths(
         policy=settings.policy,
         chunk_size=settings.chunk_size,
         workers=workers,
+        kernel=settings.kernel,
         sinks=sinks,
         scenario=scenario,
     )

@@ -8,6 +8,8 @@ factor so a full measurement week simulates in minutes.
 
 Scale presets:
 
+* :func:`giant_config` — stress scale (≥50 M IXP rows/day; archive-backed
+  benchmarking only);
 * :func:`paper_config` — benchmark scale (~80 k announced /24s);
 * :func:`small_config` — integration-test scale (~3 k announced /24s);
 * :func:`micro_config` — unit-test scale (~700 announced /24s).
@@ -197,6 +199,41 @@ class WorldConfig:
 def paper_config(seed: int = 7) -> WorldConfig:
     """Benchmark-scale world (the default field values)."""
     return WorldConfig(seed=seed)
+
+
+def giant_config(seed: int = 7) -> WorldConfig:
+    """Stress-scale world: ≥50 M IXP flow rows per observed day.
+
+    Four times the paper scale's announced space and ~36x its traffic
+    intensity (both scale row counts near-linearly), so a single day's
+    "All IXPs" dataset lands around 60 M rows — past the 50 M rows/day
+    floor the kernel benchmarks exercise.  Volume-shaped inference
+    thresholds scale with the intensity so classification stays
+    structurally comparable.
+
+    A day takes minutes to simulate and ~2 GiB to archive: always
+    observe this world through a
+    :class:`~repro.world.capture_cache.CaptureCache` so generation is
+    paid once and every later fold streams from flowpack archives.
+    Not meant for tests — the benchmarks are its only intended caller.
+    """
+    intensity = 36.0
+    return WorldConfig(
+        seed=seed,
+        num_ases=1_400,
+        general_blocks=136_000,
+        scan_pkts_per_block_day=34.0 * intensity,
+        udp_pkts_per_block_day=6.0 * intensity,
+        production_inbound_mean=650.0 * intensity,
+        production_outbound_mean=420.0 * intensity,
+        mixed_outbound_mean=220.0 * intensity,
+        cdn_inbound_mean=2_600.0 * intensity,
+        spoof_ground_per_block_day=18.0 * intensity,
+        spoof_flood_pkts_per_block=int(3_000 * intensity),
+        teu2_day0_burst_pkts=int(60_000 * intensity),
+        volume_threshold_pkts_day=700.0 * intensity,
+        active_min_week_packets=int(1_000 * intensity),
+    )
 
 
 def small_config(seed: int = 7) -> WorldConfig:

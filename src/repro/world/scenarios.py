@@ -20,7 +20,12 @@ from repro.traffic.flows import FlowTable
 from repro.traffic.mix import DailyTrafficMix, TrafficActor
 from repro.traffic.production import ProductionTraffic
 from repro.world.builder import World, build_world
-from repro.world.config import micro_config, paper_config, small_config
+from repro.world.config import (
+    giant_config,
+    micro_config,
+    paper_config,
+    small_config,
+)
 from repro.world.observe import Observatory
 
 
@@ -28,6 +33,16 @@ from repro.world.observe import Observatory
 def paper_world(seed: int = 7) -> World:
     """The benchmark-scale world (the paper's setting, scaled)."""
     return build_world(paper_config(seed))
+
+
+def giant_world(seed: int = 7) -> World:
+    """Stress-scale world (≥50 M IXP rows/day).
+
+    Deliberately *not* cached: a giant day is hundreds of MiB per view,
+    and its callers (the kernel benchmarks) observe it through a
+    :class:`~repro.world.capture_cache.CaptureCache` exactly once.
+    """
+    return build_world(giant_config(seed))
 
 
 @lru_cache(maxsize=4)

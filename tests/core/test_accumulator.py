@@ -227,3 +227,35 @@ class TestAccumulatorState:
         duplicate = original.copy()
         duplicate.update_view(multi_day[2])
         assert original.rows_ingested() != duplicate.rows_ingested()
+
+
+class TestKeyedSumsShortCircuit:
+    """Already-compacted state must cost nothing to re-compact."""
+
+    def _family(self):
+        from repro.core.accum import _KeyedSums
+
+        family = _KeyedSums(1)
+        keys = np.array([3, 5, 9], dtype=np.int64)
+        sums = np.array([1.0, 2.0, 3.0])
+        family.add(keys, sums, sorted_unique=True)
+        return family, keys, sums
+
+    def test_compacted_single_sorted_part_is_no_copy(self):
+        family, keys, sums = self._family()
+        out_keys, (out_sums,) = family.compacted()
+        # The short-circuit returns the stored arrays themselves — any
+        # copy here would put an O(total keys) tax on every chunk of a
+        # long stream (compacted() runs once per squash promotion).
+        assert out_keys is keys
+        assert out_sums is sums
+        again_keys, (again_sums,) = family.compacted()
+        assert again_keys is keys
+        assert again_sums is sums
+
+    def test_squash_pending_without_pending_is_noop(self):
+        family, keys, sums = self._family()
+        family.squash_pending()
+        out_keys, (out_sums,) = family.compacted()
+        assert out_keys is keys
+        assert out_sums is sums

@@ -1,0 +1,320 @@
+"""Kernel backend parity, fallback, and regression tests.
+
+The identity contract under test: ``kernel=numpy`` (the reference) and
+``kernel=native`` (whatever provider resolves — Numba, the bundled C
+library, or the silent numpy fallback) produce bit-identical
+accumulator states and classifications for *any* input.  The explicit
+cases pin the shapes that have bitten compiled group-by kernels:
+empty and single-row chunks, all-duplicate keys, full-range 32-bit
+addresses (a ``uint32`` shifted by its own width is undefined
+behaviour in C — the regression here once looped forever), fault-
+injected feeds, and the ignored-sender filter path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accum import PrefixAccumulator
+from repro.core.engine import ExecutionPlanner, MemorySink, RunContext, execute_plan
+from repro.core.kernels import (
+    DISABLE_NATIVE_ENV,
+    KERNEL_CHOICES,
+    NumpyKernel,
+    get_kernel,
+    invalidate_cache,
+    native_provider,
+    resolve_kernel_name,
+)
+from repro.core.parallel import partial_states_identical
+from repro.core.pipeline import PipelineConfig, run_pipeline_chunked
+from repro.faults.injectors import CorruptedFields, DuplicatedRecords
+from repro.net.ipv4 import parse_ip
+from repro.traffic.flows import FlowTable
+from repro.traffic.packets import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.vantage.sampling import VantageDayView
+
+from _factories import routing_for
+
+ROUTING = routing_for("20.0.0.0/8", "21.0.0.0/8")
+BASE = parse_ip("20.0.0.0") >> 8
+
+
+def make_flows(
+    dst_ip,
+    src_ip=None,
+    proto=PROTO_TCP,
+    packets=None,
+    bytes_=None,
+    spoofed=False,
+    sender_asn=1,
+):
+    """A flow table from raw column values (scalars broadcast)."""
+    dst_ip = np.asarray(dst_ip, dtype=np.uint32)
+    count = len(dst_ip)
+    if src_ip is None:
+        src_ip = np.full(count, (BASE << 8) | 7, dtype=np.uint32)
+    packets = (
+        np.full(count, 3, dtype=np.int64)
+        if packets is None
+        else np.asarray(packets, dtype=np.int64)
+    )
+    bytes_ = packets * 44 if bytes_ is None else np.asarray(bytes_, dtype=np.int64)
+    return FlowTable(
+        src_ip=np.asarray(src_ip, dtype=np.uint32),
+        dst_ip=dst_ip,
+        proto=np.full(count, proto, dtype=np.uint8),
+        dport=np.full(count, 80, dtype=np.uint16),
+        packets=packets,
+        bytes=bytes_,
+        sender_asn=np.full(count, sender_asn, dtype=np.int32),
+        dst_asn=np.ones(count, dtype=np.int32),
+        spoofed=np.full(count, spoofed, dtype=bool),
+    )
+
+
+@st.composite
+def flow_tables(draw):
+    """Random flow tables spanning the full 32-bit address range."""
+    count = draw(st.integers(min_value=0, max_value=80))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    pool = draw(
+        st.sampled_from(
+            [
+                np.array([BASE + i for i in range(8)], dtype=np.uint64) << 8,
+                # Full-range keys: 0, the top of the address space, and
+                # random points in between (the radix-plan regression).
+                np.array([0, 2**32 - 1, 2**31, 2**16], dtype=np.uint64),
+                rng.integers(0, 2**32, size=8, dtype=np.uint64),
+            ]
+        )
+    )
+    dst_ip = rng.choice(pool, size=count).astype(np.uint32)
+    src_ip = rng.choice(pool, size=count).astype(np.uint32)
+    packets = rng.integers(1, 50, size=count).astype(np.int64)
+    return FlowTable(
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        proto=rng.choice(
+            np.array([PROTO_TCP, PROTO_UDP, PROTO_ICMP], dtype=np.uint8),
+            size=count,
+        ),
+        dport=rng.integers(1, 1000, size=count).astype(np.uint16),
+        packets=packets,
+        bytes=packets * rng.choice(np.array([40, 44, 1500]), size=count),
+        sender_asn=rng.integers(1, 5, size=count).astype(np.int32),
+        dst_asn=np.ones(count, dtype=np.int32),
+        spoofed=rng.random(count) < 0.3,
+    )
+
+
+def fold(tables, kernel, ignored=frozenset(), compact_every=4):
+    """Fold tables across two vantages/days under one backend."""
+    accumulator = PrefixAccumulator(
+        ignored, compact_every=compact_every, kernel=kernel
+    )
+    for index, table in enumerate(tables):
+        accumulator.update(
+            table,
+            vantage=f"V{index % 2}",
+            day=index % 3,
+            sampling_factor=4.0 if index % 2 else 1.0,
+        )
+    return accumulator
+
+
+def assert_backends_agree(tables, ignored=frozenset()):
+    reference = fold(tables, "numpy", ignored)
+    native = fold(tables, "native", ignored)
+    assert partial_states_identical(reference, native)
+
+
+class TestFoldParity:
+    def test_empty_table(self):
+        assert_backends_agree([make_flows([])])
+
+    def test_single_row(self):
+        assert_backends_agree([make_flows([(BASE << 8) | 1])])
+
+    def test_all_spoofed(self):
+        ips = (np.arange(40, dtype=np.uint64) % 5 + BASE) << 8
+        assert_backends_agree([make_flows(ips.astype(np.uint32), spoofed=True)])
+
+    def test_duplicate_keys(self):
+        ips = np.full(500, (BASE << 8) | 9, dtype=np.uint32)
+        assert_backends_agree([make_flows(ips)])
+
+    def test_full_range_keys(self):
+        # Destinations at 0 and 2**32-1: the widest possible key range.
+        # The C radix plan once computed its pass widths with a 32-bit
+        # shift-by-32 (undefined behaviour) and looped forever here.
+        rng = np.random.default_rng(3)
+        ips = rng.integers(0, 2**32, size=500, dtype=np.uint64).astype(np.uint32)
+        ips[0], ips[1] = 0, 2**32 - 1
+        assert_backends_agree([make_flows(ips)])
+
+    def test_ignored_senders_path(self):
+        ips = ((np.arange(60, dtype=np.uint64) % 7 + BASE) << 8).astype(np.uint32)
+        tables = [make_flows(ips, sender_asn=1), make_flows(ips, sender_asn=2)]
+        assert_backends_agree(tables, ignored=frozenset({2}))
+
+    def test_fault_injected_views(self):
+        rng = np.random.default_rng(11)
+        ips = rng.choice(
+            np.array([(BASE + i) << 8 for i in range(6)], dtype=np.uint64), size=300
+        ).astype(np.uint32)
+        view = VantageDayView(vantage="V", day=0, flows=make_flows(ips))
+        for injector in (
+            DuplicatedRecords(duplicate_fraction=0.5),
+            CorruptedFields(corrupt_fraction=0.3),
+        ):
+            faulted, _ = injector.inject(view, np.random.default_rng(5))
+            assert_backends_agree([faulted.flows])
+
+    def test_many_parts_exercise_merge(self):
+        # compact_every=2 forces a compaction per update: the native
+        # linear/k-way merges run repeatedly against the reference
+        # regroup's operation order.
+        rng = np.random.default_rng(23)
+        tables = [
+            make_flows(
+                rng.integers(0, 2**32, size=50, dtype=np.uint64).astype(np.uint32)
+            )
+            for _ in range(6)
+        ]
+        reference = fold(tables, "numpy", compact_every=2)
+        native = fold(tables, "native", compact_every=2)
+        assert partial_states_identical(reference, native)
+
+    @given(st.lists(flow_tables(), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_property_states_identical(self, tables):
+        assert_backends_agree(tables)
+
+    @given(st.lists(flow_tables(), min_size=1, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_property_merged_states_identical(self, tables):
+        # absorb() crosses compacted parts between accumulators — the
+        # merge path a parallel or federated fold takes.
+        halves = {}
+        for kernel in ("numpy", "native"):
+            left = fold(tables[: len(tables) // 2 + 1], kernel)
+            right = fold(tables[len(tables) // 2 + 1 :], kernel)
+            left.merge(right)
+            halves[kernel] = left
+        assert partial_states_identical(halves["numpy"], halves["native"])
+
+
+class TestClassificationParity:
+    @given(st.lists(flow_tables(), min_size=1, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_property_classification_identical(self, tables):
+        views = [
+            VantageDayView(vantage=f"V{i}", day=i % 2, flows=table)
+            for i, table in enumerate(tables)
+        ]
+        results = {
+            kernel: run_pipeline_chunked(
+                views, ROUTING, PipelineConfig(), chunk_size=17, kernel=kernel
+            )
+            for kernel in ("numpy", "native")
+        }
+        assert np.array_equal(
+            results["numpy"].dark_blocks, results["native"].dark_blocks
+        )
+        assert np.array_equal(
+            results["numpy"].gray_blocks, results["native"].gray_blocks
+        )
+        assert np.array_equal(
+            results["numpy"].unclean_blocks, results["native"].unclean_blocks
+        )
+        assert results["numpy"].funnel == results["native"].funnel
+
+
+class TestStageMaskParity:
+    @given(st.lists(flow_tables(), min_size=1, max_size=2))
+    @settings(max_examples=25, deadline=None)
+    def test_member_and_interval_masks(self, tables):
+        reference = get_kernel("numpy")
+        native = get_kernel("native")
+        blocks = np.unique(
+            np.concatenate(
+                [table.dst_ip.astype(np.int64) >> 8 for table in tables]
+            )
+        )
+        table = blocks[::2].copy()
+        assert np.array_equal(
+            reference.sorted_member_mask(blocks, table),
+            native.sorted_member_mask(blocks, table),
+        )
+        starts = blocks[::3].copy()
+        ends = starts + 2
+        assert np.array_equal(
+            reference.interval_covered_mask(starts, ends, blocks),
+            native.interval_covered_mask(starts, ends, blocks),
+        )
+
+
+class TestResolution:
+    def test_choices_and_validation(self):
+        assert set(KERNEL_CHOICES) == {"auto", "numpy", "native"}
+        with pytest.raises(ValueError, match="kernel must be one of"):
+            resolve_kernel_name("fortran")
+
+    def test_numpy_resolves_to_reference(self):
+        kernel = get_kernel("numpy")
+        assert type(kernel) is NumpyKernel
+        assert kernel.describe()["provider"] == "numpy"
+
+    def test_auto_matches_provider_availability(self):
+        resolved = resolve_kernel_name("auto")
+        assert resolved == ("native" if native_provider() else "numpy")
+
+
+class TestFallback:
+    @pytest.fixture()
+    def disabled_native(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_NATIVE_ENV, "1")
+        invalidate_cache()
+        yield
+        monkeypatch.delenv(DISABLE_NATIVE_ENV)
+        invalidate_cache()
+
+    def test_native_degrades_to_reference(self, disabled_native):
+        kernel = get_kernel("native")
+        assert kernel.provider == "numpy"
+        assert DISABLE_NATIVE_ENV in kernel.fallback_reason
+        # Degraded native is the reference computation.
+        table = make_flows(
+            np.array([(BASE << 8) | 3, (BASE << 8) | 4], dtype=np.uint32)
+        )
+        reference = fold([table], "numpy")
+        assert partial_states_identical(reference, fold([table], "native"))
+
+    def test_auto_plans_numpy_when_degraded(self, disabled_native):
+        assert native_provider() is None
+        assert resolve_kernel_name("auto") == "numpy"
+
+    def test_degraded_engine_emits_fallback_trace_event(self, disabled_native):
+        views = [
+            VantageDayView(
+                vantage="V",
+                day=0,
+                flows=make_flows(np.array([(BASE << 8) | 1], dtype=np.uint32)),
+            )
+        ]
+        sink = MemorySink()
+        plan = ExecutionPlanner().plan(views, kernel="native")
+        context = RunContext(knobs=plan.knobs, plan=plan, sinks=(sink,))
+        execute_plan(plan, views, context)
+        events = [event for event in sink.events if event.kind == "kernel"]
+        assert len(events) == 1
+        assert events[0].meta["provider"] == "numpy"
+        assert DISABLE_NATIVE_ENV in events[0].meta["fallback_reason"]
+
+    def test_plan_still_names_native_when_degraded(self, disabled_native):
+        # The knob records intent ("native"); the trace event records
+        # what actually computed (the fallback) — both are provenance.
+        plan = ExecutionPlanner().plan([], kernel="native")
+        assert plan.knobs.kernel == "native"
