@@ -11,7 +11,18 @@ cares about:
   keeps republishing — the serving contract says readers never block;
 - batch parity: every point answer must agree with the batch
   :meth:`MetaTelescope.infer` dark set over the full world sweep.  Any
-  divergence aborts the run — this artifact doubles as the CI gate.
+  divergence aborts the run — this artifact doubles as the CI gate;
+- **process scaling**: an SO_REUSEPORT fleet at each ``--process-counts``
+  size, hammered by spawned load-generator processes with a
+  point/range/diff mix while the supervisor republishes mid-run.  Every
+  answer is validated against the per-version truth (a wrong bit at any
+  served version is a torn read and aborts), a parity sweep asserts
+  byte-identical answers across workers, and on a ≥4-core host the
+  4-process aggregate qps must reach 2.5x the single process's;
+- **delta archive**: a ``--publishes``-long republish sequence appended
+  to a :class:`SnapshotDeltaStore` must cost ≤25% of the same sequence
+  as full snapshots while reconstructing every retained version
+  bit-identically.
 
 Results land in ``benchmarks/output/BENCH_service.json`` (override
 with ``--output``).  Run standalone::
@@ -22,8 +33,14 @@ with ``--output``).  Run standalone::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import hashlib
 import json
+import multiprocessing
+import os
 import pathlib
+import shutil
+import tempfile
 import threading
 import time
 import urllib.request
@@ -33,10 +50,15 @@ import numpy as np
 from repro.core.metatelescope import MetaTelescope
 from repro.core.online import OnlineMetaTelescope
 from repro.core.pipeline import PipelineConfig
+from repro.core.snapshot import VERDICT_DARK, VERDICT_GRAY
+from repro.core.snapshot_store import SnapshotDeltaStore
+from repro.net.ipv4 import block_to_prefix
 from repro.service import (
     BackgroundFolder,
+    FleetSupervisor,
     MetaTelescopeService,
     QueryBudget,
+    SnapshotHandle,
     run_daemon_in_thread,
 )
 from repro.world.observe import Observatory
@@ -220,6 +242,470 @@ def bench_scale(scale: str, seed: int, days: int, point_queries: int) -> dict:
     }
 
 
+# ---------------------------------------------------------------------------
+# Sustained-load harness: fleet scaling, torn-read detection, delta archive
+# ---------------------------------------------------------------------------
+
+
+def _latency_stats(samples_us: list[float]) -> dict[str, float]:
+    arr = np.asarray(samples_us, dtype=np.float64)
+    if arr.size == 0:
+        return {"count": 0}
+    return {
+        "count": int(arr.size),
+        "p50_us": float(np.percentile(arr, 50)),
+        "p99_us": float(np.percentile(arr, 99)),
+        "p999_us": float(np.percentile(arr, 99.9)),
+        "mean_us": float(arr.mean()),
+    }
+
+
+def _folded_snapshot(scale: str, seed: int, days: int):
+    """Fold a world and return its enriched (unstamped) snapshot."""
+    world = _SCALES[scale](seed)
+    observatory = Observatory(world)
+    days = min(days, world.config.num_days)
+    online = OnlineMetaTelescope(
+        telescope=_telescope(world),
+        window_days=min(3, days),
+        min_stable_days=2,
+    )
+    for day in range(days):
+        online.update(day, list(observatory.day(day).ixp_views.values()))
+    return online.snapshot().enrich(
+        pfx2as=world.datasets.pfx2as, geodb=world.datasets.geodb
+    )
+
+
+def _variants(snapshot, count: int, churn: float, seed: int) -> list:
+    """A deterministic republish sequence: each step flips the verdicts
+    of a ``churn`` fraction of dark/gray rows (dark <-> gray), keeping
+    the block universe fixed — so every version has a known dark set
+    and range totals are version-independent."""
+    rng = np.random.default_rng(seed + 1)
+    eligible = np.flatnonzero(
+        (snapshot.verdicts == VERDICT_DARK)
+        | (snapshot.verdicts == VERDICT_GRAY)
+    )
+    out = [snapshot]
+    current = snapshot
+    for _ in range(count - 1):
+        flips = rng.choice(
+            eligible,
+            size=max(1, int(len(eligible) * churn)),
+            replace=False,
+        )
+        verdicts = np.array(current.verdicts)
+        verdicts[flips] = np.where(
+            verdicts[flips] == VERDICT_DARK, VERDICT_GRAY, VERDICT_DARK
+        )
+        current = dataclasses.replace(current, verdicts=verdicts)
+        out.append(current)
+    return out
+
+
+def _truth(variants: list, seed: int) -> dict:
+    """The oracle the load workers validate against: per-version dark
+    sets (version ``i+1`` is ``variants[i]`` — the supervisor stamps in
+    publish order), probe blocks, and range windows with their
+    version-independent totals."""
+    base = variants[0]
+    rng = np.random.default_rng(seed + 2)
+    blocks = base.blocks
+    present = rng.choice(blocks, size=min(150, len(blocks)), replace=False)
+    block_set = set(int(b) for b in blocks)
+    absent = [
+        int(b) + 1 for b in present[:50] if int(b) + 1 not in block_set
+    ]
+    ranges = []
+    range_total = {}
+    for _ in range(8):
+        i = int(rng.integers(0, max(1, len(blocks) - 60)))
+        start = int(blocks[i])
+        end = int(blocks[min(i + 50, len(blocks) - 1)])
+        ranges.append([start, end])
+        range_total[f"{start}:{end}"] = int(
+            np.searchsorted(blocks, end, "right")
+            - np.searchsorted(blocks, start, "left")
+        )
+    dark = {}
+    dark_prefix = {}
+    for i, variant in enumerate(variants):
+        served = variant.blocks[variant.verdicts == VERDICT_DARK]
+        dark[str(i + 1)] = [int(b) for b in served]
+        dark_prefix[str(i + 1)] = [
+            str(block_to_prefix(int(b))) for b in served
+        ]
+    return {
+        "probes": sorted(set(int(b) for b in present) | set(absent)),
+        "ranges": ranges,
+        "range_total": range_total,
+        "dark": dark,
+        "dark_prefix": dark_prefix,
+        "versions": list(range(1, len(variants) + 1)),
+    }
+
+
+def _load_worker(
+    base_url: str,
+    truth_path: str,
+    seed: int,
+    duration: float,
+    offered_qps: float,
+    out_path: str,
+) -> None:
+    """One spawned load-generator process (stdlib-only on the hot path).
+
+    Open-loop when ``offered_qps > 0`` (paced sends with bounded
+    lateness), saturation otherwise.  Every answer is checked against
+    the truth for the version it *claims* to be from — under republish
+    churn that is exactly the torn-read detector: a response mixing two
+    snapshots cannot match any single version's truth.
+
+    Queries ride one persistent keep-alive connection (reopened on
+    error) so the generator measures the service, not per-request TCP
+    setup; SO_REUSEPORT pins each connection to one fleet worker, which
+    is exactly how real clients land."""
+    import http.client
+    import random
+
+    truth = json.loads(pathlib.Path(truth_path).read_text())
+    dark = {int(v): set(b) for v, b in truth["dark"].items()}
+    dark_prefix = {
+        int(v): set(p) for v, p in truth["dark_prefix"].items()
+    }
+    probes = truth["probes"]
+    ranges = [tuple(r) for r in truth["ranges"]]
+    range_total = {
+        tuple(int(x) for x in key.split(":")): total
+        for key, total in truth["range_total"].items()
+    }
+    versions = truth["versions"]
+
+    rng = random.Random(seed)
+    lat = {"point": [], "range": [], "diff": []}
+    counts = {"point": 0, "range": 0, "diff": 0}
+    violations: list[str] = []
+    violation_count = 0
+
+    def flag(what: str) -> None:
+        nonlocal violation_count
+        violation_count += 1
+        if len(violations) < 10:
+            violations.append(what)
+
+    host, _, port = base_url.removeprefix("http://").partition(":")
+    conn = http.client.HTTPConnection(host, int(port), timeout=10)
+
+    def get(path: str) -> dict:
+        try:
+            conn.request("GET", path)
+            reply = conn.getresponse()
+            return json.loads(reply.read())
+        except Exception:
+            conn.close()  # next request reconnects
+            raise
+
+    interval = 1.0 / offered_qps if offered_qps > 0 else 0.0
+    next_send = time.monotonic()
+    deadline = time.monotonic() + duration
+    while time.monotonic() < deadline:
+        if interval:
+            now = time.monotonic()
+            if next_send > now:
+                time.sleep(next_send - now)
+            # bounded lateness: never owe more than a second of backlog
+            next_send = max(next_send + interval, time.monotonic() - 1.0)
+        roll = rng.random()
+        started = time.perf_counter()
+        try:
+            if roll < 0.6:
+                kind = "point"
+                block = rng.choice(probes)
+                body = get(f"/v1/point?block={block}")
+            elif roll < 0.85:
+                kind = "range"
+                start, end = rng.choice(ranges)
+                body = get(f"/v1/range?start={start}&end={end}")
+            else:
+                kind = "diff"
+                body = get(f"/v1/diff?since={rng.choice(versions)}")
+        except Exception as error:  # noqa: BLE001 — a load error is data
+            flag(f"transport: {error!r}")
+            continue
+        lat[kind].append((time.perf_counter() - started) * 1e6)
+        counts[kind] += 1
+        version = body.get("snapshot_version")
+        if version not in dark:
+            flag(f"unknown snapshot_version {version!r}")
+            continue
+        if kind == "point":
+            if body["dark"] != (block in dark[version]):
+                flag(
+                    f"torn point: block {block} dark={body['dark']} "
+                    f"at v{version}"
+                )
+        elif kind == "range":
+            if body["total"] != range_total[(start, end)]:
+                flag(
+                    f"torn range [{start},{end}]: total {body['total']} "
+                    f"!= {range_total[(start, end)]} at v{version}"
+                )
+            for row in body["rows"]:
+                block = row["block"]
+                if not (start <= block <= end) or row["dark"] != (
+                    block in dark[version]
+                ):
+                    flag(
+                        f"torn range row: block {block} at v{version}"
+                    )
+                    break
+        elif body.get("base_retained"):
+            base = body["base_version"]
+            want_added = dark_prefix[version] - dark_prefix[base]
+            want_removed = dark_prefix[base] - dark_prefix[version]
+            if (
+                set(body["added_dark"]) != want_added
+                or set(body["removed_dark"]) != want_removed
+            ):
+                flag(f"torn diff: v{base} -> v{version}")
+    pathlib.Path(out_path).write_text(
+        json.dumps(
+            {
+                "counts": counts,
+                "violation_count": violation_count,
+                "violations": violations,
+                "lat_us": lat,
+            }
+        )
+    )
+
+
+def _parity_sweep(
+    base_url: str, truth: dict, connections: int = 24
+) -> set[str]:
+    """Hash one identical query script over many fresh connections.
+
+    SO_REUSEPORT balances *connections* across fleet workers, so with
+    several times more connections than workers every worker answers
+    some of them — and every digest must be identical, byte for byte."""
+    probes = truth["probes"][:20]
+    start, end = truth["ranges"][0]
+    digests = set()
+    for _ in range(connections):
+        digest = hashlib.sha256()
+        for block in probes:
+            with urllib.request.urlopen(
+                f"{base_url}/v1/point?block={block}", timeout=10
+            ) as reply:
+                digest.update(reply.read())
+        with urllib.request.urlopen(
+            f"{base_url}/v1/range?start={start}&end={end}", timeout=10
+        ) as reply:
+            digest.update(reply.read())
+        with urllib.request.urlopen(
+            f"{base_url}/v1/diff?since=1", timeout=10
+        ) as reply:
+            digest.update(reply.read())
+        digests.add(digest.hexdigest())
+    return digests
+
+
+def bench_process_scaling(
+    snapshot,
+    seed: int,
+    counts: list[int],
+    duration: float,
+    load_workers: int,
+    offered_qps: float,
+) -> dict:
+    """Sustained load against the fleet at each process count."""
+    variants = _variants(snapshot, 6, 0.05, seed)
+    final_version = len(variants)
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench-fleet-"))
+    truth = _truth(variants, seed)
+    truth_path = workdir / "truth.json"
+    truth_path.write_text(json.dumps(truth))
+    spawn = multiprocessing.get_context("spawn")
+
+    runs = []
+    qps_by_processes: dict[int, float] = {}
+    try:
+        for processes in counts:
+            supervisor = FleetSupervisor(
+                workdir / f"fleet-{processes}",
+                processes=processes,
+                poll_interval=0.02,
+            )
+            supervisor.publish(variants[0])
+            supervisor.start()
+            try:
+                supervisor.wait_ready(60)
+                outs = [
+                    workdir / f"load-{processes}-{slot}.json"
+                    for slot in range(load_workers)
+                ]
+                loaders = [
+                    spawn.Process(
+                        target=_load_worker,
+                        args=(
+                            supervisor.base_url,
+                            str(truth_path),
+                            seed + 17 * slot,
+                            duration,
+                            offered_qps,
+                            str(out),
+                        ),
+                    )
+                    for slot, out in enumerate(outs)
+                ]
+                for loader in loaders:
+                    loader.start()
+                # republish churn mid-run, spread over the first part
+                for variant in variants[1:]:
+                    time.sleep(duration / (len(variants) + 2))
+                    supervisor.publish(variant)
+                for loader in loaders:
+                    loader.join(duration + 120)
+                supervisor.wait_version(final_version, 30)
+                digests = _parity_sweep(supervisor.base_url, truth)
+            finally:
+                supervisor.stop()
+
+            reports = [json.loads(out.read_text()) for out in outs]
+            total = sum(
+                sum(report["counts"].values()) for report in reports
+            )
+            violations = sum(
+                report["violation_count"] for report in reports
+            )
+            run = {
+                "processes": processes,
+                "load_workers": load_workers,
+                "republishes": final_version - 1,
+                "queries": total,
+                "qps": total / duration,
+                "violations": violations,
+                "violation_samples": [
+                    sample
+                    for report in reports
+                    for sample in report["violations"]
+                ][:10],
+                "parity_connections": 24,
+                "parity_digests": len(digests),
+                "latency": {
+                    kind: _latency_stats(
+                        [
+                            value
+                            for report in reports
+                            for value in report["lat_us"][kind]
+                        ]
+                    )
+                    for kind in ("point", "range", "diff")
+                },
+            }
+            runs.append(run)
+            qps_by_processes[processes] = run["qps"]
+            if violations:
+                raise SystemExit(
+                    f"fleet x{processes}: {violations} torn/invalid "
+                    f"answers under churn: {run['violation_samples']}"
+                )
+            if len(digests) != 1:
+                raise SystemExit(
+                    f"fleet x{processes}: workers diverged — "
+                    f"{len(digests)} distinct parity digests"
+                )
+            print(
+                f"fleet x{processes}: {run['qps']:,.0f} qps "
+                f"({total:,} queries, {run['republishes']} republishes, "
+                f"0 violations, parity ok), point p50 "
+                f"{run['latency']['point'].get('p50_us', 0):.0f}us "
+                f"p999 {run['latency']['point'].get('p999_us', 0):.0f}us"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    cpus = os.cpu_count() or 1
+    gate = {
+        "required_speedup_at_4": 2.5,
+        "enforced": cpus >= 4
+        and 4 in qps_by_processes
+        and 1 in qps_by_processes,
+    }
+    if gate["enforced"]:
+        gate["speedup_at_4"] = qps_by_processes[4] / qps_by_processes[1]
+        if gate["speedup_at_4"] < gate["required_speedup_at_4"]:
+            raise SystemExit(
+                f"process scaling gate: 4-process fleet reached only "
+                f"{gate['speedup_at_4']:.2f}x single-process qps "
+                f"(need {gate['required_speedup_at_4']}x)"
+            )
+    return {
+        "cpus": cpus,
+        "duration_s": duration,
+        "mode": "paced-open-loop" if offered_qps > 0 else "saturation",
+        "offered_qps_per_worker": offered_qps,
+        "runs": runs,
+        "scaling_gate": gate,
+    }
+
+
+def bench_delta_archive(
+    snapshot, seed: int, publishes: int, churn: float
+) -> dict:
+    """Delta-archive cost vs full snapshots over a republish sequence."""
+    variants = _variants(snapshot, publishes, churn, seed + 5)
+    handle = SnapshotHandle(history=publishes)
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench-delta-"))
+    try:
+        store = SnapshotDeltaStore(workdir / "store")
+        fulls = workdir / "fulls"
+        fulls.mkdir()
+        stamped_all = []
+        started = time.perf_counter()
+        for variant in variants:
+            stamped = handle.publish(variant)
+            store.append(stamped)
+            stamped_all.append(stamped)
+        append_s = time.perf_counter() - started
+        full_bytes = 0
+        for stamped in stamped_all:
+            path = fulls / f"v{stamped.version}.fpk"
+            stamped.save(path)
+            full_bytes += path.stat().st_size
+        store_bytes = store.total_bytes()
+        ratio = store_bytes / full_bytes
+        retained = store.versions()
+        reopened = SnapshotDeltaStore(workdir / "store")
+        for stamped in stamped_all:
+            if stamped.version not in retained:
+                continue
+            if not reopened.load(stamped.version).identical_to(stamped):
+                raise SystemExit(
+                    f"delta archive diverged at v{stamped.version}"
+                )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    if ratio > 0.25:
+        raise SystemExit(
+            f"delta archive gate: store is {ratio:.1%} of full "
+            f"snapshots (must be <= 25%)"
+        )
+    return {
+        "publishes": publishes,
+        "churn_fraction": churn,
+        "blocks": len(snapshot),
+        "store_bytes": store_bytes,
+        "full_snapshot_bytes": full_bytes,
+        "ratio": ratio,
+        "versions_retained": len(retained),
+        "reconstructed_identical": True,
+        "append_seconds_total": append_s,
+        "gate_max_ratio": 0.25,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -229,6 +715,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--days", type=int, default=3)
     parser.add_argument("--point-queries", type=int, default=2000)
     parser.add_argument("--output", type=pathlib.Path, default=_OUTPUT)
+    parser.add_argument(
+        "--process-counts", type=int, nargs="+", default=None,
+        metavar="N",
+        help="fleet sizes for the scaling section (default: 1 2 4 "
+        "trimmed to the host's cores)",
+    )
+    parser.add_argument(
+        "--load-duration", type=float, default=2.0, metavar="SECONDS",
+        help="sustained-load window per fleet size",
+    )
+    parser.add_argument(
+        "--load-workers", type=int, default=3,
+        help="spawned load-generator processes per run",
+    )
+    parser.add_argument(
+        "--offered-qps", type=float, default=0.0,
+        help="per-load-worker paced open-loop send rate "
+        "(0 = unpaced saturation)",
+    )
+    parser.add_argument(
+        "--publishes", type=int, default=30,
+        help="republish sequence length for the delta-archive section",
+    )
+    parser.add_argument(
+        "--churn", type=float, default=0.02,
+        help="fraction of dark/gray rows flipped per republish in the "
+        "delta-archive section",
+    )
+    parser.add_argument(
+        "--skip-scaling", action="store_true",
+        help="skip the multi-process fleet section",
+    )
+    parser.add_argument(
+        "--skip-delta", action="store_true",
+        help="skip the delta-archive section",
+    )
     args = parser.parse_args(argv)
 
     records = []
@@ -253,6 +775,32 @@ def main(argv: list[str] | None = None) -> int:
         "seed": args.seed,
         "worlds": records,
     }
+    if not (args.skip_scaling and args.skip_delta):
+        snapshot = _folded_snapshot(args.scales[0], args.seed, args.days)
+        if not args.skip_scaling:
+            counts = args.process_counts or [
+                n for n in (1, 2, 4) if n <= max(2, os.cpu_count() or 1)
+            ]
+            payload["process_scaling"] = bench_process_scaling(
+                snapshot,
+                args.seed,
+                counts,
+                args.load_duration,
+                args.load_workers,
+                args.offered_qps,
+            )
+        if not args.skip_delta:
+            delta = bench_delta_archive(
+                snapshot, args.seed, args.publishes, args.churn
+            )
+            payload["delta_archive"] = delta
+            print(
+                f"delta archive: {args.publishes} publishes in "
+                f"{delta['store_bytes']:,} bytes = {delta['ratio']:.1%} "
+                f"of {delta['full_snapshot_bytes']:,} full-snapshot "
+                f"bytes, {delta['versions_retained']} versions "
+                f"reconstructed bit-identically"
+            )
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -1,7 +1,14 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI.
+
+The ``__main__`` guard is load-bearing: ``serve --processes N`` spawns
+worker processes, and the ``spawn`` start method re-imports the parent's
+main module in each child — without the guard every worker would re-run
+the CLI instead of its worker loop.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,10 @@ Commands:
                   classification snapshots behind an atomic-swap
                   handle, and answer point/range/AS/geo/diff queries
                   over HTTP/JSON (or serve a saved ``snapshot.fpk``);
+                  ``--processes N`` boots an SO_REUSEPORT worker fleet
+                  sharing one memory-mapped snapshot, and
+                  ``--delta-archive DIR`` appends each publish to the
+                  row-delta archive;
 * ``query``     — query a running daemon from the command line;
 * ``convert``   — convert a flow file between CSV and the flowpack
                   binary columnar archive format (format sniffed from
@@ -52,6 +56,8 @@ import argparse
 import asyncio
 import json
 import sys
+import tempfile
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -77,8 +83,10 @@ from repro.robustness import (
     evaluate_catalog,
     standard_catalog,
 )
+from repro.core.snapshot_store import SnapshotDeltaStore
 from repro.service import (
     BackgroundFolder,
+    FleetSupervisor,
     MetaTelescopeService,
     QueryBudget,
     ServiceDaemon,
@@ -457,6 +465,11 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Boot the query daemon (ROADMAP item 1's product surface)."""
+    delta_store = (
+        SnapshotDeltaStore(args.delta_archive) if args.delta_archive else None
+    )
+    if args.processes > 1:
+        return _serve_fleet(args, delta_store)
     if args.snapshot:
         # Serve a saved snapshot.fpk directly — no world, no folding.
         context = _context(args)
@@ -464,6 +477,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             context=context,
             budget=QueryBudget(max_results=args.max_results),
             max_inflight=args.max_inflight,
+            delta_store=delta_store,
         )
         snapshot = service.publish(ClassificationSnapshot.open(args.snapshot))
         folder = None
@@ -492,6 +506,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             context=context,
             budget=QueryBudget(max_results=args.max_results),
             max_inflight=args.max_inflight,
+            delta_store=delta_store,
         )
         folder = BackgroundFolder(online, service)
         warm = days if args.warm_days is None else min(args.warm_days, days)
@@ -530,6 +545,106 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if folder is not None:
+            folder.join(timeout=1.0)
+        context.close()
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace, delta_store) -> int:
+    """``serve --processes N``: the SO_REUSEPORT worker fleet.
+
+    The supervisor process never serves HTTP itself — it folds (or
+    opens) snapshots, persists each one to the fleet root, and bumps
+    the version sentinel; N spawned workers share the one mapped
+    ``snapshot.fpk`` and one kernel-balanced port.
+    """
+    root = args.fleet_root or tempfile.mkdtemp(prefix="meta-telescope-fleet-")
+    if args.snapshot:
+        context = _context(args)
+        supervisor = FleetSupervisor(
+            root,
+            processes=args.processes,
+            host=args.host,
+            port=args.port,
+            max_results=args.max_results,
+            max_inflight=args.max_inflight,
+            delta_store=delta_store,
+        )
+        snapshot = supervisor.publish(ClassificationSnapshot.open(args.snapshot))
+        folder = None
+        print(
+            f"serving {args.snapshot}: {len(snapshot):,} blocks, "
+            f"day {snapshot.day}, version {snapshot.version}",
+            flush=True,
+        )
+    else:
+        world, observatory, telescope, context = _build(args)
+        days = min(args.days, world.config.num_days)
+        online = OnlineMetaTelescope(
+            telescope=telescope,
+            window_days=min(args.window, days),
+            min_stable_days=min(2, min(args.window, days)),
+            use_spoofing_tolerance=not args.no_tolerance,
+            policy=args.policy,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
+            kernel=args.kernel,
+            sinks=context.sinks,
+        )
+        supervisor = FleetSupervisor(
+            root,
+            processes=args.processes,
+            host=args.host,
+            port=args.port,
+            max_results=args.max_results,
+            max_inflight=args.max_inflight,
+            delta_store=delta_store,
+            pfx2as=world.datasets.pfx2as,
+            geodb=world.datasets.geodb,
+        )
+        folder = BackgroundFolder(online, supervisor)
+        warm = days if args.warm_days is None else min(args.warm_days, days)
+        for day in range(warm):
+            snapshot = folder.fold(
+                day, _day_views(world, observatory, args, day)
+            )
+            print(
+                f"day {day}: published v{snapshot.version} "
+                f"({len(snapshot.dark_blocks):,} dark of {len(snapshot):,})",
+                flush=True,
+            )
+        if warm < days:
+            folder.start(
+                (day, _day_views(world, observatory, args, day))
+                for day in range(warm, days)
+            )
+    if args.save_snapshot:
+        supervisor.handle.current().save(args.save_snapshot)
+        print(f"wrote snapshot to {args.save_snapshot}", flush=True)
+
+    try:
+        supervisor.start()
+        supervisor.wait_ready()
+        print(
+            f"meta-telescope fleet: {args.processes} workers on "
+            f"{supervisor.base_url} (root {supervisor.root})",
+            flush=True,
+        )
+        deadline = (
+            time.monotonic() + args.exit_after
+            if args.exit_after is not None
+            else None
+        )
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.25)
+            restarted = supervisor.ensure_alive()
+            if restarted:
+                print(f"restarted {restarted} worker(s)", flush=True)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.stop()
         if folder is not None:
             folder.join(timeout=1.0)
         context.close()
@@ -764,6 +879,24 @@ def build_parser() -> argparse.ArgumentParser:
                 "--exit-after", type=float, default=None, metavar="SECONDS",
                 help="stop serving after this long (CI smoke; default: "
                 "serve until interrupted)",
+            )
+            p.add_argument(
+                "--processes", type=int, default=1, metavar="N",
+                help="serve from N SO_REUSEPORT worker processes sharing "
+                "one memory-mapped snapshot.fpk (default: 1, in-process "
+                "daemon); size to the cores you can spare",
+            )
+            p.add_argument(
+                "--fleet-root", default=None, metavar="DIR",
+                help="directory for the fleet's shared snapshot.fpk and "
+                "version sentinel (default: a fresh temp dir); only "
+                "used with --processes > 1",
+            )
+            p.add_argument(
+                "--delta-archive", default=None, metavar="DIR",
+                help="also append each published snapshot's delta to a "
+                "flowpack delta archive at DIR (O(changed /24s) bytes "
+                "per publish; auto-compacts)",
             )
         p.set_defaults(handler=handler)
 

@@ -354,6 +354,27 @@ class ClassificationSnapshot:
             for code, count in zip(codes, counts)
         }
 
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The column arrays, in schema order (the on-disk shape)."""
+        return {name: getattr(self, name) for name in SNAPSHOT_COLUMNS}
+
+    def identical_to(self, other: "ClassificationSnapshot") -> bool:
+        """Bit-identity: same day, version, provenance and columns.
+
+        This is the parity predicate the delta store and the serving
+        fleet gate on — ``==`` would compare array identity, not
+        content.
+        """
+        return (
+            self.day == other.day
+            and self.version == other.version
+            and dict(self.provenance) == dict(other.provenance)
+            and all(
+                np.array_equal(getattr(self, name), getattr(other, name))
+                for name in SNAPSHOT_COLUMNS
+            )
+        )
+
     # -- enrichment ----------------------------------------------------
 
     def enrich(self, pfx2as=None, geodb=None) -> "ClassificationSnapshot":

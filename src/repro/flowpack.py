@@ -269,6 +269,22 @@ def write_table_archive(
         writer.write_columns(arrays)
 
 
+def append_table_columns(
+    arrays: Mapping[str, np.ndarray], path: str | Path
+) -> None:
+    """Append aligned arrays as one new segment to an existing generic
+    table archive (the schema comes from the archive's own header; an
+    empty append is a no-op, exactly like :meth:`TableWriter.write_columns`).
+
+    This is how the snapshot delta store grows its ``deltas.fpk``: one
+    self-describing segment per publish, nothing ever rewritten.
+    """
+    _, spec, _, _ = _scan_table(path, strict=True)
+    columns = {name: np.dtype(dtype) for name, dtype in spec}
+    with TableWriter(path, columns, append=True) as writer:
+        writer.write_columns(arrays)
+
+
 # -- scanning -----------------------------------------------------------
 
 

@@ -11,11 +11,17 @@ that product surface over the :mod:`repro.core.snapshot` layer:
   lock;
 * :mod:`repro.service.daemon` — the query engine
   (:class:`MetaTelescopeService`: point / range / AS / geo / diff /
-  health, with per-query budgets and load-shed) and the stdlib-asyncio
-  HTTP/JSON front end (:class:`ServiceDaemon`), plus the
-  :class:`BackgroundFolder` that folds new vantage-days through an
+  health, with per-query budgets, load-shed, version-based
+  ``ETag``/``if_version_changed`` conditional answers) and the
+  stdlib-asyncio HTTP/JSON front end (:class:`ServiceDaemon`), plus
+  the :class:`BackgroundFolder` that folds new vantage-days through an
   :class:`~repro.core.online.OnlineMetaTelescope` off the read path
-  and publishes fresh snapshots.
+  and publishes fresh snapshots;
+* :mod:`repro.service.fleet` — scale-out on one box: the
+  :class:`FleetSupervisor` runs N daemon processes on one
+  ``SO_REUSEPORT`` port, all serving zero-copy off one memory-mapped
+  ``snapshot.fpk`` (publish = atomic file swap + version sentinel),
+  restarting dead workers and draining gracefully.
 
 Nothing beyond the standard library is required to serve.
 """
@@ -27,10 +33,12 @@ from repro.service.daemon import (
     ServiceDaemon,
     run_daemon_in_thread,
 )
+from repro.service.fleet import FleetSupervisor
 from repro.service.handle import SnapshotHandle
 
 __all__ = [
     "BackgroundFolder",
+    "FleetSupervisor",
     "MetaTelescopeService",
     "QueryBudget",
     "ServiceDaemon",

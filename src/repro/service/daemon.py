@@ -33,6 +33,19 @@ queries before the first publish.  List answers are capped by the
 unbounded.  With a :class:`~repro.core.engine.RunContext` attached,
 every query emits a ``query`` event and every publish a ``publish``
 event through the PR-5 sink API.
+
+Polling clients are nearly free: every ``/v1/*`` answer carries a
+version-based ``ETag`` (``"v<N>"``), a matching ``If-None-Match``
+request turns into a bodyless ``304``, and the header-less equivalent
+``?if_version_changed=N`` short-circuits to a tiny
+``{"not_modified": true}`` payload before any query work runs.
+
+Scale-out happens across *processes*, not threads:
+:class:`ServiceDaemon` can bind its port with ``SO_REUSEPORT``
+(``reuse_port=True``) so N independent daemons share one address and
+the kernel load-balances accepted connections — see
+:mod:`repro.service.fleet` for the supervisor that runs and feeds such
+a fleet off one shared-page-cache ``snapshot.fpk``.
 """
 
 from __future__ import annotations
@@ -42,6 +55,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Iterable
 from urllib.parse import parse_qs, urlsplit
 
@@ -102,6 +116,7 @@ class MetaTelescopeService:
         context: RunContext | None = None,
         budget: QueryBudget | None = None,
         max_inflight: int = 64,
+        delta_store=None,
     ) -> None:
         self.handle = handle if handle is not None else SnapshotHandle()
         self.pfx2as = pfx2as
@@ -112,6 +127,9 @@ class MetaTelescopeService:
         self.context = context
         self.budget = budget if budget is not None else QueryBudget()
         self.max_inflight = max_inflight
+        #: Optional :class:`~repro.core.snapshot_store.SnapshotDeltaStore`
+        #: fed one delta per :meth:`publish` (the year-scale archive).
+        self.delta_store = delta_store
         self.queries_served = 0
         self.queries_shed = 0
         self.publishes = 0
@@ -132,6 +150,36 @@ class MetaTelescopeService:
         stamped = self.handle.publish(
             snapshot.enrich(pfx2as=self.pfx2as, geodb=self.geodb)
         )
+        if self.delta_store is not None:
+            self.delta_store.append(stamped)
+        self._note_publish(stamped, started)
+        return stamped
+
+    def publish_path(
+        self, path: str | Path, verify: bool = True
+    ) -> ClassificationSnapshot:
+        """Serve straight off a flowpack-persisted ``snapshot.fpk``.
+
+        The opened snapshot's columns are zero-copy ``np.memmap`` views
+        (:meth:`ClassificationSnapshot.open`), so N processes serving
+        the same file share one page-cache copy instead of N heap
+        copies; point and range queries run their ``searchsorted``
+        probes directly on the mapped arrays.  The file's own stamped
+        version is **adopted**, not re-stamped — every process serving
+        this artifact answers with the same version — and no
+        enrichment runs (a persisted snapshot is already enriched).
+        ``verify=False`` skips the CRC pass (e.g. a fleet worker
+        re-opening a file its supervisor just wrote and verified).
+        """
+        started = time.perf_counter()
+        snapshot = ClassificationSnapshot.open(path, verify=verify)
+        adopted = self.handle.adopt(snapshot)
+        self._note_publish(adopted, started)
+        return adopted
+
+    def _note_publish(
+        self, stamped: ClassificationSnapshot, started: float
+    ) -> None:
         with self._stats_lock:
             self.publishes += 1
         if self.context is not None:
@@ -142,7 +190,6 @@ class MetaTelescopeService:
                 rows_out=len(stamped),
                 meta={"day": stamped.day, "version": stamped.version},
             )
-        return stamped
 
     # -- load-shed accounting -----------------------------------------
 
@@ -168,13 +215,29 @@ class MetaTelescopeService:
             raise LookupError("no snapshot published yet")
         return snapshot
 
+    @staticmethod
+    def _envelope(
+        snapshot: ClassificationSnapshot,
+        answer: dict[str, Any],
+        day: bool = False,
+    ) -> dict[str, Any]:
+        """Stamp the one response envelope every query answer shares.
+
+        ``snapshot_version`` names the exact snapshot the whole answer
+        came from (the daemon's ``ETag`` is derived from it); ``day``
+        additionally stamps ``snapshot_day`` for point answers.
+        """
+        answer["snapshot_version"] = snapshot.version
+        if day:
+            answer["snapshot_day"] = snapshot.day
+        return answer
+
     def point(self, target: str) -> dict[str, Any]:
         """Is this /24 dark?  Since when?  With what confidence?"""
         snapshot = self._require()
-        answer = snapshot.lookup(parse_block(target)).to_dict()
-        answer["snapshot_version"] = snapshot.version
-        answer["snapshot_day"] = snapshot.day
-        return answer
+        return self._envelope(
+            snapshot, snapshot.lookup(parse_block(target)).to_dict(), day=True
+        )
 
     def _rows(
         self, sub: ClassificationSnapshot, limit: int | None
@@ -206,9 +269,7 @@ class MetaTelescopeService:
             sub = snapshot.range(start, end)
         else:
             raise QueryError("range needs ?prefix= or ?start=&end=")
-        answer = self._rows(sub, limit)
-        answer["snapshot_version"] = snapshot.version
-        return answer
+        return self._envelope(snapshot, self._rows(sub, limit))
 
     def by_as(self, asn: int, limit: int | None = None) -> dict[str, Any]:
         """All classified blocks originated by ``asn`` (needs an
@@ -216,8 +277,7 @@ class MetaTelescopeService:
         snapshot = self._require()
         answer = self._rows(snapshot.where(snapshot.asns == asn), limit)
         answer["asn"] = asn
-        answer["snapshot_version"] = snapshot.version
-        return answer
+        return self._envelope(snapshot, answer)
 
     def by_geo(
         self, country: str, limit: int | None = None
@@ -228,8 +288,7 @@ class MetaTelescopeService:
         code = country.strip().upper().encode()
         answer = self._rows(snapshot.where(snapshot.countries == code), limit)
         answer["country"] = country.upper()
-        answer["snapshot_version"] = snapshot.version
-        return answer
+        return self._envelope(snapshot, answer)
 
     def diff(self, since: int) -> dict[str, Any]:
         """What changed since version ``since``.
@@ -239,29 +298,31 @@ class MetaTelescopeService:
         current version, so the client knows to re-fetch in full.
         """
         snapshot = self._require()
-        delta = self.handle.diff_since(since)
-        if delta is None:
-            return {
+        base = self.handle.at_version(since)
+        # Diff against the one grabbed snapshot, not handle.diff_since —
+        # a racing publish must never mix two versions in one answer.
+        if base is None:
+            return self._envelope(snapshot, {
                 "base_retained": False,
                 "since": since,
                 "version": snapshot.version,
                 "day": snapshot.day,
-            }
-        answer = delta.to_dict()
+            })
+        answer = snapshot.diff(base).to_dict()
         answer["base_retained"] = True
-        return answer
+        return self._envelope(snapshot, answer)
 
     def snapshot_info(self) -> dict[str, Any]:
         """Metadata of the currently served snapshot."""
         snapshot = self._require()
-        return {
+        return self._envelope(snapshot, {
             "version": snapshot.version,
             "day": snapshot.day,
             "blocks": len(snapshot),
             "verdicts": snapshot.verdict_counts(),
             "provenance": dict(snapshot.provenance),
             "diffable_versions": self.handle.versions_retained(),
-        }
+        })
 
     def healthz(self) -> tuple[bool, dict[str, Any]]:
         """Liveness verdict plus the producing engine's health."""
@@ -290,6 +351,7 @@ class MetaTelescopeService:
 
 _STATUS_TEXT = {
     200: "OK",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -297,18 +359,38 @@ _STATUS_TEXT = {
 }
 
 
-def _response(status: int, body: dict[str, Any], keep_alive: bool) -> bytes:
-    payload = json.dumps(body).encode()
+def _response(
+    status: int,
+    body: dict[str, Any] | None,
+    keep_alive: bool,
+    etag: str | None = None,
+) -> bytes:
+    """One HTTP response.  A ``Connection`` header is always emitted so
+    HTTP/1.0 clients learn whether their keep-alive request was
+    honored; ``304`` answers carry no body (RFC 9110) but repeat the
+    ``ETag`` the cache validated against."""
+    payload = b"" if status == 304 or body is None else json.dumps(body).encode()
     connection = "keep-alive" if keep_alive else "close"
     head = (
         f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(payload)}\r\n"
         f"Connection: {connection}\r\n"
+        + (f"ETag: {etag}\r\n" if etag is not None else "")
         + ("Retry-After: 1\r\n" if status == 503 else "")
         + "\r\n"
     )
     return head.encode() + payload
+
+
+def _etag_of(body: dict[str, Any]) -> str | None:
+    """The version-based entity tag of a query answer.
+
+    Every ``/v1/*`` answer carries the envelope's ``snapshot_version``,
+    so for a given URL the payload is a pure function of it — which is
+    exactly what an entity tag asserts."""
+    version = body.get("snapshot_version")
+    return f'"v{version}"' if version is not None else None
 
 
 def _first_int(params: dict[str, list[str]], name: str) -> int | None:
@@ -334,15 +416,22 @@ class ServiceDaemon:
         service: MetaTelescopeService,
         host: str = "127.0.0.1",
         port: int = 0,
+        reuse_port: bool = False,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        #: Bind with ``SO_REUSEPORT`` so several daemon *processes*
+        #: share one port and the kernel load-balances accepts — the
+        #: fleet mode (:mod:`repro.service.fleet`).
+        self.reuse_port = reuse_port
         self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
-            self._client, self.host, self.port
+            self._client, self.host, self.port,
+            reuse_port=self.reuse_port or None,
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -351,6 +440,17 @@ class ServiceDaemon:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    async def drain(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, let in-flight queries
+        finish (up to ``timeout``), then close idle keep-alive
+        connections."""
+        await self.stop()
+        deadline = time.monotonic() + timeout
+        while self.service._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._connections):
+            writer.close()
 
     @property
     def base_url(self) -> str:
@@ -361,6 +461,7 @@ class ServiceDaemon:
     async def _client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 request_line = await reader.readline()
@@ -375,42 +476,65 @@ class ServiceDaemon:
                         _response(400, {"error": "malformed request"}, False)
                     )
                     break
-                keep_alive = version.upper() != "HTTP/1.0"
+                headers: dict[str, str] = {}
                 while True:  # drain headers (GET: no body expected)
                     line = await reader.readline()
                     if line in (b"\r\n", b"\n", b""):
                         break
-                    header = line.decode("latin-1").strip().lower()
-                    if header == "connection: close":
-                        keep_alive = False
-                status, body = self._dispatch(method, target)
-                writer.write(_response(status, body, keep_alive))
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                # Keep-alive: an explicit Connection header wins in
+                # either direction (an HTTP/1.0 client may ask for
+                # keep-alive, an HTTP/1.1 client for close); only in
+                # its absence does the protocol default decide.
+                tokens = {
+                    token.strip().lower()
+                    for token in headers.get("connection", "").split(",")
+                    if token.strip()
+                }
+                if "close" in tokens:
+                    keep_alive = False
+                elif "keep-alive" in tokens:
+                    keep_alive = True
+                else:
+                    keep_alive = version.upper() != "HTTP/1.0"
+                status, body, etag = self._dispatch(method, target, headers)
+                writer.write(_response(status, body, keep_alive, etag=etag))
                 await writer.drain()
                 if not keep_alive:
                     break
         except (ConnectionResetError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    def _dispatch(self, method: str, target: str) -> tuple[int, dict]:
+    def _dispatch(
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict | None, str | None]:
         started = time.perf_counter()
+        headers = headers or {}
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         if method != "GET":
-            return 405, {"error": f"method {method} not allowed"}
+            return 405, {"error": f"method {method} not allowed"}, None
         if path == "/healthz":
             ok, body = self.service.healthz()
-            return (200 if ok else 503), body
+            return (200 if ok else 503), body, None
         if not self.service.admit():
-            return 503, {"error": "overloaded; retry"}
+            return 503, {"error": "overloaded; retry"}, None
         try:
             params = parse_qs(split.query)
-            status, body = self._route(path, params)
+            status, body = self._conditional(path, params) or self._route(
+                path, params
+            )
         except QueryError as error:
             status, body = 400, {"error": str(error)}
         except AddressError as error:
@@ -419,6 +543,9 @@ class ServiceDaemon:
             status, body = 503, {"error": str(error)}
         finally:
             self.service.release()
+        etag = _etag_of(body) if status == 200 else None
+        if etag is not None and headers.get("if-none-match") == etag:
+            status, body = 304, None
         if self.service.context is not None:
             self.service.context.emit(
                 "query",
@@ -426,7 +553,29 @@ class ServiceDaemon:
                 time.perf_counter() - started,
                 meta={"status": status},
             )
-        return status, body
+        return status, body, etag
+
+    def _conditional(
+        self, path: str, params: dict[str, list[str]]
+    ) -> tuple[int, dict] | None:
+        """The ``?if_version_changed=V`` short-circuit on ``/v1/*``.
+
+        When the served version still equals ``V`` the (possibly
+        expensive) query never runs — the polling client gets a tiny
+        304-equivalent JSON payload instead.  Returns None when the
+        query should proceed normally."""
+        if not path.startswith("/v1/"):
+            return None
+        since = _first_int(params, "if_version_changed")
+        if since is None:
+            return None
+        version = self.service.handle.version()
+        if version == 0 or version != since:
+            return None  # unpublished (let the query 503) or changed
+        return 200, {
+            "not_modified": True,
+            "snapshot_version": version,
+        }
 
     def _route(
         self, path: str, params: dict[str, list[str]]

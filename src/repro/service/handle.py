@@ -73,6 +73,30 @@ class SnapshotHandle:
             self._current = stamped  # the atomic swap
             return stamped
 
+    def adopt(self, snapshot: ClassificationSnapshot) -> ClassificationSnapshot:
+        """Swap in a snapshot that already carries its version.
+
+        This is the fleet-worker publish path: the supervisor stamps
+        versions once, persists the snapshot, and every worker re-serves
+        the *same* stamped artifact — re-stamping locally would make
+        worker answers diverge from each other.  Versions still only
+        move forward; adopting a version at or below the current one is
+        a no-op returning the currently served snapshot (the worker saw
+        a stale sentinel), so concurrent republish races are harmless.
+        """
+        if snapshot.version < 1:
+            raise ValueError(
+                "adopt needs a stamped snapshot (version >= 1); "
+                "use publish() to stamp"
+            )
+        with self._publish_lock:
+            if snapshot.version <= self._version:
+                return self._current if self._current is not None else snapshot
+            self._version = snapshot.version
+            self._history.append(snapshot)
+            self._current = snapshot  # the atomic swap
+            return snapshot
+
     # -- diff feeds ----------------------------------------------------
 
     def at_version(self, version: int) -> ClassificationSnapshot | None:

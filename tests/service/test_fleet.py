@@ -1,0 +1,139 @@
+"""The SO_REUSEPORT fleet: shared artifact, convergence, restarts.
+
+One module-scoped two-worker fleet serves every test here (spawning
+interpreters is the expensive part).  The assertions cover the scale-out
+contract: all workers answer with the supervisor's stamped version,
+republishes converge within the poll interval, answers are byte-
+identical across connections (and therefore across workers), dead
+workers come back, and shutdown drains cleanly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.snapshot_store import SnapshotDeltaStore
+from repro.service import FleetSupervisor
+from repro.service.fleet import free_reuseport, read_sentinel
+from tests.service.test_atomic_swap import stamped_snapshot
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fleet")
+    supervisor = FleetSupervisor(
+        root / "serving",
+        processes=2,
+        poll_interval=0.02,
+        delta_store=SnapshotDeltaStore(root / "archive"),
+    )
+    supervisor.publish(stamped_snapshot(1))
+    supervisor.start()
+    supervisor.wait_ready(60)
+    yield supervisor
+    supervisor.stop()
+
+
+def get(url: str, headers: dict | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            return reply.status, dict(reply.headers), reply.read()
+    except urllib.error.HTTPError as reply:
+        return reply.code, dict(reply.headers), reply.read()
+
+
+def test_all_workers_ready_on_one_port(fleet):
+    states = fleet.worker_states()
+    assert len(states) == 2
+    assert {state["port"] for state in states} == {fleet.port}
+    assert len({state["pid"] for state in states}) == 2
+    assert read_sentinel(fleet.root)["version"] == fleet.handle.version()
+
+
+def test_queries_serve_the_stamped_version(fleet):
+    version = fleet.handle.version()
+    status, headers, body = get(fleet.base_url + "/v1/point?block=1")
+    answer = json.loads(body)
+    assert status == 200
+    assert answer["dark"] is True
+    assert answer["snapshot_version"] == version
+    assert headers["ETag"] == f'"v{version}"'
+    status, _, body = get(
+        fleet.base_url + "/v1/point?block=1",
+        headers={"If-None-Match": f'"v{version}"'},
+    )
+    assert status == 304 and body == b""
+
+
+def test_republish_converges_and_archives(fleet):
+    before = fleet.handle.version()
+    stamped = fleet.publish(stamped_snapshot(before + 1))
+    assert stamped.version == before + 1
+    fleet.wait_version(stamped.version, timeout=30)
+    status, _, body = get(
+        fleet.base_url + f"/v1/point?block={stamped.day}"
+    )
+    assert status == 200
+    assert json.loads(body)["snapshot_version"] == stamped.version
+    # Every publish also landed in the delta archive, bit-identically.
+    assert fleet.delta_store.versions()[-1] == stamped.version
+    assert fleet.delta_store.load(stamped.version).identical_to(stamped)
+
+
+def test_answers_are_byte_identical_across_connections(fleet):
+    fleet.wait_version(fleet.handle.version(), timeout=30)
+    script = ["/v1/point?block=2", "/v1/range?start=1&end=40",
+              "/v1/snapshot"]
+    digests = set()
+    for _ in range(12):  # fresh connection each time: both workers answer
+        digest = hashlib.sha256()
+        for target in script:
+            status, _, body = get(fleet.base_url + target)
+            assert status == 200
+            digest.update(body)
+        digests.add(digest.hexdigest())
+    assert len(digests) == 1
+
+
+def test_dead_worker_is_restarted_with_current_version(fleet):
+    victim = fleet.workers[0]
+    victim.process.kill()
+    victim.process.join(10)
+    assert fleet.ensure_alive() == 1
+    assert fleet.workers[0].restarts == victim.restarts + 1
+    fleet.wait_ready(60)
+    fleet.wait_version(fleet.handle.version(), timeout=30)
+    status, _, body = get(fleet.base_url + "/v1/snapshot")
+    assert status == 200
+    assert json.loads(body)["version"] == fleet.handle.version()
+    assert fleet.ensure_alive() == 0  # everyone's alive again
+
+
+def test_stop_drains_every_worker(tmp_path):
+    supervisor = FleetSupervisor(
+        tmp_path, processes=2, poll_interval=0.02
+    )
+    supervisor.publish(stamped_snapshot(1))
+    supervisor.start()
+    supervisor.wait_ready(60)
+    workers = list(supervisor.workers)
+    supervisor.stop()
+    assert supervisor.workers == []
+    assert all(not worker.process.is_alive() for worker in workers)
+    assert all(worker.process.exitcode == 0 for worker in workers)
+
+
+def test_free_reuseport_is_bindable_twice():
+    port = free_reuseport("127.0.0.1")
+    assert 0 < port < 65536
+
+
+def test_fleet_requires_at_least_one_process(tmp_path):
+    with pytest.raises(ValueError):
+        FleetSupervisor(tmp_path, processes=0)
