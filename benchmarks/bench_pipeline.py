@@ -407,6 +407,74 @@ def _capture_cache_rounds(world, days: int) -> dict:
     }
 
 
+def _ipv6_section(
+    scale: str, seed: int, days: int, chunk_size: int, workers_list: list[int]
+) -> dict:
+    """End-to-end IPv6 over the same engine: coverage + path identity.
+
+    Runs :func:`~repro.core.ipv6_telescope.infer_ipv6` over the scale's
+    v6 world batch, chunked and parallel — the served /48 set and the
+    snapshot must be bit-identical across paths, exactly like the v4
+    sections above — and records the candidate-filter drop reasons plus
+    the ground-truth recall/precision of the served set.
+    """
+    from repro.core.ipv6_telescope import infer_ipv6
+    from repro.world.ipv6 import (
+        ipv6_views,
+        micro_ipv6_world,
+        paper_ipv6_world,
+        small_ipv6_world,
+    )
+
+    worlds = {
+        "micro": micro_ipv6_world,
+        "small": small_ipv6_world,
+        "paper": paper_ipv6_world,
+    }
+    world = worlds[scale](seed)
+    views = ipv6_views(world, num_days=days)
+    rows = int(sum(len(view.flows) for view in views))
+
+    started = time.perf_counter()
+    batch = infer_ipv6(world, views)
+    batch_s = time.perf_counter() - started
+
+    workers = next((w for w in workers_list if w > 1), 2)
+    paths = {
+        "chunked": infer_ipv6(world, views, chunk_size=chunk_size),
+        "parallel": infer_ipv6(world, views, workers=workers),
+    }
+    identity = {
+        name: bool(
+            np.array_equal(batch.served_sites, report.served_sites)
+            and batch.snapshot.identical_to(report.snapshot)
+        )
+        for name, report in paths.items()
+    }
+    candidates = batch.candidates
+    coverage = batch.coverage
+    return {
+        "days": len(views),
+        "rows": rows,
+        "seconds": batch_s,
+        "funnel": dict(batch.result.pipeline.funnel.as_rows("/48 sites")),
+        "num_dark": int(len(batch.result.pipeline.dark_blocks)),
+        "candidates": {
+            "observed": candidates.observed,
+            "kept": len(candidates.candidate_sites),
+            "dropped_unannounced": candidates.dropped_unannounced,
+            "dropped_hitlist": candidates.dropped_hitlist,
+            "dropped_sources": candidates.dropped_sources,
+        },
+        "served": coverage.served,
+        "truth_dark": coverage.truth_dark,
+        "recall": coverage.recall(),
+        "precision": coverage.precision(),
+        "parallel_workers": workers,
+        "identity": identity,
+    }
+
+
 def _identical(a, b) -> bool:
     return (
         np.array_equal(a.dark_blocks, b.dark_blocks)
@@ -461,6 +529,7 @@ def bench_world(
         views, routing, telescope.config, telescope.special, 7, batch
     )
     cache = _capture_cache_rounds(world, days)
+    ipv6 = _ipv6_section(scale, seed, days, chunk_size, workers_list)
     return {
         "scale": scale,
         "days": days,
@@ -481,6 +550,7 @@ def bench_world(
         "archive_vs_csv": archive,
         "engine_overhead": overhead,
         "capture_cache": cache,
+        "ipv6": ipv6,
     }
 
 
@@ -729,6 +799,19 @@ def main(argv: list[str] | None = None) -> int:
                 f"capture cache did not serve the warm run on scale "
                 f"{scale}: {cache['hits']} hits over {cache['entries']} "
                 "cached archives"
+            )
+        ipv6 = record["ipv6"]
+        print(
+            f"  ipv6: {ipv6['rows']:,} rows, {ipv6['seconds']:.2f}s, "
+            f"served {ipv6['served']} /48s against {ipv6['truth_dark']} "
+            f"truly dark (recall {ipv6['recall']:.1%}, "
+            f"precision {ipv6['precision']:.1%}), "
+            f"identity={ipv6['identity']}"
+        )
+        if not all(ipv6["identity"].values()):
+            raise SystemExit(
+                f"ipv6 engine paths diverged on scale {scale}: "
+                f"{ipv6['identity']}"
             )
 
     payload = {

@@ -16,6 +16,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.net.family import IPV4, AddressFamily, family_of_prefix
 from repro.net.ipv4 import Prefix
 from repro.net.trie import PrefixTrie, interval_covered_mask
 
@@ -33,11 +34,27 @@ class Announcement:
 
 
 class RoutingTable:
-    """A set of announcements with fast /24-coverage queries."""
+    """A set of announcements with fast block-coverage queries.
 
-    def __init__(self, announcements: Iterable[Announcement]) -> None:
+    The table's address family is inferred from the first announcement's
+    prefix type (IPv4 when empty); mixing families in one table is not
+    supported.
+    """
+
+    def __init__(
+        self,
+        announcements: Iterable[Announcement],
+        family: AddressFamily | None = None,
+    ) -> None:
         self._announcements = tuple(announcements)
-        self._trie: PrefixTrie[int] = PrefixTrie()
+        if family is None:
+            family = (
+                family_of_prefix(self._announcements[0].prefix)
+                if self._announcements
+                else IPV4
+            )
+        self.family = family
+        self._trie: PrefixTrie[int] = PrefixTrie(family=family)
         for announcement in self._announcements:
             self._trie.insert(announcement.prefix, announcement.origin_asn)
         # Sorted-interval table for routed_mask, built lazily on first
@@ -64,11 +81,11 @@ class RoutingTable:
         return None if match is None else match[1]
 
     def origin_of_block(self, block: int) -> int | None:
-        """Origin ASN of the /24 block's network address."""
-        return self.origin_of_ip(block << 8)
+        """Origin ASN of the block's network address."""
+        return self.origin_of_ip(self.family.block_to_ip(block))
 
     def is_routed_block(self, block: int) -> bool:
-        """True if the /24 is entirely inside an announced prefix."""
+        """True if the block is entirely inside an announced prefix."""
         return self._trie.covers_block(block)
 
     def routed_mask(self, blocks: np.ndarray, kernel=None) -> np.ndarray:

@@ -98,6 +98,13 @@ from repro.world.config import (
     paper_config,
     small_config,
 )
+from repro.world.ipv6 import (
+    giant_ipv6_world,
+    ipv6_views,
+    micro_ipv6_world,
+    paper_ipv6_world,
+    small_ipv6_world,
+)
 from repro.world.observe import Observatory
 from repro.world.scenarios import (
     giant_world,
@@ -120,6 +127,12 @@ _CONFIGS = {
     "paper": paper_config,
     "giant": giant_config,
 }
+_IPV6_SCALES = {
+    "micro": micro_ipv6_world,
+    "small": small_ipv6_world,
+    "paper": paper_ipv6_world,
+    "giant": giant_ipv6_world,
+}
 
 
 def _context(args: argparse.Namespace) -> RunContext:
@@ -131,6 +144,11 @@ def _context(args: argparse.Namespace) -> RunContext:
 
 
 def _build(args: argparse.Namespace):
+    if getattr(args, "family", "ipv4") == "ipv6":
+        raise SystemExit(
+            f"--family ipv6 is supported by the infer and plan commands, "
+            f"not {args.command}"
+        )
     context = _context(args)
     world = _SCALES[args.scale](args.seed)
     cache = None
@@ -180,7 +198,87 @@ def _print_plan(plan) -> None:
                        title="execution plan"))
 
 
+def _infer_ipv6(args: argparse.Namespace) -> int:
+    """``infer --family ipv6``: the unchanged engine over the v6 world.
+
+    Candidate /48 sites are enumerated from observed traffic (announced,
+    not hitlisted, never sourcing), the seven-stage pipeline classifies
+    them, and the served set is scored against the world's ground truth.
+    """
+    from repro.core.ipv6_telescope import infer_ipv6, ipv6_telescope
+    from repro.net.family import IPV6
+    from repro.traffic.flows import FlowTable
+
+    if args.vantage not in ("All", "V6IX"):
+        raise SystemExit(
+            f"unknown vantage {args.vantage!r}; the ipv6 world has one "
+            "vantage: V6IX (or All)"
+        )
+    context = _context(args)
+    world = _IPV6_SCALES[args.scale](args.seed)
+    views = ipv6_views(world, num_days=args.days)
+    telescope = ipv6_telescope(world)
+    if args.command == "plan" or getattr(args, "explain", False):
+        plan = telescope.plan(
+            views, chunk_size=args.chunk_size, workers=args.workers,
+            kernel=args.kernel,
+        )
+        _print_plan(plan)
+        context.close()
+        return 0
+    report = infer_ipv6(
+        world,
+        views,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+        kernel=args.kernel,
+        context=context,
+    )
+    print(
+        format_table(
+            ["step", "#/48s"],
+            report.result.pipeline.funnel.as_rows("/48 sites"),
+        )
+    )
+    candidates = report.candidates
+    print(
+        f"\ncandidate /48 sites: {candidates.observed:,} observed -> "
+        f"{len(candidates.candidate_sites):,} "
+        f"(dropped {candidates.dropped_unannounced} unannounced, "
+        f"{candidates.dropped_hitlist} hitlisted, "
+        f"{candidates.dropped_sources} sourcing)"
+    )
+    coverage = report.coverage
+    print(
+        f"served (engine-dark candidates): {coverage.served:,} /48 sites — "
+        f"ground truth recall {coverage.recall():.1%}, "
+        f"precision {coverage.precision():.1%}"
+    )
+    comment = (
+        f"ipv6 meta-telescope /48 sites — scale={args.scale} "
+        f"seed={args.seed} days={len(views)}"
+    )
+    write_prefix_list(
+        report.served_sites, args.output, comment=comment,
+        aggregate=args.aggregate, family=IPV6,
+    )
+    print(f"wrote {len(report.served_sites):,} /48 prefixes to {args.output}")
+    if args.capture_output:
+        captured = FlowTable.concat(
+            view.flows.toward_blocks(report.served_sites) for view in views
+        )
+        write_flows(captured, args.capture_output, format=args.format)
+        print(
+            f"wrote {len(captured):,} captured flow records to "
+            f"{args.capture_output} ({args.format})"
+        )
+    context.close()
+    return 0
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
+    if args.family == "ipv6":
+        return _infer_ipv6(args)
     world, observatory, telescope, context = _build(args)
     views = _views(world, observatory, args)
     plan = telescope.plan(
@@ -223,6 +321,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_infer(args: argparse.Namespace) -> int:
+    if args.family == "ipv6":
+        return _infer_ipv6(args)
     world, observatory, telescope, context = _build(args)
     if args.explain:
         views = _views(world, observatory, args)
@@ -740,6 +840,11 @@ def _add_execution_options(p: argparse.ArgumentParser) -> None:
 def _add_world_options(p: argparse.ArgumentParser) -> None:
     """The world-selection flags, plus the shared execution flags."""
     p.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    p.add_argument(
+        "--family", choices=["ipv4", "ipv6"], default="ipv4",
+        help="address family to operate in (ipv6: the /48-site world "
+        "and candidate filter; infer and plan commands only)",
+    )
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--days", type=int, default=1)
     p.add_argument("--vantage", default="All")

@@ -61,7 +61,7 @@ static int pass_plan(int bits, int *widths) {
 static int64_t fold3(
     const uint32_t *keys, const uint8_t *proto,
     const int64_t *packets, const int64_t *bytes_, int64_t n,
-    uint32_t kmin, int bits, double factor,
+    uint32_t kmin, int bits, double factor, int64_t block_shift,
     int64_t *out_keys, double *out_a, double *out_b, double *out_c,
     int64_t *blk_keys, double *blk_vals, int64_t *nblk_out,
     rec3_t *bufa, rec3_t *bufb)
@@ -147,13 +147,13 @@ static int64_t fold3(
         out_c[m] = sum_c + pk;
     }
 
-    /* Per-/24 regroup of the (still unscaled) totals. */
-    int64_t prev_blk = out_keys[0] >> 8;
+    /* Per-block regroup of the (still unscaled) totals. */
+    int64_t prev_blk = out_keys[0] >> block_shift;
     blk_keys[0] = prev_blk;
     blk_vals[0] = out_c[0];
     int64_t nblk = 1;
     for (int64_t i = 1; i < nu; i++) {
-        int64_t blk = out_keys[i] >> 8;
+        int64_t blk = out_keys[i] >> block_shift;
         int fresh = blk != prev_blk;
         prev_blk = blk;
         nblk += fresh;
@@ -173,10 +173,10 @@ static int64_t fold3(
     return nu;
 }
 
-/* Grouped packet sums per src IP plus the per-/24 regroup (unscaled). */
+/* Grouped packet sums per src IP plus the per-block regroup (unscaled). */
 static int64_t fold1(
     const uint32_t *keys, const int64_t *packets, int64_t n,
-    uint32_t kmin, int bits,
+    uint32_t kmin, int bits, int64_t block_shift,
     int64_t *out_keys, double *out_a,
     int64_t *blk_keys, double *blk_vals, int64_t *nblk_out,
     rec1_t *bufa, rec1_t *bufb)
@@ -245,12 +245,12 @@ static int64_t fold1(
         out_a[m] = sum + (double)rec.pk;
     }
 
-    int64_t prev_blk = out_keys[0] >> 8;
+    int64_t prev_blk = out_keys[0] >> block_shift;
     blk_keys[0] = prev_blk;
     blk_vals[0] = out_a[0];
     int64_t nblk = 1;
     for (int64_t i = 1; i < nu; i++) {
-        int64_t blk = out_keys[i] >> 8;
+        int64_t blk = out_keys[i] >> block_shift;
         int fresh = blk != prev_blk;
         prev_blk = blk;
         nblk += fresh;
@@ -272,6 +272,7 @@ static int64_t fold1(
 int64_t fold_chunk(
     const uint32_t *src_ip, const uint32_t *dst_ip, const uint8_t *proto,
     const int64_t *packets, const int64_t *bytes_, int64_t n, double factor,
+    int64_t block_shift,
     int64_t *dst_keys, double *dst_tcp_pk, double *dst_tcp_by, double *dst_tot,
     int64_t *vol_keys, double *vol_pk,
     int64_t *src_keys, double *src_pk,
@@ -300,13 +301,13 @@ int64_t fold_chunk(
     }
     int64_t nvol = 0, nraw = 0;
     int64_t ndst = fold3(dst_ip, proto, packets, bytes_, n,
-                         dmin, bits_of(dmax - dmin), factor,
+                         dmin, bits_of(dmax - dmin), factor, block_shift,
                          dst_keys, dst_tcp_pk, dst_tcp_by, dst_tot,
                          vol_keys, vol_pk, &nvol,
                          (rec3_t *)bufa, (rec3_t *)bufb);
     if (ndst < 0) return -1;
     int64_t nsrc = fold1(src_ip, packets, n,
-                         smin, bits_of(smax - smin),
+                         smin, bits_of(smax - smin), block_shift,
                          src_keys, src_pk, raw_keys, raw_pk, &nraw,
                          (rec1_t *)bufa, (rec1_t *)bufb);
     if (nsrc < 0) return -1;

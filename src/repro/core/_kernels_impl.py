@@ -11,7 +11,7 @@ even on machines without Numba installed.
 Identity contract: per-key sums accumulate in original row order and
 parts merge left-to-right — exactly the float operation order of the
 ``np.unique`` + ``np.bincount`` reference (see docs/architecture.md
-§11).
+§12).
 
 All outputs are caller-preallocated; functions return counts (or a
 negative status for "fall back to the reference path").
@@ -78,18 +78,19 @@ def _pass_plan(bits):
 
 
 def fold3_impl(
-    keys, proto, packets, bytes_, factor,
+    keys, proto, packets, bytes_, factor, block_shift,
     out_keys, out_a, out_b, out_c,
     blk_keys, blk_vals,
     key_a, pktcp_a, by_a, key_b, pktcp_b, by_b,
     counts,
 ):
-    """Grouped (tcp pkts, tcp bytes, total pkts) per dst key + /24 regroup.
+    """Grouped (tcp pkts, tcp bytes, total pkts) per dst key + block regroup.
 
     Full stable LSD radix sort of (key offset, pk|tcp-sign, bytes)
     records, then a branchless segmented reduce accumulating unscaled
     float64 sums in original row order; ``factor`` is applied once at
-    the end — the numpy reference's operation order.  counts = [nu,
+    the end — the numpy reference's operation order.  ``block_shift``
+    is the family's key-to-block shift (8 for IPv4).  counts = [nu,
     nblk]; returns -1 on a 31-bit value overflow (caller falls back).
     """
     n = len(keys)
@@ -204,13 +205,13 @@ def fold3_impl(
         out_b[m] = sum_b + tcp * np.float64(rby[i])
         out_c[m] = sum_c + pk
 
-    # Per-/24 regroup of the (still unscaled) totals.
-    prev_blk = out_keys[0] >> 8
+    # Per-block regroup of the (still unscaled) totals.
+    prev_blk = out_keys[0] >> block_shift
     blk_keys[0] = prev_blk
     blk_vals[0] = out_c[0]
     nblk = 1
     for i in range(1, nu):
-        blk = out_keys[i] >> 8
+        blk = out_keys[i] >> block_shift
         fresh = blk != prev_blk
         prev_blk = blk
         if fresh:
@@ -231,13 +232,13 @@ def fold3_impl(
 
 
 def fold1_impl(
-    keys, packets,
+    keys, packets, block_shift,
     out_keys, out_a,
     blk_keys, blk_vals,
     key_a, pk_a, key_b, pk_b,
     counts,
 ):
-    """Grouped packet sums per src key + the /24 regroup (unscaled)."""
+    """Grouped packet sums per src key + the block regroup (unscaled)."""
     n = len(keys)
     counts[0] = 0
     counts[1] = 0
@@ -328,12 +329,12 @@ def fold1_impl(
         sum_a = 0.0 if fresh else out_a[m]
         out_a[m] = sum_a + np.float64(rpk[i])
 
-    prev_blk = out_keys[0] >> 8
+    prev_blk = out_keys[0] >> block_shift
     blk_keys[0] = prev_blk
     blk_vals[0] = out_a[0]
     nblk = 1
     for i in range(1, nu):
-        blk = out_keys[i] >> 8
+        blk = out_keys[i] >> block_shift
         fresh = blk != prev_blk
         prev_blk = blk
         if fresh:

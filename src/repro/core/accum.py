@@ -46,6 +46,7 @@ from typing import Any, Iterator, Mapping
 
 import numpy as np
 
+from repro.net.family import FAMILY_IPV4, IPV4, family as _family_of
 from repro.traffic.flows import FlowTable, aggregate_sums
 from repro.traffic.packets import PROTO_TCP
 from repro.vantage.sampling import VantageDayView
@@ -278,6 +279,8 @@ class FinalizedAggregates:
         "src_blocks",
         "src_block_excess",
         "applied_tolerances",
+        "family",
+        "block_shift",
     )
 
     def __init__(
@@ -293,6 +296,8 @@ class FinalizedAggregates:
         src_blocks: np.ndarray,
         src_block_excess: np.ndarray,
         applied_tolerances: dict[str, float],
+        family: str = "ipv4",
+        block_shift: int = 8,
     ) -> None:
         self.dst_ips = dst_ips
         self.ip_tcp_pkts_est = ip_tcp_pkts_est
@@ -305,21 +310,34 @@ class FinalizedAggregates:
         self.src_blocks = src_blocks
         self.src_block_excess = src_block_excess
         self.applied_tolerances = applied_tolerances
+        self.family = family
+        self.block_shift = block_shift
 
 
 class PrefixAccumulator:
-    """Mergeable streaming per-/24 aggregation state."""
+    """Mergeable streaming per-block aggregation state.
+
+    The accumulator is address-family generic: it adopts the family of
+    the first chunk it folds (v4 construction sites need no change) and
+    rejects chunks or merges from a different family afterwards.  An
+    explicit ``family`` pins it up front.
+    """
 
     def __init__(
         self,
         ignore_sources_from_asns: frozenset[int] = frozenset(),
         compact_every: int = DEFAULT_COMPACT_EVERY,
         kernel=None,
+        family: str | None = None,
     ) -> None:
         from repro.core.kernels import get_kernel
 
         self.ignore_sources_from_asns = frozenset(ignore_sources_from_asns)
         self.compact_every = compact_every
+        self._family_name: str | None = None
+        self._family = None
+        if family is not None:
+            self._adopt_family(family)
         # ``None`` means the numpy reference: direct library use stays
         # on the extracted semantics; the execution engine resolves the
         # public ``kernel`` knob (including ``auto``) before passing a
@@ -344,6 +362,28 @@ class PrefixAccumulator:
         self._volume_by_day: dict[int, _KeyedSums] = {}
         self._days_by_vantage: dict[str, set[int]] = {}
         self._rows_ingested = 0
+
+    # -- address family ------------------------------------------------
+
+    @property
+    def family(self) -> str:
+        """The adopted family name (``"ipv4"`` until anything else is)."""
+        return self._family_name or FAMILY_IPV4
+
+    @property
+    def address_family(self):
+        """The adopted :class:`~repro.net.family.AddressFamily` (v4 default)."""
+        return self._family if self._family is not None else IPV4
+
+    def _adopt_family(self, name: str) -> None:
+        if self._family_name is None:
+            self._family_name = name
+            self._family = _family_of(name)
+        elif name != self._family_name:
+            raise ValueError(
+                f"cannot mix address families in one accumulator: "
+                f"{self._family_name} already adopted, got {name}"
+            )
 
     # -- ingestion -----------------------------------------------------
 
@@ -373,19 +413,21 @@ class PrefixAccumulator:
         self.observe(vantage, day)
         if len(chunk) == 0:
             return self
+        self._adopt_family(chunk.family)
+        block_shift = self._family.key_block_shift
         factor = float(sampling_factor)
         self._rows_ingested += len(chunk)
         packets = chunk.packets
         per_vantage = self._src_by_vantage[vantage]
         if self._ignored_asns is None:
             # The fused hot path: one kernel call folds all four keyed
-            # parts of a chunk (per-dst-IP sums, the /24 volume regroup,
-            # per-src-IP sums, the raw /24 source regroup).  Every part
-            # comes back sorted-unique, so downstream compaction can
-            # merge linearly instead of re-sorting.
+            # parts of a chunk (per-dst-key sums, the block volume
+            # regroup, per-src-key sums, the raw block source regroup).
+            # Every part comes back sorted-unique, so downstream
+            # compaction can merge linearly instead of re-sorting.
             dst, vol, src, raw = self.kernel.fold_chunk(
                 chunk.src_ip, chunk.dst_ip, chunk.proto, packets,
-                chunk.bytes, factor,
+                chunk.bytes, factor, block_shift,
             )
             self._dst_ip_sums.add(dst[0], *dst[1], sorted_unique=True)
             self._volume_by_day[day].add(vol[0], *vol[1], sorted_unique=True)
@@ -405,10 +447,12 @@ class PrefixAccumulator:
             total_pkts * factor, sorted_unique=True,
         )
 
-        # Re-group the per-IP sums by /24 instead of sorting the raw
-        # rows a second time: the unique-IP table is far smaller than
+        # Re-group the per-key sums by block instead of sorting the raw
+        # rows a second time: the unique-key table is far smaller than
         # the chunk, and integer sums regroup exactly.
-        vol_blocks, (vol_pkts,) = aggregate_sums(dst_ips >> 8, total_pkts)
+        vol_blocks, (vol_pkts,) = aggregate_sums(
+            self._family.block_of(dst_ips), total_pkts
+        )
         self._volume_by_day[day].add(
             vol_blocks, vol_pkts * factor, sorted_unique=True
         )
@@ -421,7 +465,9 @@ class PrefixAccumulator:
         per_vantage.add(
             raw_blocks, np.zeros(len(raw_blocks)), raw_pkts, sorted_unique=True
         )
-        per_vantage.add(src_ips >> 8, src_pkts, np.zeros(len(src_ips)))
+        per_vantage.add(
+            self._family.block_of(src_ips), src_pkts, np.zeros(len(src_ips))
+        )
         self._src_ip_sums.add(src_ips, src_pkts, sorted_unique=True)
         return self
 
@@ -479,6 +525,8 @@ class PrefixAccumulator:
             raise ValueError(
                 "cannot merge accumulators with different ignored-sender sets"
             )
+        if other._family_name is not None:
+            self._adopt_family(other._family_name)
         self._dst_ip_sums.absorb(other._dst_ip_sums)
         self._src_ip_sums.absorb(other._src_ip_sums)
         for vantage, theirs in other._src_by_vantage.items():
@@ -520,7 +568,8 @@ class PrefixAccumulator:
     def copy(self) -> "PrefixAccumulator":
         """An independent copy safe to merge elsewhere."""
         duplicate = PrefixAccumulator(
-            self.ignore_sources_from_asns, self.compact_every, self.kernel
+            self.ignore_sources_from_asns, self.compact_every, self.kernel,
+            family=self._family_name,
         )
         duplicate._dst_ip_sums = self._dst_ip_sums.copy()
         duplicate._src_ip_sums = self._src_ip_sums.copy()
@@ -553,6 +602,9 @@ class PrefixAccumulator:
 
         return {
             "version": _STATE_VERSION,
+            # The *adopted* family (None while empty), so an empty
+            # partial restored elsewhere can still adopt any family.
+            "family": self._family_name,
             "ignore_sources_from_asns": tuple(
                 sorted(self.ignore_sources_from_asns)
             ),
@@ -593,7 +645,8 @@ class PrefixAccumulator:
                 f"unsupported accumulator state version: {version!r}"
             )
         accumulator = cls(
-            frozenset(state["ignore_sources_from_asns"]), compact_every, kernel
+            frozenset(state["ignore_sources_from_asns"]), compact_every, kernel,
+            family=state.get("family"),
         )
         resolved = accumulator.kernel
 
@@ -649,9 +702,9 @@ class PrefixAccumulator:
         return self._rows_ingested
 
     def observed_blocks(self) -> np.ndarray:
-        """Sorted /24 blocks that received any traffic."""
+        """Sorted blocks that received any traffic."""
         dst_ips, _ = self._dst_ip_sums.compacted()
-        return np.unique(dst_ips >> 8)
+        return np.unique(self.address_family.block_of(dst_ips))
 
     def vantage_source_blocks(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
         """Per vantage: (src /24 blocks, *raw* pooled sampled packets).
@@ -717,6 +770,8 @@ class PrefixAccumulator:
             src_blocks=src_blocks,
             src_block_excess=src_excess,
             applied_tolerances=applied,
+            family=self.family,
+            block_shift=self.address_family.key_block_shift,
         )
 
     def _tolerance_of(

@@ -94,9 +94,10 @@ def score_prefixes(
     volume_by_day: dict[int, dict[int, float]] = {}
     for view in views:
         agg = view.aggregates()
-        mask = np.isin(agg.dst_ips >> 8, blocks)
+        family = view.flows.address_family
+        mask = np.isin(family.block_of(agg.dst_ips), blocks)
         for ip in agg.dst_ips[mask].tolist():
-            ip_sets.setdefault(ip >> 8, set()).add(ip)
+            ip_sets.setdefault(family.block_of_key(ip), set()).add(ip)
         vmask = np.isin(agg.blocks, blocks)
         day_volume = volume_by_day.setdefault(view.day, {})
         estimates = agg.total_packets() * view.sampling_factor

@@ -91,15 +91,18 @@ class NumpyKernel:
         packets: np.ndarray,
         bytes_: np.ndarray,
         factor: float,
+        block_shift: int = 8,
     ):
         """The fused per-chunk fold: four keyed parts in one call.
 
         Returns ``(dst, vol, src, raw)`` parts, each ``(keys, cols)``:
-        per-dst-IP (tcp pkts, tcp bytes, total pkts) estimates, the
-        per-/24 volume regroup, per-src-IP sampled packets, and the raw
-        per-/24 source regroup — exactly what
+        per-dst-key (tcp pkts, tcp bytes, total pkts) estimates, the
+        per-block volume regroup, per-src-key sampled packets, and the
+        raw per-block source regroup — exactly what
         :meth:`~repro.core.accum.PrefixAccumulator.update` appends for
-        a chunk without an ignored-sender filter.
+        a chunk without an ignored-sender filter.  ``block_shift`` is
+        the family's key-to-block shift (8 for IPv4 /24s, 16 for IPv6
+        /48 sites over /64 keys).
         """
         from repro.traffic.flows import aggregate_sums
 
@@ -110,9 +113,9 @@ class NumpyKernel:
             np.where(is_tcp, bytes_, 0),
             packets,
         )
-        vol_blocks, (vol_pkts,) = aggregate_sums(dst_ips >> 8, total_pkts)
+        vol_blocks, (vol_pkts,) = aggregate_sums(dst_ips >> block_shift, total_pkts)
         src_ips, (src_pkts,) = aggregate_sums(src_ip.astype(np.int64), packets)
-        raw_blocks, (raw_pkts,) = aggregate_sums(src_ips >> 8, src_pkts)
+        raw_blocks, (raw_pkts,) = aggregate_sums(src_ips >> block_shift, src_pkts)
         return (
             _part(
                 dst_ips,
@@ -199,7 +202,7 @@ class _CcOps:
 
         lib.fold_chunk.restype = i64
         lib.fold_chunk.argtypes = [
-            p_u32, p_u32, p_u8, p_i64, p_i64, i64, f64,
+            p_u32, p_u32, p_u8, p_i64, p_i64, i64, f64, i64,
             p_i64, p_f64, p_f64, p_f64,
             p_i64, p_f64,
             p_i64, p_f64,
@@ -271,7 +274,8 @@ class _CcOps:
             ptrs[i] = col.ctypes.data_as(p_f64)
         return ptrs
 
-    def fold_chunk(self, src_ip, dst_ip, proto, packets, bytes_, factor):
+    def fold_chunk(self, src_ip, dst_ip, proto, packets, bytes_, factor,
+                   block_shift=8):
         n = len(dst_ip)
         bufa, bufb = self._buffers(n)
         keys, cols = self._outputs(n, 4, 6)
@@ -286,7 +290,7 @@ class _CcOps:
         status = self._lib.fold_chunk(
             self._ptr(src_ip, u32), self._ptr(dst_ip, u32),
             self._ptr(proto, u8), self._ptr(packets, i64),
-            self._ptr(bytes_, i64), n, factor,
+            self._ptr(bytes_, i64), n, factor, block_shift,
             self._ptr(dst_keys, i64), self._ptr(dst_cols[0], f64),
             self._ptr(dst_cols[1], f64), self._ptr(dst_cols[2], f64),
             self._ptr(vol_keys, i64), self._ptr(vol_pk, f64),
@@ -418,7 +422,8 @@ class _ImplOps:
         self._seen = np.zeros(_DIRECT_SLOTS, dtype=np.uint8)
         self._touched = np.empty(_DIRECT_SLOTS, dtype=np.uint16)
 
-    def fold_chunk(self, src_ip, dst_ip, proto, packets, bytes_, factor):
+    def fold_chunk(self, src_ip, dst_ip, proto, packets, bytes_, factor,
+                   block_shift=8):
         n = len(dst_ip)
         key_a = np.empty(n, dtype=np.int64)
         key_b = np.empty(n, dtype=np.int64)
@@ -433,7 +438,7 @@ class _ImplOps:
         vol_keys = np.empty(n, dtype=np.int64)
         vol_pk = np.empty(n, dtype=np.float64)
         status = self._fold3(
-            dst_ip, proto, packets, bytes_, float(factor),
+            dst_ip, proto, packets, bytes_, float(factor), block_shift,
             dst_keys, dst_cols[0], dst_cols[1], dst_cols[2],
             vol_keys, vol_pk,
             key_a, pk_a, by_a, key_b, pk_b, by_b,
@@ -448,7 +453,7 @@ class _ImplOps:
         raw_keys = np.empty(n, dtype=np.int64)
         raw_pk = np.empty(n, dtype=np.float64)
         status = self._fold1(
-            src_ip, packets,
+            src_ip, packets, block_shift,
             src_keys, src_pk, raw_keys, raw_pk,
             key_a, pk_a, key_b, pk_b,
             counts,
@@ -607,8 +612,12 @@ class NativeKernel(NumpyKernel):
         self.provider = ops.provider if ops is not None else "numpy"
         self.fallback_reason = fallback_reason
 
-    def fold_chunk(self, src_ip, dst_ip, proto, packets, bytes_, factor):
+    def fold_chunk(self, src_ip, dst_ip, proto, packets, bytes_, factor,
+                   block_shift=8):
         ops = self._ops
+        # Native folds are compiled for the uint32 IPv4 key layout; any
+        # other family (uint64 IPv6 keys) silently takes the reference
+        # path — same dtype-gate contract as a missing provider.
         if (
             ops is not None
             and src_ip.dtype == np.uint32
@@ -624,10 +633,13 @@ class NativeKernel(NumpyKernel):
                 np.ascontiguousarray(packets),
                 np.ascontiguousarray(bytes_),
                 float(factor),
+                int(block_shift),
             )
             if result is not None:
                 return result
-        return super().fold_chunk(src_ip, dst_ip, proto, packets, bytes_, factor)
+        return super().fold_chunk(
+            src_ip, dst_ip, proto, packets, bytes_, factor, block_shift
+        )
 
     def group_sum(self, keys, values):
         ops = self._ops

@@ -83,6 +83,7 @@ class MetaTelescopeResult:
             candidate=np.setdiff1d(self.pipeline.dark_blocks, dark),
             history=history,
             provenance=provenance,
+            family=self.pipeline.family,
         )
 
 

@@ -478,6 +478,9 @@ class OnlineMetaTelescope:
             ),
             history=history,
             provenance=record,
+            family=(
+                result.pipeline.family if result is not None else "ipv4"
+            ),
         )
 
     def health_report(self) -> HealthReport:

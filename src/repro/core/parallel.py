@@ -58,7 +58,7 @@ from repro.core.accum import (
 )
 from repro.core.engine import default_workers, resolve_execution_knobs
 from repro.core.stages import StageTiming
-from repro.traffic.flows import FLOW_COLUMNS, FlowTable
+from repro.traffic.flows import FlowTable
 from repro.vantage.sampling import VantageDayView
 
 __all__ = [
@@ -248,9 +248,7 @@ def _slice_table(flows: FlowTable, start: int, stop: int) -> FlowTable:
     """Zero-copy row-range slice of a flow table."""
     if start == 0 and stop >= len(flows):
         return flows
-    return FlowTable(
-        **{name: getattr(flows, name)[start:stop] for name in FLOW_COLUMNS}
-    )
+    return flows.slice_rows(start, stop)
 
 
 def _view_rows(view: VantageDayView) -> int:

@@ -188,4 +188,5 @@ def snapshot_from_pipeline(
         gray=result.gray_blocks,
         history=history,
         provenance=provenance,
+        family=result.family,
     )

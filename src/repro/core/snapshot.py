@@ -48,7 +48,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.flowpack import TableArchive, write_table_archive
-from repro.net.ipv4 import Prefix, block_to_prefix
+from repro.net.family import FAMILY_IPV4, family as _family_of, family_of_prefix
 from repro.net.trie import interval_covered_mask
 
 #: Verdict codes stored in the snapshot's ``verdicts`` column.  Code 0
@@ -113,6 +113,8 @@ class PointAnswer:
     since_day: int
     asn: int
     country: str
+    #: Address family the block id lives in ("ipv4" or "ipv6").
+    family: str = FAMILY_IPV4
 
     @property
     def verdict_name(self) -> str:
@@ -123,8 +125,8 @@ class PointAnswer:
         return self.verdict == VERDICT_DARK
 
     @property
-    def prefix(self) -> Prefix:
-        return block_to_prefix(self.block)
+    def prefix(self):
+        return _family_of(self.family).block_to_prefix(self.block)
 
     def to_dict(self) -> dict[str, Any]:
         """The JSON shape the query service returns."""
@@ -154,6 +156,8 @@ class SnapshotDiff:
     removed_dark: np.ndarray
     #: Blocks present in both whose verdict changed (any direction).
     changed: np.ndarray
+    #: Address family both snapshots live in.
+    family: str = FAMILY_IPV4
 
     def is_empty(self) -> bool:
         return not (
@@ -161,18 +165,17 @@ class SnapshotDiff:
         )
 
     def to_dict(self) -> dict[str, Any]:
+        to_prefix = _family_of(self.family).block_to_prefix
         return {
             "base_version": self.base_version,
             "base_day": self.base_day,
             "version": self.version,
             "day": self.day,
-            "added_dark": [
-                str(block_to_prefix(int(b))) for b in self.added_dark
-            ],
+            "added_dark": [str(to_prefix(int(b))) for b in self.added_dark],
             "removed_dark": [
-                str(block_to_prefix(int(b))) for b in self.removed_dark
+                str(to_prefix(int(b))) for b in self.removed_dark
             ],
-            "changed": [str(block_to_prefix(int(b))) for b in self.changed],
+            "changed": [str(to_prefix(int(b))) for b in self.changed],
         }
 
 
@@ -221,6 +224,8 @@ class ClassificationSnapshot:
     provenance: Mapping[str, Any] = field(default_factory=dict)
     #: Monotone publish version; 0 until a handle publishes it.
     version: int = 0
+    #: Address family of the block ids ("ipv4" /24s or "ipv6" /48s).
+    family: str = FAMILY_IPV4
 
     def __post_init__(self) -> None:
         columns = {
@@ -249,6 +254,11 @@ class ClassificationSnapshot:
 
     def __len__(self) -> int:
         return len(self.blocks)
+
+    @property
+    def address_family(self):
+        """The :class:`~repro.net.family.AddressFamily` of the blocks."""
+        return _family_of(self.family)
 
     @cached_property
     def dark_blocks(self) -> np.ndarray:
@@ -288,6 +298,7 @@ class ClassificationSnapshot:
                 since_day=self.day,
                 asn=NO_ASN,
                 country="??",
+                family=self.family,
             )
         return PointAnswer(
             block=int(block),
@@ -296,6 +307,7 @@ class ClassificationSnapshot:
             since_day=int(self.since_day[idx]),
             asn=int(self.asns[idx]),
             country=self.countries[idx].decode(),
+            family=self.family,
         )
 
     def range(self, start_block: int, end_block: int) -> "ClassificationSnapshot":
@@ -308,10 +320,26 @@ class ClassificationSnapshot:
         hi = int(np.searchsorted(self.blocks, end_block, side="right"))
         return self._sliced(slice(lo, hi))
 
-    def within_prefix(self, prefix: Prefix) -> "ClassificationSnapshot":
-        """The sub-snapshot inside ``prefix`` (must be /24 or shorter)."""
-        if prefix.length > 24:
-            raise ValueError(f"{prefix} is more specific than a /24")
+    def within_prefix(self, prefix) -> "ClassificationSnapshot":
+        """The sub-snapshot inside ``prefix``.
+
+        The prefix must belong to the snapshot's family and be no more
+        specific than the family's block length (/24 for IPv4, /48 for
+        IPv6).
+        """
+        prefix_family = family_of_prefix(prefix)
+        if prefix_family.name != self.family:
+            raise ValueError(
+                f"prefix {prefix} is {prefix_family.name}; this snapshot "
+                f"holds {self.family} blocks"
+            )
+        block_length = self.address_family.block_prefix_length
+        if prefix.length > block_length:
+            raise ValueError(
+                f"requested /{prefix.length} prefix {prefix} is more "
+                f"specific than this {self.family} snapshot's "
+                f"/{block_length} blocks"
+            )
         first = prefix.first_block()
         return self.range(first, first + prefix.num_blocks() - 1)
 
@@ -342,6 +370,7 @@ class ClassificationSnapshot:
                 since_day=int(self.since_day[i]),
                 asn=int(self.asns[i]),
                 country=self.countries[i].decode(),
+                family=self.family,
             )
             for i in range(len(self.blocks))
         ]
@@ -368,6 +397,7 @@ class ClassificationSnapshot:
         return (
             self.day == other.day
             and self.version == other.version
+            and self.family == other.family
             and dict(self.provenance) == dict(other.provenance)
             and all(
                 np.array_equal(getattr(self, name), getattr(other, name))
@@ -398,6 +428,11 @@ class ClassificationSnapshot:
 
     def diff(self, older: "ClassificationSnapshot") -> SnapshotDiff:
         """What changed from ``older`` to this snapshot."""
+        if self.family != older.family:
+            raise ValueError(
+                f"cannot diff {self.family} snapshot against "
+                f"{older.family} snapshot"
+            )
         added = np.setdiff1d(self.dark_blocks, older.dark_blocks)
         removed = np.setdiff1d(older.dark_blocks, self.dark_blocks)
         common = np.intersect1d(self.blocks, older.blocks)
@@ -414,6 +449,7 @@ class ClassificationSnapshot:
             added_dark=added,
             removed_dark=removed,
             changed=changed,
+            family=self.family,
         )
 
     # -- persistence ---------------------------------------------------
@@ -429,6 +465,7 @@ class ClassificationSnapshot:
                 "kind": SNAPSHOT_KIND,
                 "day": int(self.day),
                 "version": int(self.version),
+                "family": self.family,
                 "provenance": dict(self.provenance),
             },
         )
@@ -451,6 +488,8 @@ class ClassificationSnapshot:
             day=int(meta.get("day", 0)),
             provenance=meta.get("provenance", {}),
             version=int(meta.get("version", 0)),
+            # Archives written before the family tag are IPv4.
+            family=str(meta.get("family", FAMILY_IPV4)),
             **arrays,
         )
 
@@ -518,6 +557,7 @@ def build_snapshot(
     candidate: np.ndarray | None = None,
     history: Sequence[tuple[int, np.ndarray]] | None = None,
     provenance: Mapping[str, Any] | None = None,
+    family: str = FAMILY_IPV4,
 ) -> ClassificationSnapshot:
     """Assemble a snapshot from verdict sets.
 
@@ -568,11 +608,16 @@ def build_snapshot(
         asns=np.full(len(all_blocks), NO_ASN, dtype=np.int32),
         countries=np.full(len(all_blocks), NO_COUNTRY, dtype="S2"),
         provenance=dict(provenance or {}),
+        family=family,
     )
 
 
 def empty_snapshot(
-    day: int = 0, provenance: Mapping[str, Any] | None = None
+    day: int = 0,
+    provenance: Mapping[str, Any] | None = None,
+    family: str = FAMILY_IPV4,
 ) -> ClassificationSnapshot:
     """A valid zero-block snapshot (service boot state)."""
-    return build_snapshot(day, np.empty(0, dtype=np.int64), provenance=provenance)
+    return build_snapshot(
+        day, np.empty(0, dtype=np.int64), provenance=provenance, family=family
+    )

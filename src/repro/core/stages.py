@@ -67,10 +67,14 @@ class FunnelCounts:
     after_routed: int
     after_volume: int
 
-    def as_rows(self) -> list[tuple[str, int]]:
-        """(step name, surviving count) rows, in pipeline order."""
+    def as_rows(self, block_label: str = "/24 subnets") -> list[tuple[str, int]]:
+        """(step name, surviving count) rows, in pipeline order.
+
+        ``block_label`` names the block granularity in the first row
+        (``"/24 subnets"`` for IPv4, ``"/48 sites"`` for IPv6).
+        """
         return [
-            ("observed /24 subnets", self.observed),
+            (f"observed {block_label}", self.observed),
             ("TCP", self.after_tcp),
             ("average <= threshold bytes", self.after_avg_size),
             ("never sent a packet", self.after_source_unseen),
@@ -103,6 +107,8 @@ class PipelineResult:
     applied_tolerances: dict[str, float] = field(default_factory=dict)
     #: Per-stage wall time of this run (``()`` when not recorded).
     stage_timings: tuple[StageTiming, ...] = ()
+    #: Address family the block ids live in.
+    family: str = "ipv4"
 
     def num_dark(self) -> int:
         """Number of inferred meta-telescope prefixes."""
@@ -133,7 +139,7 @@ class StageContext:
         # The mask kernel: membership and interval probes run on the
         # same backend as the fold (reference numpy unless told else).
         self.kernel = get_kernel("numpy") if kernel is None else kernel
-        ip_blocks = finalized.dst_ips >> 8
+        ip_blocks = finalized.dst_ips >> finalized.block_shift
         if len(ip_blocks) and np.all(ip_blocks[1:] >= ip_blocks[:-1]):
             # Finalized columns are sorted by construction: the block
             # axis falls out of a boundary scan, no re-sort needed.
@@ -194,7 +200,8 @@ class StageContext:
         ip_is_source = self.kernel.sorted_member_mask(
             finalized.dst_ips, finalized.src_ips
         ) & self.kernel.sorted_member_mask(
-            finalized.dst_ips >> 8, self.blocks_with_real_sources
+            finalized.dst_ips >> finalized.block_shift,
+            self.blocks_with_real_sources,
         )
         survives = has_tcp & ip_size_ok & ~ip_is_source
         fails = (has_tcp & ~ip_size_ok) | ip_is_source
@@ -389,4 +396,5 @@ class StageEngine:
             volume_filtered_blocks=ctx.blocks[volume_filtered],
             applied_tolerances=finalized.applied_tolerances,
             stage_timings=tuple(timings),
+            family=finalized.family,
         )

@@ -11,8 +11,9 @@ The container is schema-generic: the header JSON names the columns and
 their dtypes, and two archive *kinds* are built on it —
 
 * **flow archives** (:class:`FlowpackArchive`, the original kind): the
-  nine :data:`~repro.traffic.flows.FLOW_COLUMNS` of a
-  :class:`~repro.traffic.flows.FlowTable`;
+  per-family column schema (:func:`repro.traffic.flows.flow_columns`)
+  of a :class:`~repro.traffic.flows.FlowTable` — the nine IPv4 columns,
+  or the IPv6 schema with its uint64 keys and ``*_ip_lo`` columns;
 * **table archives** (:class:`TableArchive` / :class:`TableWriter`):
   any caller-declared column set.  This is what
   :mod:`repro.core.snapshot` uses for ``snapshot.fpk`` files — the
@@ -67,7 +68,8 @@ from typing import Any, Iterator, Mapping
 
 import numpy as np
 
-from repro.traffic.flows import FLOW_COLUMNS, FlowTable
+from repro.net.family import FAMILY_IPV4, FAMILY_IPV6
+from repro.traffic.flows import FlowTable, flow_columns
 
 #: File magic; also what :func:`is_flowpack` sniffs.
 MAGIC = b"FLOWPACK"
@@ -97,8 +99,16 @@ def _spec_of(columns: Mapping[str, Any]) -> list[list[str]]:
     return [[name, np.dtype(dtype).str] for name, dtype in columns.items()]
 
 
-def _column_spec() -> list[list[str]]:
-    return _spec_of(FLOW_COLUMNS)
+def _column_spec(family: str = FAMILY_IPV4) -> list[list[str]]:
+    return _spec_of(flow_columns(family))
+
+
+def _flow_family_of_spec(spec: list[list[str]], path) -> str:
+    """The address family whose flow schema matches a header spec."""
+    for name in (FAMILY_IPV4, FAMILY_IPV6):
+        if spec == _column_spec(name):
+            return name
+    raise FlowpackError(f"{path}: not a flow archive schema: {spec}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -213,20 +223,46 @@ class TableWriter:
 
 
 class FlowpackWriter(TableWriter):
-    """Append-able flow-archive writer (one segment per :meth:`write`)."""
+    """Append-able flow-archive writer (one segment per :meth:`write`).
+
+    ``family`` picks the flow schema (``"ipv4"`` default).  Appending
+    to an existing archive adopts *its* family; passing a conflicting
+    one raises.
+    """
 
     def __init__(
         self,
         path: str | Path,
         meta: Mapping[str, Any] | None = None,
         append: bool = False,
+        family: str | None = None,
     ) -> None:
-        super().__init__(path, FLOW_COLUMNS, meta=meta, append=append)
+        target = Path(path)
+        if append and target.exists() and target.stat().st_size > 0:
+            _, spec, _, _ = _scan_table(target, strict=True)
+            existing = _flow_family_of_spec(spec, target)
+            if family is not None and family != existing:
+                raise FlowpackError(
+                    f"{target}: cannot append {family} flows to an "
+                    f"{existing} archive"
+                )
+            family = existing
+        self.family = family if family is not None else FAMILY_IPV4
+        super().__init__(
+            path, flow_columns(self.family), meta=meta, append=append
+        )
 
     def write(self, flows: FlowTable) -> None:
         """Append one segment holding ``flows`` (no-op when empty)."""
+        if flows.family != self.family:
+            if len(flows) == 0:
+                return
+            raise FlowpackError(
+                f"{self.path}: cannot write {flows.family} flows to an "
+                f"{self.family} archive"
+            )
         self.write_columns(
-            {name: getattr(flows, name) for name in FLOW_COLUMNS}
+            {name: getattr(flows, name) for name in self.columns}
         )
 
 
@@ -240,16 +276,17 @@ def write_flows_archive(
 
     ``chunk_rows`` splits the table into multiple segments (the shape a
     chunked capture stream would have produced); ``None`` writes one
-    segment.  An empty table yields a valid zero-segment archive.
+    segment.  An empty table yields a valid zero-segment archive (whose
+    header still records the table's family).
     """
-    with FlowpackWriter(path, meta=meta) as writer:
+    with FlowpackWriter(path, meta=meta, family=flows.family) as writer:
         for chunk in flows.iter_chunks(chunk_rows):
             writer.write(chunk)
 
 
 def append_flows_archive(flows: FlowTable, path: str | Path) -> None:
     """Append ``flows`` as one new segment to an existing archive."""
-    with FlowpackWriter(path, append=True) as writer:
+    with FlowpackWriter(path, append=True, family=flows.family) as writer:
         writer.write(flows)
 
 
@@ -448,13 +485,12 @@ def scan_archive(
 ):
     """Walk a *flow* archive's headers without touching column data.
 
-    Returns ``(meta, segments, report)``; the schema must be exactly
-    :data:`~repro.traffic.flows.FLOW_COLUMNS`.  See :func:`_scan_table`
-    for the strict/lenient damage semantics.
+    Returns ``(meta, segments, report)``; the schema must be one of the
+    per-family flow schemas (:func:`repro.traffic.flows.flow_columns`).
+    See :func:`_scan_table` for the strict/lenient damage semantics.
     """
-    meta, _, segments, report = _scan_table(
-        path, strict=strict, expected=_column_spec()
-    )
+    meta, spec, segments, report = _scan_table(path, strict=strict)
+    _flow_family_of_spec(spec, path)
     return meta, segments, report
 
 
@@ -575,23 +611,31 @@ def open_table_archive(
 
 
 class FlowpackArchive(TableArchive):
-    """A memory-mapped *flow* archive (schema pinned to FLOW_COLUMNS).
+    """A memory-mapped *flow* archive (schema pinned per family).
 
-    Every :class:`~repro.traffic.flows.FlowTable` this object hands out
-    holds zero-copy (read-only) views into one shared ``np.memmap``.
+    The header schema must be one of the per-family flow schemas; the
+    resolved family is exposed as :attr:`family` and stamped on every
+    table handed out.  Every :class:`~repro.traffic.flows.FlowTable`
+    this object returns holds zero-copy (read-only) views into one
+    shared ``np.memmap``.
     """
 
     def __init__(self, path: str | Path, *, _scanned=None) -> None:
-        if _scanned is not None:  # legacy (meta, segments) form
+        if _scanned is not None and len(_scanned) == 2:
+            # legacy (meta, segments) form: IPv4 by definition
             meta, segments = _scanned
             _scanned = (meta, _column_spec(), segments)
-        super().__init__(
-            path, expected_columns=FLOW_COLUMNS, _scanned=_scanned
+        super().__init__(path, _scanned=_scanned)
+        #: Address family name resolved from the header schema.
+        self.family = _flow_family_of_spec(
+            _spec_of(self.columns), self.path
         )
 
     def segment_flows(self, index: int, verify: bool = True) -> FlowTable:
         """One segment as a zero-copy memmap-backed flow table."""
-        return FlowTable(**self.segment_arrays(index, verify=verify))
+        return FlowTable(
+            **self.segment_arrays(index, verify=verify), family=self.family
+        )
 
     def read_rows(
         self, start: int, stop: int, verify: bool = True
@@ -605,7 +649,7 @@ class FlowpackArchive(TableArchive):
         start = max(0, start)
         stop = min(self.num_rows, stop)
         if stop <= start:
-            return FlowTable.empty()
+            return FlowTable.empty(self.family)
         parts = []
         for index, segment in enumerate(self.segments):
             if segment.stop_row <= start:
@@ -616,12 +660,7 @@ class FlowpackArchive(TableArchive):
             lo = max(0, start - segment.start_row)
             hi = min(segment.rows, stop - segment.start_row)
             if lo > 0 or hi < segment.rows:
-                table = FlowTable(
-                    **{
-                        name: getattr(table, name)[lo:hi]
-                        for name in FLOW_COLUMNS
-                    }
-                )
+                table = table.slice_rows(lo, hi)
             parts.append(table)
         return FlowTable.concat(parts)
 
@@ -643,6 +682,8 @@ class FlowpackArchive(TableArchive):
 
     def read_all(self, verify: bool = True) -> FlowTable:
         """The whole archive as one table (zero-copy iff one segment)."""
+        if not self.segments:
+            return FlowTable.empty(self.family)
         if len(self.segments) == 1:
             return self.segment_flows(0, verify=verify)
         return FlowTable.concat(
@@ -690,11 +731,12 @@ def read_flows_archive_lenient(path: str | Path):
     from repro.io import RowError
 
     path = Path(path)
-    meta, segments, report = scan_archive(path, strict=False)
+    meta, spec, segments, report = _scan_table(path, strict=False)
+    family = _flow_family_of_spec(spec, path)
     archive: FlowpackArchive | None = None
     good: list[FlowTable] = []
     if segments:
-        archive = FlowpackArchive(path, _scanned=(meta, segments))
+        archive = FlowpackArchive(path, _scanned=(meta, spec, segments))
     report.good_rows = 0
     for segment in segments:
         try:
@@ -710,6 +752,8 @@ def read_flows_archive_lenient(path: str | Path):
                 )
             )
     report.errors.sort(key=lambda error: error.line)
+    if not good:
+        return FlowTable.empty(family), report
     return FlowTable.concat(good), report
 
 

@@ -31,14 +31,15 @@ from __future__ import annotations
 
 import csv
 from dataclasses import dataclass, field
+from itertools import chain
 from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
 from repro.net.blocksets import aggregate_blocks, expand_prefixes
-from repro.net.ipv4 import Prefix, block_to_prefix
-from repro.traffic.flows import FLOW_COLUMNS, FlowTable
+from repro.net.family import FAMILY_IPV4, FAMILY_IPV6, IPV4, AddressFamily
+from repro.traffic.flows import FLOW_COLUMNS, FlowTable, flow_columns
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,7 +83,10 @@ class ParseReport:
 
 
 def _format_prefix_lines(
-    blocks: np.ndarray, comment: str | None, aggregate: bool
+    blocks: np.ndarray,
+    comment: str | None,
+    aggregate: bool,
+    family: AddressFamily = IPV4,
 ) -> list[str]:
     """The one true prefix-list rendering (writers must not diverge)."""
     lines = []
@@ -90,9 +94,11 @@ def _format_prefix_lines(
         lines.extend(f"# {line}" for line in comment.splitlines())
     unique = np.unique(np.asarray(blocks, dtype=np.int64))
     if aggregate:
-        lines.extend(str(prefix) for prefix in aggregate_blocks(unique))
+        lines.extend(
+            str(prefix) for prefix in aggregate_blocks(unique, family=family)
+        )
     else:
-        lines.extend(str(block_to_prefix(int(block))) for block in unique)
+        lines.extend(str(family.block_to_prefix(int(block))) for block in unique)
     return lines
 
 
@@ -101,13 +107,16 @@ def write_prefix_list(
     path: str | Path,
     comment: str | None = None,
     aggregate: bool = False,
+    family: AddressFamily = IPV4,
 ) -> None:
-    """Write /24 block ids as a CIDR list, one prefix per line.
+    """Write block ids as a CIDR list, one prefix per line.
 
-    With ``aggregate=True`` contiguous runs collapse into their minimal
-    CIDR cover (what an operator actually ships to routers/ACLs).
+    Blocks are the family's classification unit (/24 for IPv4, /48 for
+    IPv6).  With ``aggregate=True`` contiguous runs collapse into their
+    minimal CIDR cover (what an operator actually ships to
+    routers/ACLs).
     """
-    lines = _format_prefix_lines(blocks, comment, aggregate)
+    lines = _format_prefix_lines(blocks, comment, aggregate, family)
     Path(path).write_text("\n".join(lines) + "\n")
 
 
@@ -115,18 +124,19 @@ def prefix_list_text(
     blocks: np.ndarray,
     comment: str | None = None,
     aggregate: bool = False,
+    family: AddressFamily = IPV4,
 ) -> str:
     """The prefix list as a string (for pipes and tests).
 
     Renders through the same path as :func:`write_prefix_list`, so the
     two can never drift apart — including the ``aggregate`` option.
     """
-    return "\n".join(_format_prefix_lines(blocks, comment, aggregate)) + "\n"
+    return "\n".join(_format_prefix_lines(blocks, comment, aggregate, family)) + "\n"
 
 
 def _parse_prefix_lines(
-    path: str | Path, strict: bool
-) -> tuple[list[Prefix], ParseReport]:
+    path: str | Path, strict: bool, family: AddressFamily = IPV4
+) -> tuple[list, ParseReport]:
     report = ParseReport(path=str(path))
     prefixes = []
     for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
@@ -135,9 +145,11 @@ def _parse_prefix_lines(
             continue
         report.total_rows += 1
         try:
-            prefix = Prefix.parse(line)
-            if prefix.length > 24:
-                raise ValueError(f"finer than /24: {line!r}")
+            prefix = family.parse_prefix(line)
+            if prefix.length > family.block_prefix_length:
+                raise ValueError(
+                    f"finer than /{family.block_prefix_length}: {line!r}"
+                )
         except ValueError as error:
             if strict:
                 raise ValueError(f"{path}:{lineno}: {error}") from None
@@ -150,30 +162,45 @@ def _parse_prefix_lines(
     return prefixes, report
 
 
-def read_prefix_list(path: str | Path) -> np.ndarray:
+def read_prefix_list(
+    path: str | Path, family: AddressFamily = IPV4
+) -> np.ndarray:
     """Read a CIDR list written by :func:`write_prefix_list`.
 
-    Entries of /24 or shorter are expanded back to /24 block ids; blank
-    lines and ``#`` comments are skipped.  Malformed entries raise with
-    the file name and line number.
+    Entries at the family's block length or shorter are expanded back
+    to block ids; blank lines and ``#`` comments are skipped.
+    Malformed entries raise with the file name and line number.
     """
-    prefixes, _ = _parse_prefix_lines(path, strict=True)
-    return expand_prefixes(prefixes)
+    prefixes, _ = _parse_prefix_lines(path, strict=True, family=family)
+    return expand_prefixes(prefixes, family=family)
 
 
 def read_prefix_list_lenient(
-    path: str | Path,
+    path: str | Path, family: AddressFamily = IPV4
 ) -> tuple[np.ndarray, ParseReport]:
     """Like :func:`read_prefix_list`, but bad lines are collected.
 
     Returns the blocks that did parse, plus the :class:`ParseReport`
     naming every skipped line.
     """
-    prefixes, report = _parse_prefix_lines(path, strict=False)
-    return expand_prefixes(prefixes), report
+    prefixes, report = _parse_prefix_lines(path, strict=False, family=family)
+    return expand_prefixes(prefixes, family=family), report
 
 
 # -- flow tables --------------------------------------------------------
+
+
+def _csv_field_strings(column: np.ndarray) -> np.ndarray:
+    """One column as decimal strings, matching ``csv.writer`` bytes.
+
+    Signed/bool columns go through int64 (bools render ``0``/``1`` as
+    the historical writer did); uint64 columns must not — an IPv6
+    interface id can exceed 2**63-1, which int64 would wrap negative.
+    """
+    column = np.asarray(column)
+    if column.dtype == np.uint64:
+        return column.astype("U20")
+    return column.astype(np.int64).astype("U20")
 
 
 def _render_csv_rows(flows: FlowTable) -> str:
@@ -188,8 +215,7 @@ def _render_csv_rows(flows: FlowTable) -> str:
     if len(flows) == 0:
         return ""
     fields = [
-        np.asarray(getattr(flows, name)).astype(np.int64).astype("U20")
-        for name in FLOW_COLUMNS
+        _csv_field_strings(getattr(flows, name)) for name in flows.columns()
     ]
     rows = fields[0]
     comma = np.array(",", dtype="U1")
@@ -201,29 +227,40 @@ def _render_csv_rows(flows: FlowTable) -> str:
 def write_flows_csv(flows: FlowTable, path: str | Path) -> None:
     """Write a flow table as CSV (header = column names).
 
-    The writer is vectorised (see :func:`_render_csv_rows`); output is
-    byte-identical to the per-row ``csv.writer`` it replaced.
+    The header names the table's family schema (the IPv6 schema adds
+    the uint64 key and ``*_ip_lo`` columns); readers dispatch on it.
+    The writer is vectorised (see :func:`_render_csv_rows`); IPv4
+    output is byte-identical to the per-row ``csv.writer`` it replaced.
     """
-    header = ",".join(FLOW_COLUMNS) + "\r\n"
+    header = ",".join(flows.columns()) + "\r\n"
     Path(path).write_text(header + _render_csv_rows(flows), newline="")
+
+
+def _header_family(header: list[str] | None) -> str:
+    """The address family whose schema matches a CSV header row."""
+    for name in (FAMILY_IPV4, FAMILY_IPV6):
+        if header == list(flow_columns(name)):
+            return name
+    raise ValueError(f"unexpected flow CSV header: {header}")
 
 
 def _iter_valid_rows(
     path: str | Path, strict: bool, report: ParseReport
-) -> Iterator[tuple[int, ...]]:
+) -> Iterator:
     """The one row-validating core every CSV flow reader drives.
 
-    Yields parsed rows; the wrong header is always fatal.  Malformed
-    rows raise with the file name and 1-based line number in strict
-    mode and are collected into ``report`` otherwise.  Trailing blank
-    lines (and stray empty records) are not data; both modes skip them.
+    The *first* yielded item is the family name resolved from the
+    header (always fatal when it matches neither schema); every later
+    item is a parsed row tuple.  Malformed rows raise with the file
+    name and 1-based line number in strict mode and are collected into
+    ``report`` otherwise.  Trailing blank lines (and stray empty
+    records) are not data; both modes skip them.
     """
-    expected = len(FLOW_COLUMNS)
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
-        header = next(reader, None)
-        if header != list(FLOW_COLUMNS):
-            raise ValueError(f"unexpected flow CSV header: {header}")
+        family = _header_family(next(reader, None))
+        expected = len(flow_columns(family))
+        yield family
         for row in reader:
             if not row or all(not cell.strip() for cell in row):
                 continue
@@ -248,20 +285,25 @@ def _iter_valid_rows(
 
 def _parse_flow_rows(
     path: str | Path, strict: bool
-) -> tuple[list[tuple[int, ...]], ParseReport]:
+) -> tuple[str, list[tuple[int, ...]], ParseReport]:
     report = ParseReport(path=str(path))
-    return list(_iter_valid_rows(path, strict, report)), report
+    rows = _iter_valid_rows(path, strict, report)
+    family = next(rows)
+    return family, list(rows), report
 
 
-def _rows_to_table(rows: list[tuple[int, ...]]) -> FlowTable:
+def _rows_to_table(
+    rows: list[tuple[int, ...]], family: str = "ipv4"
+) -> FlowTable:
     if not rows:
-        return FlowTable.empty()
+        return FlowTable.empty(family)
     columns = list(zip(*rows))
     return FlowTable(
         **{
             name: np.array(columns[i], dtype=dtype)
-            for i, (name, dtype) in enumerate(FLOW_COLUMNS.items())
-        }
+            for i, (name, dtype) in enumerate(flow_columns(family).items())
+        },
+        family=family,
     )
 
 
@@ -281,22 +323,26 @@ def iter_flows_csv(
         raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
     pending: list[tuple[int, ...]] = []
     report = ParseReport(path=str(path))
-    for parsed in _iter_valid_rows(path, strict=True, report=report):
+    parser = _iter_valid_rows(path, strict=True, report=report)
+    family = next(parser)
+    for parsed in parser:
         pending.append(parsed)
         if len(pending) >= chunk_rows:
-            yield _rows_to_table(pending)
+            yield _rows_to_table(pending, family)
             pending = []
     if pending:
-        yield _rows_to_table(pending)
+        yield _rows_to_table(pending, family)
 
 
 def read_flows_csv(path: str | Path) -> FlowTable:
     """Read a flow table written by :func:`write_flows_csv`.
 
-    Malformed rows raise with the file name and line number; trailing
-    blank lines are tolerated.
+    The family comes from the header, so an empty IPv6 export reads
+    back as an empty IPv6 table.  Malformed rows raise with the file
+    name and line number; trailing blank lines are tolerated.
     """
-    return FlowTable.concat(iter_flows_csv(path))
+    family, rows, _ = _parse_flow_rows(path, strict=True)
+    return _rows_to_table(rows, family)
 
 
 def read_flows_csv_lenient(
@@ -308,8 +354,8 @@ def read_flows_csv_lenient(
     reported; a wrong header is still fatal, because then *nothing*
     about the file can be trusted.
     """
-    rows, report = _parse_flow_rows(path, strict=False)
-    return _rows_to_table(rows), report
+    family, rows, report = _parse_flow_rows(path, strict=False)
+    return _rows_to_table(rows, family), report
 
 
 # -- flow archives (flowpack) -------------------------------------------
@@ -365,18 +411,26 @@ def convert_flows(
         if source_format == "flowpack"
         else iter_flows_csv(source, chunk_rows=chunk_rows)
     )
+    # Both writers need the family before the first chunk lands (the
+    # flowpack header and the CSV header both encode the schema), so
+    # peek one chunk; a source with no rows converts as IPv4.
+    chunks = iter(chunks)
+    first = next(chunks, None)
+    all_chunks = chain([first], chunks) if first is not None else iter(())
     rows = 0
     if to == "flowpack":
-        with FlowpackWriter(target) as writer:
-            for chunk in chunks:
+        family = first.family if first is not None else FAMILY_IPV4
+        with FlowpackWriter(target, family=family) as writer:
+            for chunk in all_chunks:
                 writer.write(chunk)
                 rows += len(chunk)
         return rows
     # Chunked CSV write: the vectorised renderer formats each chunk,
     # appended behind the single header.
+    header = first.columns() if first is not None else FLOW_COLUMNS
     with open(target, "w", newline="") as handle:
-        handle.write(",".join(FLOW_COLUMNS) + "\r\n")
-        for chunk in chunks:
+        handle.write(",".join(header) + "\r\n")
+        for chunk in all_chunks:
             handle.write(_render_csv_rows(chunk))
             rows += len(chunk)
     return rows

@@ -19,22 +19,53 @@ from repro.net.ipv4 import (
     ip_in_prefix,
     parse_ip,
 )
-from repro.net.special import SPECIAL_PURPOSE_REGISTRY, SpecialPurposeRegistry
+from repro.net.ipv6 import (
+    MAX_IPV6,
+    Ipv6Prefix,
+    format_ip6,
+    parse_ip6,
+    site_of_ip6,
+)
+from repro.net.family import (
+    IPV4,
+    IPV6,
+    AddressFamily,
+    family,
+    family_names,
+    family_of_prefix,
+)
+from repro.net.special import (
+    SPECIAL_PURPOSE_REGISTRY,
+    SPECIAL_PURPOSE_REGISTRY_V6,
+    SpecialPurposeRegistry,
+)
 from repro.net.hilbert import HilbertCurve
 from repro.net.trie import PrefixTrie
 
 __all__ = [
     "MAX_IPV4",
+    "MAX_IPV6",
     "NUM_BLOCKS",
     "Prefix",
+    "Ipv6Prefix",
+    "AddressFamily",
+    "IPV4",
+    "IPV6",
+    "family",
+    "family_names",
+    "family_of_prefix",
     "block_of_ip",
     "block_to_network_ip",
     "block_to_prefix",
     "blocks_of_prefix",
     "format_ip",
+    "format_ip6",
     "ip_in_prefix",
     "parse_ip",
+    "parse_ip6",
+    "site_of_ip6",
     "SPECIAL_PURPOSE_REGISTRY",
+    "SPECIAL_PURPOSE_REGISTRY_V6",
     "SpecialPurposeRegistry",
     "HilbertCurve",
     "PrefixTrie",

@@ -11,21 +11,27 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.net.family import IPV4, AddressFamily
 from repro.net.ipv4 import Prefix
 
 
-def aggregate_blocks(blocks: np.ndarray) -> list[Prefix]:
-    """Minimal CIDR cover of a set of /24 block ids.
+def aggregate_blocks(
+    blocks: np.ndarray, family: AddressFamily = IPV4
+) -> list[Prefix]:
+    """Minimal CIDR cover of a set of block ids.
 
-    Returns the unique list of prefixes (each /24 or shorter) that
-    covers exactly the given blocks — the standard greedy alignment
-    walk: at each position emit the largest aligned prefix that fits
-    inside the remaining run.
+    Returns the unique list of prefixes (each at the family's block
+    length or shorter) that covers exactly the given blocks — the
+    standard greedy alignment walk: at each position emit the largest
+    aligned prefix that fits inside the remaining run.
     """
     unique = np.unique(np.asarray(blocks, dtype=np.int64))
     if len(unique) == 0:
         return []
-    prefixes: list[Prefix] = []
+    block_length = family.block_prefix_length
+    shift = family.ip_block_shift
+    prefix_type = family.prefix_type
+    prefixes: list = []
     # Split into maximal contiguous runs.
     boundaries = np.flatnonzero(np.diff(unique) != 1)
     starts = np.concatenate([[0], boundaries + 1])
@@ -37,21 +43,24 @@ def aggregate_blocks(blocks: np.ndarray) -> list[Prefix]:
             # Largest power-of-two size that is aligned and fits.
             align = position & -position if position else remaining
             size = min(_floor_pow2(remaining), align if align else remaining)
-            length = 24 - size.bit_length() + 1
-            prefixes.append(Prefix(position << 8, length))
+            length = block_length - size.bit_length() + 1
+            prefixes.append(prefix_type(position << shift, length))
             position += size
             remaining -= size
     return prefixes
 
 
-def expand_prefixes(prefixes: list[Prefix]) -> np.ndarray:
-    """Inverse of :func:`aggregate_blocks`: all covered /24 block ids."""
+def expand_prefixes(
+    prefixes: list[Prefix], family: AddressFamily = IPV4
+) -> np.ndarray:
+    """Inverse of :func:`aggregate_blocks`: all covered block ids."""
     if not prefixes:
         return np.empty(0, dtype=np.int64)
+    block_length = family.block_prefix_length
     parts = [
         np.arange(p.first_block(), p.first_block() + p.num_blocks(), dtype=np.int64)
         for p in prefixes
-        if p.length <= 24
+        if p.length <= block_length
     ]
     if not parts:
         return np.empty(0, dtype=np.int64)
@@ -79,15 +88,18 @@ def _floor_pow2(value: int) -> int:
 
 
 class BlockSet:
-    """An immutable set of /24 blocks with set algebra and CIDR export."""
+    """An immutable set of blocks with set algebra and CIDR export."""
 
-    def __init__(self, blocks: np.ndarray) -> None:
+    def __init__(self, blocks: np.ndarray, family: AddressFamily = IPV4) -> None:
         self._blocks = np.unique(np.asarray(blocks, dtype=np.int64))
+        self.family = family
 
     @classmethod
-    def from_prefixes(cls, prefixes: list[Prefix]) -> "BlockSet":
+    def from_prefixes(
+        cls, prefixes: list[Prefix], family: AddressFamily = IPV4
+    ) -> "BlockSet":
         """Build from covering prefixes."""
-        return cls(expand_prefixes(prefixes))
+        return cls(expand_prefixes(prefixes, family), family)
 
     @property
     def blocks(self) -> np.ndarray:
@@ -103,15 +115,15 @@ class BlockSet:
 
     def union(self, other: "BlockSet") -> "BlockSet":
         """Set union."""
-        return BlockSet(np.union1d(self._blocks, other._blocks))
+        return BlockSet(np.union1d(self._blocks, other._blocks), self.family)
 
     def intersection(self, other: "BlockSet") -> "BlockSet":
         """Set intersection."""
-        return BlockSet(np.intersect1d(self._blocks, other._blocks))
+        return BlockSet(np.intersect1d(self._blocks, other._blocks), self.family)
 
     def difference(self, other: "BlockSet") -> "BlockSet":
         """Set difference (blocks in self but not other)."""
-        return BlockSet(np.setdiff1d(self._blocks, other._blocks))
+        return BlockSet(np.setdiff1d(self._blocks, other._blocks), self.family)
 
     def jaccard(self, other: "BlockSet") -> float:
         """Jaccard similarity (for day-over-day stability metrics)."""
@@ -122,4 +134,4 @@ class BlockSet:
 
     def to_cidrs(self) -> list[Prefix]:
         """Minimal CIDR cover."""
-        return aggregate_blocks(self._blocks)
+        return aggregate_blocks(self._blocks, self.family)

@@ -1,0 +1,200 @@
+"""Address families: the one place block-space arithmetic lives.
+
+The engine classifies *blocks* — /24s for IPv4, /48 sites for IPv6 —
+and everything between ingest and the service speaks block ids (plain
+int64).  An :class:`AddressFamily` bundles the per-family constants and
+conversions so the pipeline never hardcodes ``>> 8`` or ``np.uint32``:
+
+* **Engine key.**  Flow columns hold one unsigned integer per address —
+  the full 32 bits for IPv4, the *upper 64 bits* (the /64 id) for IPv6.
+  The low 64 bits of a v6 address never influence classification (the
+  block is a /48), so :class:`~repro.traffic.flows.FlowTable` keeps them
+  in optional ``*_ip_lo`` side columns for fidelity only.
+* **Block id.**  ``block_of(keys)`` maps engine keys to int64 block ids
+  with the family's key shift (8 for v4, 16 for v6).  This is the single
+  named home of the former ``ip >> 8`` literals.
+* **Text.**  ``parse_ip``/``format_ip``/``parse_prefix``/``format_block``
+  round-trip the family's textual forms, and ``block_to_prefix`` gives
+  the canonical prefix object for a block.
+
+IPv6 caveat: block ids and engine keys are consumed as signed int64 by
+the numpy pipeline, so v6 addresses must sit below ``8000::`` — true for
+all currently allocated global unicast space (``2000::/3``), and
+enforced by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.net.ipv4 import (
+    AddressError,
+    Prefix,
+    format_ip,
+    parse_ip,
+)
+from repro.net.ipv6 import (
+    Ipv6Prefix,
+    format_ip6,
+    parse_ip6,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.special import SpecialPurposeRegistry
+
+FAMILY_IPV4 = "ipv4"
+FAMILY_IPV6 = "ipv6"
+
+
+@dataclass(frozen=True, slots=True)
+class AddressFamily:
+    """Constants and conversions for one address family's block space.
+
+    ``ip_*`` values describe full addresses; ``key_*`` values describe
+    the engine key actually stored in flow columns (identical for v4,
+    the upper 64 bits for v6).
+    """
+
+    name: str
+    ip_bits: int
+    key_bits: int
+    block_prefix_length: int
+    key_dtype: np.dtype
+
+    @property
+    def ip_block_shift(self) -> int:
+        """Right-shift from a full address to its block id."""
+        return self.ip_bits - self.block_prefix_length
+
+    @property
+    def key_block_shift(self) -> int:
+        """Right-shift from an engine key to its block id."""
+        return self.ip_block_shift - (self.ip_bits - self.key_bits)
+
+    @property
+    def num_blocks(self) -> int:
+        """Size of the family's block-id space."""
+        return 1 << self.block_prefix_length
+
+    # -- array-side arithmetic (the hot-path contract) -----------------
+
+    def block_of(self, keys: np.ndarray) -> np.ndarray:
+        """Map an array of engine keys to int64 block ids.
+
+        The single named home of the former ``ip >> 8`` literals.
+        """
+        keys = np.asarray(keys)
+        shift = keys.dtype.type(self.key_block_shift)
+        return (keys >> shift).astype(np.int64)
+
+    def blocks_to_keys(self, blocks: np.ndarray) -> np.ndarray:
+        """First engine key of each block, in the family's key dtype."""
+        blocks = np.asarray(blocks, dtype=np.int64)
+        return (blocks << np.int64(self.key_block_shift)).astype(self.key_dtype)
+
+    # -- scalar conversions --------------------------------------------
+
+    def key_of_ip(self, ip: int) -> int:
+        """Engine key for a full address."""
+        return ip >> (self.ip_bits - self.key_bits)
+
+    def lo_of_ip(self, ip: int) -> int:
+        """The address bits *below* the engine key (0 for IPv4)."""
+        if self.ip_bits == self.key_bits:
+            return 0
+        return ip & ((1 << (self.ip_bits - self.key_bits)) - 1)
+
+    def block_of_ip(self, ip: int) -> int:
+        """Block id containing a full address."""
+        return ip >> self.ip_block_shift
+
+    def block_of_key(self, key: int) -> int:
+        """Block id containing an engine key."""
+        return key >> self.key_block_shift
+
+    def block_to_ip(self, block: int) -> int:
+        """Network (first) address of a block."""
+        return block << self.ip_block_shift
+
+    # -- text ----------------------------------------------------------
+
+    def parse_ip(self, text: str) -> int:
+        """Parse the family's textual address form to an integer."""
+        if self.name == FAMILY_IPV4:
+            return parse_ip(text)
+        return parse_ip6(text)
+
+    def format_ip(self, value: int) -> str:
+        """Format an integer address in the family's canonical text."""
+        if self.name == FAMILY_IPV4:
+            return format_ip(value)
+        return format_ip6(value)
+
+    def parse_prefix(self, text: str) -> Prefix | Ipv6Prefix:
+        """Parse ``addr/len`` into the family's prefix type."""
+        return self.prefix_type.parse(text)
+
+    def prefix_from_ip(self, ip: int, length: int) -> Prefix | Ipv6Prefix:
+        """The length-``length`` prefix covering ``ip``."""
+        return self.prefix_type.from_ip(ip, length)
+
+    def block_to_prefix(self, block: int) -> Prefix | Ipv6Prefix:
+        """Canonical prefix object for a block id."""
+        return self.prefix_type(self.block_to_ip(block), self.block_prefix_length)
+
+    def format_block(self, block: int) -> str:
+        """Canonical ``addr/len`` text for a block id."""
+        return str(self.block_to_prefix(block))
+
+    @property
+    def prefix_type(self) -> type:
+        """The family's prefix class."""
+        return Prefix if self.name == FAMILY_IPV4 else Ipv6Prefix
+
+    def special_registry(self) -> "SpecialPurposeRegistry":
+        """The family's default special-purpose (IANA) registry."""
+        from repro.net import special
+
+        if self.name == FAMILY_IPV4:
+            return special.SPECIAL_PURPOSE_REGISTRY
+        return special.SPECIAL_PURPOSE_REGISTRY_V6
+
+
+IPV4 = AddressFamily(
+    name=FAMILY_IPV4,
+    ip_bits=32,
+    key_bits=32,
+    block_prefix_length=24,
+    key_dtype=np.dtype(np.uint32),
+)
+
+IPV6 = AddressFamily(
+    name=FAMILY_IPV6,
+    ip_bits=128,
+    key_bits=64,
+    block_prefix_length=48,
+    key_dtype=np.dtype(np.uint64),
+)
+
+_FAMILIES = {IPV4.name: IPV4, IPV6.name: IPV6}
+
+
+def family(name: str) -> AddressFamily:
+    """Look up an address family by name (``"ipv4"`` / ``"ipv6"``)."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise AddressError(f"unknown address family: {name!r}") from None
+
+
+def family_names() -> Iterable[str]:
+    """The known family names, v4 first."""
+    return tuple(_FAMILIES)
+
+
+def family_of_prefix(prefix: Prefix | Ipv6Prefix) -> AddressFamily:
+    """The family a prefix object belongs to."""
+    return IPV6 if isinstance(prefix, Ipv6Prefix) else IPV4

@@ -149,6 +149,14 @@ class Ipv6Prefix:
             raise Ipv6Error(f"missing prefix length in {text!r}")
         return cls(parse_ip6(address_text), int(length_text))
 
+    @classmethod
+    def from_ip(cls, ip: int, length: int) -> "Ipv6Prefix":
+        """Build the length-``length`` prefix covering ``ip``."""
+        if not 0 <= length <= 128:
+            raise Ipv6Error(f"prefix length out of range: {length}")
+        mask = 0 if length == 0 else (MAX_IPV6 << (128 - length)) & MAX_IPV6
+        return cls(ip & mask, length)
+
     def netmask(self) -> int:
         """The network mask."""
         if self.length == 0:
@@ -178,6 +186,32 @@ class Ipv6Prefix:
     def first_site(self) -> int:
         """The first /48 site id inside the prefix."""
         return self.network >> SITE_SHIFT
+
+    def last_ip(self) -> int:
+        """The highest address inside the prefix."""
+        return self.network | self.hostmask()
+
+    # Block-space aliases so v4 Prefix and Ipv6Prefix share one duck
+    # interface (blocks are /48 sites here, /24s for IPv4).
+
+    def contains_block(self, block: int) -> bool:
+        """Alias of :meth:`contains_site` for the generic prefix duck."""
+        return self.contains_site(block)
+
+    def num_blocks(self) -> int:
+        """Alias of :meth:`num_sites` for the generic prefix duck."""
+        return self.num_sites()
+
+    def first_block(self) -> int:
+        """Alias of :meth:`first_site` for the generic prefix duck."""
+        return self.first_site()
+
+    def blocks(self) -> range:
+        """Range of /48 site ids covered (empty for longer prefixes)."""
+        if self.length > 48:
+            return range(0)
+        start = self.first_site()
+        return range(start, start + self.num_sites())
 
     def __str__(self) -> str:
         return f"{format_ip6(self.network)}/{self.length}"

@@ -1,9 +1,11 @@
-"""Special-purpose IPv4 address registry (RFC 6890 and successors).
+"""Special-purpose address registries (RFC 6890 / IANA, both families).
 
-Pipeline step 4 ("Private / Multicast / Reserved") must drop any /24
-block that is not usable on the public Internet.  This module carries
-the full special-purpose registry and answers block-level membership
-queries, including vectorised numpy queries over block-id arrays.
+Pipeline step 4 ("Private / Multicast / Reserved") must drop any block
+that is not usable on the public Internet.  This module carries the
+full special-purpose registries — the RFC 6890 IPv4 table and the IANA
+IPv6 special-purpose table — and answers block-level membership queries,
+including vectorised numpy queries over block-id arrays.  Blocks are
+/24s for IPv4 and /48 sites for IPv6.
 """
 
 from __future__ import annotations
@@ -13,14 +15,16 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.net.family import IPV4, IPV6, AddressFamily
 from repro.net.ipv4 import Prefix
+from repro.net.ipv6 import Ipv6Prefix
 
 
 @dataclass(frozen=True, slots=True)
 class SpecialPurposeEntry:
-    """One row of the special-purpose registry."""
+    """One row of a special-purpose registry."""
 
-    prefix: Prefix
+    prefix: Prefix | Ipv6Prefix
     name: str
     #: True if the block may appear as a source on the public Internet
     #: (e.g. shared address space can leak); irrelevant to filtering but
@@ -48,26 +52,52 @@ _REGISTRY_ROWS: Sequence[tuple[str, str, bool]] = (
     ("255.255.255.255/32", "limited broadcast", False),
 )
 
+#: IANA IPv6 special-purpose registry (condensed to the filtering-relevant
+#: rows; everything outside 2000::/3 is non-global anyway, but the
+#: pipeline checks membership explicitly rather than assuming).
+_REGISTRY_ROWS_V6: Sequence[tuple[str, str, bool]] = (
+    ("::/128", "unspecified", False),
+    ("::1/128", "loopback", False),
+    ("::ffff:0:0/96", "IPv4-mapped", False),
+    ("64:ff9b::/96", "NAT64 well-known prefix", True),
+    ("100::/64", "discard-only", False),
+    ("2001::/23", "IETF protocol assignments", False),
+    ("2001:db8::/32", "documentation", False),
+    ("2002::/16", "6to4", True),
+    ("3fff::/20", "documentation (extended)", False),
+    ("fc00::/7", "unique-local", False),
+    ("fe80::/10", "link local", False),
+    ("ff00::/8", "multicast", False),
+)
+
 
 class SpecialPurposeRegistry:
     """Answers "is this address/block special-purpose?" queries.
 
-    The default instance, :data:`SPECIAL_PURPOSE_REGISTRY`, contains the
-    RFC 6890 table.  A custom registry can be built for tests.
+    The default instances, :data:`SPECIAL_PURPOSE_REGISTRY` (RFC 6890
+    IPv4) and :data:`SPECIAL_PURPOSE_REGISTRY_V6` (IANA IPv6), cover the
+    public tables.  A custom registry can be built for tests.
     """
 
-    def __init__(self, entries: Iterable[SpecialPurposeEntry]) -> None:
+    def __init__(
+        self,
+        entries: Iterable[SpecialPurposeEntry],
+        family: AddressFamily = IPV4,
+    ) -> None:
+        self.family = family
         self.entries: tuple[SpecialPurposeEntry, ...] = tuple(entries)
-        # Precompute /24-block interval list [(first_block, last_block)].
+        block_length = family.block_prefix_length
+        shift = family.ip_block_shift
+        # Precompute block interval list [(first_block, last_block)].
         intervals = []
         for entry in self.entries:
             prefix = entry.prefix
-            if prefix.length > 24:
-                # A /32 or similar taints its whole containing /24: the
-                # pipeline works at /24 granularity and must not select a
-                # block that overlaps reserved space at all.
-                first = prefix.network >> 8
-                last = prefix.last_ip() >> 8
+            if prefix.length > block_length:
+                # A host route or similar taints its whole containing
+                # block: the pipeline works at block granularity and must
+                # not select a block that overlaps reserved space at all.
+                first = prefix.network >> shift
+                last = prefix.last_ip() >> shift
             else:
                 first = prefix.first_block()
                 last = first + prefix.num_blocks() - 1
@@ -75,17 +105,34 @@ class SpecialPurposeRegistry:
         intervals.sort()
         self._starts = np.array([lo for lo, _ in intervals], dtype=np.int64)
         self._ends = np.array([hi for _, hi in intervals], dtype=np.int64)
+        if len(self._ends):
+            # Cumulative-max so nested entries don't shadow a wider one.
+            self._ends = np.maximum.accumulate(self._ends)
 
     @classmethod
     def default(cls) -> "SpecialPurposeRegistry":
-        """The RFC 6890 registry."""
+        """The RFC 6890 IPv4 registry."""
         return cls(
-            SpecialPurposeEntry(Prefix.parse(text), name, reachable)
-            for text, name, reachable in _REGISTRY_ROWS
+            (
+                SpecialPurposeEntry(Prefix.parse(text), name, reachable)
+                for text, name, reachable in _REGISTRY_ROWS
+            ),
+            family=IPV4,
+        )
+
+    @classmethod
+    def default_v6(cls) -> "SpecialPurposeRegistry":
+        """The IANA IPv6 special-purpose registry."""
+        return cls(
+            (
+                SpecialPurposeEntry(Ipv6Prefix.parse(text), name, reachable)
+                for text, name, reachable in _REGISTRY_ROWS_V6
+            ),
+            family=IPV6,
         )
 
     def is_special_block(self, block: int) -> bool:
-        """True if /24 ``block`` overlaps any special-purpose prefix."""
+        """True if ``block`` overlaps any special-purpose prefix."""
         idx = int(np.searchsorted(self._starts, block, side="right")) - 1
         if idx < 0:
             return False
@@ -93,7 +140,7 @@ class SpecialPurposeRegistry:
 
     def is_special_ip(self, ip: int) -> bool:
         """True if address ``ip`` lies in special-purpose space."""
-        return self.is_special_block(ip >> 8)
+        return self.is_special_block(self.family.block_of_ip(ip))
 
     def special_mask(self, blocks: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`is_special_block` over an int array.
@@ -111,14 +158,16 @@ class SpecialPurposeRegistry:
 
     def describe(self, block: int) -> str | None:
         """Name of the registry entry covering ``block``, or None."""
+        shift = self.family.ip_block_shift
         for entry in self.entries:
             prefix = entry.prefix
-            lo = prefix.network >> 8
-            hi = prefix.last_ip() >> 8
+            lo = prefix.network >> shift
+            hi = prefix.last_ip() >> shift
             if lo <= block <= hi:
                 return entry.name
         return None
 
 
-#: Module-level default registry (RFC 6890).
+#: Module-level default registries.
 SPECIAL_PURPOSE_REGISTRY = SpecialPurposeRegistry.default()
+SPECIAL_PURPOSE_REGISTRY_V6 = SpecialPurposeRegistry.default_v6()

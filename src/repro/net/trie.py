@@ -1,10 +1,14 @@
 """Binary (Patricia-style) prefix trie with longest-prefix match.
 
-Used by the BGP RIB (is this /24 inside any announced prefix? which is
+Used by the BGP RIB (is this block inside any announced prefix? which is
 the most-specific covering announcement?) and by the prefix-to-AS and
 geolocation datasets.  Besides per-address lookups it offers a
-vectorised /24-block matcher built on sorted interval tables, which is
-what the pipeline's step 5 ("Globally Routed") uses at scale.
+vectorised block matcher built on sorted interval tables, which is what
+the pipeline's step 5 ("Globally Routed") uses at scale.
+
+The trie is address-family generic: it defaults to IPv4 (/24 blocks,
+32-bit walks) and accepts ``family=IPV6`` for 128-bit prefixes over /48
+site blocks.  A single trie holds prefixes of one family only.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from typing import Generic, Iterator, TypeVar
 
 import numpy as np
 
-from repro.net.ipv4 import Prefix
+from repro.net.family import IPV4, AddressFamily
 
 V = TypeVar("V")
 
@@ -28,9 +32,12 @@ class _Node(Generic[V]):
 
 
 class PrefixTrie(Generic[V]):
-    """Maps :class:`Prefix` keys to values with longest-prefix-match lookup."""
+    """Maps prefix keys to values with longest-prefix-match lookup."""
 
-    def __init__(self) -> None:
+    def __init__(self, family: AddressFamily = IPV4) -> None:
+        self.family = family
+        self._bits = family.ip_bits
+        self._block_length = family.block_prefix_length
         self._root: _Node[V] = _Node()
         self._size = 0
         self._interval_cache: tuple[np.ndarray, np.ndarray, list[V]] | None = None
@@ -38,10 +45,10 @@ class PrefixTrie(Generic[V]):
     def __len__(self) -> int:
         return self._size
 
-    def insert(self, prefix: Prefix, value: V) -> None:
+    def insert(self, prefix, value: V) -> None:
         """Insert or replace the value at ``prefix``."""
         node = self._root
-        for bit in _prefix_bits(prefix):
+        for bit in self._prefix_bits(prefix):
             child = node.children[bit]
             if child is None:
                 child = _Node()
@@ -53,24 +60,25 @@ class PrefixTrie(Generic[V]):
         node.has_value = True
         self._interval_cache = None
 
-    def exact(self, prefix: Prefix) -> V | None:
+    def exact(self, prefix) -> V | None:
         """Value stored exactly at ``prefix``, or None."""
         node = self._root
-        for bit in _prefix_bits(prefix):
+        for bit in self._prefix_bits(prefix):
             child = node.children[bit]
             if child is None:
                 return None
             node = child
         return node.value if node.has_value else None
 
-    def longest_match(self, ip: int) -> tuple[Prefix, V] | None:
+    def longest_match(self, ip: int):
         """Most-specific stored prefix covering ``ip``, with its value."""
         node = self._root
         best: tuple[int, V] | None = None
         if node.has_value:
             best = (0, node.value)  # type: ignore[arg-type]
-        for depth in range(32):
-            bit = (ip >> (31 - depth)) & 1
+        top = self._bits - 1
+        for depth in range(self._bits):
+            bit = (ip >> (top - depth)) & 1
             child = node.children[bit]
             if child is None:
                 break
@@ -80,34 +88,37 @@ class PrefixTrie(Generic[V]):
         if best is None:
             return None
         length, value = best
-        return Prefix.from_ip(ip, length), value
+        return self.family.prefix_from_ip(ip, length), value
 
     def covers_ip(self, ip: int) -> bool:
         """True if any stored prefix covers ``ip``."""
         return self.longest_match(ip) is not None
 
     def covers_block(self, block: int) -> bool:
-        """True if /24 ``block`` is entirely inside some stored prefix.
+        """True if ``block`` is entirely inside some stored prefix.
 
-        A /24 is covered iff a prefix of length <= 24 covers its network
-        address (longer stored prefixes cover only part of the block).
+        A block is covered iff a prefix no longer than the block length
+        covers its network address (longer stored prefixes cover only
+        part of the block).
         """
-        match = self.longest_match(block << 8)
+        ip = self.family.block_to_ip(block)
+        match = self.longest_match(ip)
         if match is None:
             return False
         prefix, _ = match
-        if prefix.length <= 24:
+        if prefix.length <= self._block_length:
             return True
-        # The LPM hit a more-specific longer than /24; a shorter
-        # covering prefix may still exist above it on the walk.
-        return self._has_short_cover(block << 8)
+        # The LPM hit a more-specific longer than the block length; a
+        # shorter covering prefix may still exist above it on the walk.
+        return self._has_short_cover(ip)
 
     def _has_short_cover(self, ip: int) -> bool:
         node = self._root
         if node.has_value:
             return True
-        for depth in range(24):
-            bit = (ip >> (31 - depth)) & 1
+        top = self._bits - 1
+        for depth in range(self._block_length):
+            bit = (ip >> (top - depth)) & 1
             child = node.children[bit]
             if child is None:
                 return False
@@ -116,17 +127,19 @@ class PrefixTrie(Generic[V]):
                 return True
         return False
 
-    def items(self) -> Iterator[tuple[Prefix, V]]:
+    def items(self) -> Iterator[tuple[object, V]]:
         """Yield (prefix, value) pairs in address order."""
+        prefix_type = self.family.prefix_type
+        top = self._bits - 1
 
-        def walk(node: _Node[V], network: int, depth: int) -> Iterator[tuple[Prefix, V]]:
+        def walk(node: _Node[V], network: int, depth: int):
             if node.has_value:
-                yield Prefix(network, depth), node.value  # type: ignore[arg-type]
+                yield prefix_type(network, depth), node.value
             for bit in (0, 1):
                 child = node.children[bit]
                 if child is not None:
                     yield from walk(
-                        child, network | (bit << (31 - depth)), depth + 1
+                        child, network | (bit << (top - depth)), depth + 1
                     )
 
         yield from walk(self._root, 0, 0)
@@ -134,12 +147,12 @@ class PrefixTrie(Generic[V]):
     # -- vectorised block coverage -------------------------------------
 
     def _intervals(self) -> tuple[np.ndarray, np.ndarray, list[V]]:
-        """Merged, sorted (start_block, end_block) intervals of prefixes <= /24."""
+        """Merged, sorted (start, end) block intervals of block-or-shorter prefixes."""
         if self._interval_cache is not None:
             return self._interval_cache
         spans: list[tuple[int, int, V]] = []
         for prefix, value in self.items():
-            if prefix.length > 24:
+            if prefix.length > self._block_length:
                 continue
             first = prefix.first_block()
             spans.append((first, first + prefix.num_blocks() - 1, value))
@@ -155,7 +168,7 @@ class PrefixTrie(Generic[V]):
         return self._interval_cache
 
     def block_intervals(self) -> tuple[np.ndarray, np.ndarray]:
-        """The sorted ``(starts, ends)`` interval table of prefixes <= /24.
+        """The sorted ``(starts, ends)`` block interval table.
 
         Consumers that outlive the trie (e.g. a frozen
         :class:`~repro.bgp.rib.RoutingTable`) can hold this table once
@@ -176,6 +189,11 @@ class PrefixTrie(Generic[V]):
             return kernel.interval_covered_mask(starts, ends, blocks)
         return interval_covered_mask(starts, ends, blocks)
 
+    def _prefix_bits(self, prefix) -> Iterator[int]:
+        top = self._bits - 1
+        for depth in range(prefix.length):
+            yield (prefix.network >> (top - depth)) & 1
+
 
 def interval_covered_mask(
     starts: np.ndarray, ends: np.ndarray, blocks: np.ndarray
@@ -188,8 +206,3 @@ def interval_covered_mask(
     valid = idx >= 0
     clamped = np.where(valid, idx, 0)
     return valid & (blocks <= ends[clamped])
-
-
-def _prefix_bits(prefix: Prefix) -> Iterator[int]:
-    for depth in range(prefix.length):
-        yield (prefix.network >> (31 - depth)) & 1

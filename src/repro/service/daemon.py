@@ -61,7 +61,8 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.engine import RunContext
 from repro.core.snapshot import ClassificationSnapshot
-from repro.net.ipv4 import AddressError, Prefix, block_of_ip, parse_ip
+from repro.net.family import IPV4, AddressFamily
+from repro.net.ipv4 import AddressError
 from repro.service.handle import SnapshotHandle
 
 
@@ -86,22 +87,33 @@ class QueryBudget:
         return min(requested, self.max_results)
 
 
-def parse_block(text: str) -> int:
-    """A /24 block id from a CIDR /24, a bare IP, or a block integer."""
+def parse_block(text: str, family: AddressFamily = IPV4) -> int:
+    """A block id from a block-length CIDR, a bare IP, or an integer.
+
+    The block length is the family's classification unit: /24 for
+    IPv4, /48 for IPv6.
+    """
     text = text.strip()
     if "/" in text:
-        prefix = Prefix.parse(text)
-        if prefix.length != 24:
+        try:
+            prefix = family.parse_prefix(text)
+        except AddressError as error:
+            raise QueryError(str(error)) from error
+        if prefix.length != family.block_prefix_length:
             raise QueryError(
-                f"point queries are per /24; got /{prefix.length}"
+                f"point queries are per /{family.block_prefix_length} "
+                f"({family.name}); got /{prefix.length}"
             )
         return prefix.first_block()
     try:
-        if "." in text:
-            return block_of_ip(parse_ip(text))
+        if "." in text or ":" in text:
+            return family.block_of_ip(family.parse_ip(text))
         return int(text)
     except (AddressError, ValueError) as error:
-        raise QueryError(f"not a /24, IP or block id: {text!r}") from error
+        raise QueryError(
+            f"not a /{family.block_prefix_length}, IP or block id: "
+            f"{text!r}"
+        ) from error
 
 
 class MetaTelescopeService:
@@ -233,10 +245,11 @@ class MetaTelescopeService:
         return answer
 
     def point(self, target: str) -> dict[str, Any]:
-        """Is this /24 dark?  Since when?  With what confidence?"""
+        """Is this block dark?  Since when?  With what confidence?"""
         snapshot = self._require()
+        block = parse_block(target, snapshot.address_family)
         return self._envelope(
-            snapshot, snapshot.lookup(parse_block(target)).to_dict(), day=True
+            snapshot, snapshot.lookup(block).to_dict(), day=True
         )
 
     def _rows(
@@ -259,10 +272,21 @@ class MetaTelescopeService:
         """All classified blocks in a block range or covering prefix."""
         snapshot = self._require()
         if prefix is not None:
-            parsed = Prefix.parse(prefix)
-            if parsed.length > 24:
-                raise QueryError(f"{prefix}: more specific than a /24")
-            sub = snapshot.within_prefix(parsed)
+            family = snapshot.address_family
+            try:
+                parsed = family.parse_prefix(prefix)
+            except AddressError as error:
+                raise QueryError(str(error)) from error
+            if parsed.length > family.block_prefix_length:
+                raise QueryError(
+                    f"requested /{parsed.length} prefix {prefix} is more "
+                    f"specific than this {snapshot.family} snapshot's "
+                    f"/{family.block_prefix_length} blocks"
+                )
+            try:
+                sub = snapshot.within_prefix(parsed)
+            except ValueError as error:
+                raise QueryError(str(error)) from error
         elif start is not None and end is not None:
             if end < start:
                 raise QueryError(f"empty range: start {start} > end {end}")
@@ -318,6 +342,7 @@ class MetaTelescopeService:
         return self._envelope(snapshot, {
             "version": snapshot.version,
             "day": snapshot.day,
+            "family": snapshot.family,
             "blocks": len(snapshot),
             "verdicts": snapshot.verdict_counts(),
             "provenance": dict(snapshot.provenance),

@@ -4,7 +4,14 @@ Flow records are what every vantage point in the paper exports (IPFIX
 at the IXPs, NetFlow at the ISP, per-packet rows at the telescopes —
 a telescope capture is simply an unsampled flow table).  The table is a
 struct-of-arrays over numpy so the inference pipeline stays vectorised
-at hundreds of thousands of /24 blocks.
+at hundreds of thousands of blocks.
+
+Tables carry an address family tag (:mod:`repro.net.family`).  For IPv4
+the ``src_ip``/``dst_ip`` columns are full uint32 addresses.  For IPv6
+they hold the *engine key* — the upper 64 bits (the /64 id) as uint64 —
+and the low 64 bits travel in optional ``src_ip_lo``/``dst_ip_lo``
+columns for fidelity only; the inference pipeline never reads them,
+because classification happens at /48 site granularity.
 
 Ground-truth columns (``sender_asn``, ``spoofed``) travel with each row
 for evaluation purposes only; the inference code never reads them.
@@ -17,9 +24,10 @@ from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
+from repro.net.family import FAMILY_IPV4, FAMILY_IPV6, family as _family
 from repro.traffic.packets import PROTO_TCP
 
-#: Column name -> dtype for a flow table.
+#: Column name -> dtype for an IPv4 flow table (the historical schema).
 FLOW_COLUMNS: Mapping[str, np.dtype] = {
     "src_ip": np.dtype(np.uint32),
     "dst_ip": np.dtype(np.uint32),
@@ -31,6 +39,31 @@ FLOW_COLUMNS: Mapping[str, np.dtype] = {
     "dst_asn": np.dtype(np.int32),
     "spoofed": np.dtype(bool),
 }
+
+#: Column name -> dtype for an IPv6 flow table: uint64 engine keys plus
+#: the low-64-bit side columns.
+FLOW_COLUMNS_V6: Mapping[str, np.dtype] = {
+    "src_ip": np.dtype(np.uint64),
+    "dst_ip": np.dtype(np.uint64),
+    "proto": np.dtype(np.uint8),
+    "dport": np.dtype(np.uint16),
+    "packets": np.dtype(np.int64),
+    "bytes": np.dtype(np.int64),
+    "sender_asn": np.dtype(np.int32),
+    "dst_asn": np.dtype(np.int32),
+    "spoofed": np.dtype(bool),
+    "src_ip_lo": np.dtype(np.uint64),
+    "dst_ip_lo": np.dtype(np.uint64),
+}
+
+
+def flow_columns(family_name: str) -> Mapping[str, np.dtype]:
+    """The column schema for an address family name."""
+    if family_name == FAMILY_IPV4:
+        return FLOW_COLUMNS
+    if family_name == FAMILY_IPV6:
+        return FLOW_COLUMNS_V6
+    raise ValueError(f"unknown address family: {family_name!r}")
 
 
 @dataclass(frozen=True)
@@ -48,51 +81,93 @@ class FlowTable:
     #: Ground-truth flag; ``None`` is the "nothing spoofed" sentinel and
     #: materialises to an all-False array in ``__post_init__``.
     spoofed: np.ndarray | None = None
+    #: Low 64 address bits (IPv6 only); ``None`` materialises to zeros.
+    src_ip_lo: np.ndarray | None = None
+    dst_ip_lo: np.ndarray | None = None
+    #: Address family tag: ``"ipv4"`` (default) or ``"ipv6"``.
+    family: str = FAMILY_IPV4
 
     def __post_init__(self) -> None:
+        columns = flow_columns(self.family)
         if self.spoofed is None:
             object.__setattr__(
                 self, "spoofed", np.zeros(len(self.src_ip), dtype=bool)
             )
-        lengths = {name: len(getattr(self, name)) for name in FLOW_COLUMNS}
+        if self.family == FAMILY_IPV6:
+            for name in ("src_ip_lo", "dst_ip_lo"):
+                if getattr(self, name) is None:
+                    object.__setattr__(
+                        self, name, np.zeros(len(self.src_ip), dtype=np.uint64)
+                    )
+        else:
+            for name in ("src_ip_lo", "dst_ip_lo"):
+                if getattr(self, name) is not None:
+                    raise ValueError(
+                        f"{name} is an IPv6 column; this table is {self.family}"
+                    )
+        lengths = {name: len(getattr(self, name)) for name in columns}
         if len(set(lengths.values())) > 1:
             raise ValueError(f"ragged flow table: {lengths}")
-        for name, dtype in FLOW_COLUMNS.items():
+        for name, dtype in columns.items():
             column = np.asarray(getattr(self, name))
             if column.dtype != dtype:
                 object.__setattr__(self, name, column.astype(dtype))
 
+    # -- schema ---------------------------------------------------------
+
+    def columns(self) -> Mapping[str, np.dtype]:
+        """This table's column schema (name -> dtype)."""
+        return flow_columns(self.family)
+
+    @property
+    def address_family(self):
+        """The :class:`~repro.net.family.AddressFamily` for this table."""
+        return _family(self.family)
+
     # -- construction ---------------------------------------------------
 
     @classmethod
-    def empty(cls) -> "FlowTable":
+    def empty(cls, family: str = FAMILY_IPV4) -> "FlowTable":
         """A table with zero rows."""
         return cls(
             **{
                 name: np.empty(0, dtype=dtype)
-                for name, dtype in FLOW_COLUMNS.items()
-            }
+                for name, dtype in flow_columns(family).items()
+            },
+            family=family,
         )
 
     @classmethod
     def concat(cls, tables: Iterable["FlowTable"]) -> "FlowTable":
-        """Concatenate tables (rows stacked in order)."""
+        """Concatenate tables (rows stacked in order; one family only)."""
         tables = [t for t in tables if len(t)]
         if not tables:
             return cls.empty()
         if len(tables) == 1:
             return tables[0]
+        families = {t.family for t in tables}
+        if len(families) > 1:
+            raise ValueError(f"cannot concat mixed address families: {families}")
+        head = tables[0]
         return cls(
             **{
                 name: np.concatenate([getattr(t, name) for t in tables])
-                for name in FLOW_COLUMNS
-            }
+                for name in head.columns()
+            },
+            family=head.family,
         )
 
     def __len__(self) -> int:
         return len(self.src_ip)
 
     # -- chunked ingestion -------------------------------------------
+
+    def slice_rows(self, start: int, stop: int) -> "FlowTable":
+        """The half-open row range ``[start, stop)``, zero-copy."""
+        return FlowTable(
+            **{name: getattr(self, name)[start:stop] for name in self.columns()},
+            family=self.family,
+        )
 
     def iter_chunks(self, chunk_rows: int | None) -> Iterator["FlowTable"]:
         """Yield the table as bounded-size row chunks, zero-copy.
@@ -111,20 +186,15 @@ class FlowTable:
         if chunk_rows < 1:
             raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
         for start in range(0, len(self), chunk_rows):
-            stop = start + chunk_rows
-            yield FlowTable(
-                **{
-                    name: getattr(self, name)[start:stop]
-                    for name in FLOW_COLUMNS
-                }
-            )
+            yield self.slice_rows(start, start + chunk_rows)
 
     # -- row selection ----------------------------------------------------
 
     def filter(self, mask: np.ndarray) -> "FlowTable":
         """Rows where ``mask`` is True."""
         return FlowTable(
-            **{name: getattr(self, name)[mask] for name in FLOW_COLUMNS}
+            **{name: getattr(self, name)[mask] for name in self.columns()},
+            family=self.family,
         )
 
     def tcp(self) -> "FlowTable":
@@ -132,24 +202,24 @@ class FlowTable:
         return self.filter(self.proto == PROTO_TCP)
 
     def toward_blocks(self, blocks: np.ndarray) -> "FlowTable":
-        """Rows whose destination /24 is in ``blocks`` (sorted or not)."""
+        """Rows whose destination block is in ``blocks`` (sorted or not)."""
         wanted = np.unique(np.asarray(blocks, dtype=np.int64))
         return self.filter(np.isin(self.dst_blocks(), wanted))
 
     def from_blocks(self, blocks: np.ndarray) -> "FlowTable":
-        """Rows whose source /24 is in ``blocks``."""
+        """Rows whose source block is in ``blocks``."""
         wanted = np.unique(np.asarray(blocks, dtype=np.int64))
         return self.filter(np.isin(self.src_blocks(), wanted))
 
     # -- derived columns ----------------------------------------------
 
     def src_blocks(self) -> np.ndarray:
-        """Source /24 block id per row."""
-        return (self.src_ip >> np.uint32(8)).astype(np.int64)
+        """Source block id per row (/24 for v4, /48 site for v6)."""
+        return self.address_family.block_of(self.src_ip)
 
     def dst_blocks(self) -> np.ndarray:
-        """Destination /24 block id per row."""
-        return (self.dst_ip >> np.uint32(8)).astype(np.int64)
+        """Destination block id per row (/24 for v4, /48 site for v6)."""
+        return self.address_family.block_of(self.dst_ip)
 
     def total_packets(self) -> int:
         """Sum of the packet column."""
@@ -173,27 +243,20 @@ class FlowTable:
         if probability == 1.0:
             return self
         if probability == 0.0 or len(self) == 0:
-            return FlowTable.empty()
+            return FlowTable.empty(self.family)
         kept = rng.binomial(self.packets, probability)
         mask = kept > 0
         if not mask.any():
-            return FlowTable.empty()
+            return FlowTable.empty(self.family)
         scale = kept[mask] / self.packets[mask]
         table = self.filter(mask)
         new_bytes = np.maximum(
             np.rint(table.bytes * scale).astype(np.int64), kept[mask] * 20
         )
-        return FlowTable(
-            src_ip=table.src_ip,
-            dst_ip=table.dst_ip,
-            proto=table.proto,
-            dport=table.dport,
-            packets=kept[mask],
-            bytes=new_bytes,
-            sender_asn=table.sender_asn,
-            dst_asn=table.dst_asn,
-            spoofed=table.spoofed,
-        )
+        replaced = {name: getattr(table, name) for name in table.columns()}
+        replaced["packets"] = kept[mask]
+        replaced["bytes"] = new_bytes
+        return FlowTable(**replaced, family=self.family)
 
     def decimate(self, factor: int, rng: np.random.Generator) -> "FlowTable":
         """Sub-sample by an integer factor (the Figure-10 operation)."""
@@ -223,7 +286,7 @@ def aggregate_sums(
 def weighted_median(values: np.ndarray, weights: np.ndarray) -> float:
     """Median of a weighted sample (packet-weighted flow sizes).
 
-    Used to compute per-/24 *median packet size* from flow records:
+    Used to compute per-block *median packet size* from flow records:
     each flow contributes its mean packet size with multiplicity equal
     to its packet count.
     """

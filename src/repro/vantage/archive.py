@@ -37,7 +37,9 @@ def export_view(
     capture stream produces); the returned :class:`ArchiveDayView`
     replays the export bit-identically.
     """
-    with FlowpackWriter(path, meta=_view_meta(view)) as writer:
+    with FlowpackWriter(
+        path, meta=_view_meta(view), family=view.flows.family
+    ) as writer:
         for chunk in view.flows.iter_chunks(chunk_rows):
             writer.write(chunk)
     return ArchiveDayView(
@@ -65,7 +67,14 @@ def export_view_chunks(
         "vantage": vantage, "day": int(day),
         "sampling_factor": float(sampling_factor),
     }
-    with FlowpackWriter(path, meta=meta) as writer:
+    # The archive header needs the family before the first chunk lands,
+    # so peek one; a stream with no chunks exports as IPv4.
+    chunks = iter(chunks)
+    first = next(chunks, None)
+    family = first.family if first is not None else "ipv4"
+    with FlowpackWriter(path, meta=meta, family=family) as writer:
+        if first is not None:
+            writer.write(first)
         for chunk in chunks:
             writer.write(chunk)
     return ArchiveDayView(

@@ -154,7 +154,7 @@ def compute_block_aggregates(flows: FlowTable) -> BlockAggregates:
         np.where(is_tcp, flows.bytes, 0),
         packets,
     )
-    ip_blocks = dst_ips >> 8
+    ip_blocks = flows.address_family.block_of(dst_ips)
     distinct_dst_ips = _count_per_group(ip_blocks, blocks)
 
     # Source side: packets originated per /24, per IP, and distinct IPs.
@@ -163,7 +163,9 @@ def compute_block_aggregates(flows: FlowTable) -> BlockAggregates:
     src_ips, (src_ip_packets,) = aggregate_sums(
         flows.src_ip.astype(np.int64), packets
     )
-    src_distinct_ips = _count_per_group(src_ips >> 8, src_blocks)
+    src_distinct_ips = _count_per_group(
+        flows.address_family.block_of(src_ips), src_blocks
+    )
 
     return BlockAggregates(
         blocks=blocks,

@@ -1,0 +1,128 @@
+"""End-to-end tests for IPv6 inference through the unchanged engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.ipv6_telescope import infer_ipv6, ipv6_telescope
+from repro.core.online import OnlineMetaTelescope
+from repro.core.snapshot import ClassificationSnapshot
+from repro.net.family import FAMILY_IPV6
+from repro.world.ipv6 import (
+    LEAKED_SITE,
+    ipv6_views,
+    micro_ipv6_world,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return micro_ipv6_world(seed=7)
+
+
+@pytest.fixture(scope="module")
+def views(world):
+    return ipv6_views(world)
+
+
+@pytest.fixture(scope="module")
+def report(world, views):
+    return infer_ipv6(world, views)
+
+
+class TestBatch:
+    def test_funnel_pinned_micro_seed7(self, report):
+        counts = report.result.pipeline.funnel
+        assert counts.observed == 25
+        assert counts.after_tcp == 24
+        assert counts.after_avg_size == 19
+        assert counts.after_source_unseen == 19
+        assert counts.after_special == 18
+        assert counts.after_routed == 14
+        assert counts.after_volume == 13
+
+    def test_served_and_coverage_pinned(self, report):
+        assert len(report.served_sites) == 12
+        assert report.coverage.truth_dark == 10
+        assert report.coverage.served == 12
+        assert report.coverage.recall() == pytest.approx(0.8)
+        assert report.coverage.precision() == pytest.approx(8 / 12)
+
+    def test_engine_drops_what_the_candidate_filter_cannot(self, world, report):
+        # The leak makes documentation space routed, so only the
+        # special-purpose stage can exclude it.
+        served = set(report.served_sites.tolist())
+        assert LEAKED_SITE in report.candidates.candidate_sites
+        assert LEAKED_SITE not in served
+        # Flooded and UDP-only dark sites fall at the volume/TCP stages.
+        assert world.flood_site not in served
+        assert world.udp_only_site not in served
+
+    def test_served_is_dark_and_candidate(self, report):
+        dark = set(report.result.pipeline.dark_blocks.tolist())
+        candidates = set(report.candidates.candidate_sites)
+        served = set(report.served_sites.tolist())
+        assert served == dark & candidates
+
+    def test_snapshot_family_and_provenance(self, report):
+        assert report.snapshot.family == FAMILY_IPV6
+        assert report.snapshot.provenance["engine"] == "ipv6"
+        drops = report.snapshot.provenance["candidate_drops"]
+        assert drops == {"unannounced": 4, "hitlist": 6, "sources": 0}
+
+
+class TestExecutionIdentity:
+    def test_chunked_matches_batch(self, world, views, report):
+        chunked = infer_ipv6(world, views, chunk_size=97)
+        assert np.array_equal(chunked.served_sites, report.served_sites)
+        assert chunked.snapshot.identical_to(report.snapshot)
+
+    def test_parallel_matches_batch(self, world, views, report):
+        parallel = infer_ipv6(world, views, workers=2)
+        assert np.array_equal(parallel.served_sites, report.served_sites)
+        assert parallel.snapshot.identical_to(report.snapshot)
+
+    def test_native_kernel_matches_numpy(self, world, views, report):
+        native = infer_ipv6(world, views, kernel="native")
+        assert np.array_equal(native.served_sites, report.served_sites)
+        assert native.snapshot.identical_to(report.snapshot)
+
+
+class TestOnline:
+    def test_online_matches_batch_dark_set(self, world, views, report):
+        online = OnlineMetaTelescope(
+            telescope=ipv6_telescope(world),
+            window_days=world.config.num_days,
+            min_stable_days=1,
+            use_spoofing_tolerance=False,
+        )
+        for view in views:
+            update = online.update(view.day, [view])
+            assert update.action == "inferred"
+        assert np.array_equal(
+            online.current_prefixes(), report.result.pipeline.dark_blocks
+        )
+        snapshot = online.snapshot()
+        assert snapshot.family == FAMILY_IPV6
+
+
+class TestPersistence:
+    def test_snapshot_roundtrip_keeps_family(self, report, tmp_path):
+        path = tmp_path / "v6.snapshot"
+        report.snapshot.save(path)
+        loaded = ClassificationSnapshot.open(path)
+        assert loaded.family == FAMILY_IPV6
+        assert loaded.identical_to(report.snapshot)
+
+    def test_roundtripped_snapshot_formats_sites(self, report, tmp_path):
+        path = tmp_path / "v6.snapshot"
+        report.snapshot.save(path)
+        loaded = ClassificationSnapshot.open(path)
+        answer = loaded.lookup(int(report.served_sites[0]))
+        assert answer.dark
+        assert str(answer.prefix).endswith("/48")
+
+
+class TestValidation:
+    def test_empty_views_rejected(self, world):
+        with pytest.raises(ValueError):
+            infer_ipv6(world, [])

@@ -1,0 +1,64 @@
+"""Lint: block arithmetic lives in ``repro.net``, nowhere else.
+
+The address-family refactor replaced every scattered ``ip >> 8`` /
+``ip // 256`` with :meth:`AddressFamily.block_of` and friends.  This
+test keeps it that way: outside ``src/repro/net`` no source line may
+shift or divide addresses into blocks with a raw literal.
+
+The one legitimate remaining shape is *block -> /16 anchor* grouping
+(``blocks >> 8``, ``dark >> 8``): those operate on already-derived
+block ids, not addresses, and the /16 anchor is a world/robustness
+modelling choice rather than family arithmetic.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+FORBIDDEN = re.compile(r">>\s*(?:np\.uint(?:32|64)\()?\s*8\b|//\s*256\b")
+#: Block -> /16 anchor grouping of already-derived block ids.
+BLOCK_ANCHOR = re.compile(r"\b(?:blocks?|dark)\b")
+ADDRESS_LIKE = re.compile(r"\bip", re.IGNORECASE)
+
+
+def offending_lines():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if SRC / "net" in path.parents:
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                continue
+            if not FORBIDDEN.search(stripped):
+                continue
+            if BLOCK_ANCHOR.search(stripped) and not ADDRESS_LIKE.search(
+                stripped
+            ):
+                continue  # blocks >> 8: /16 anchor of block ids
+            offenders.append(f"{path.relative_to(SRC.parent)}:{lineno}: {stripped}")
+    return offenders
+
+
+def test_no_raw_block_shift_literals_outside_repro_net():
+    offenders = offending_lines()
+    assert not offenders, (
+        "address -> block arithmetic must go through "
+        "repro.net.family (AddressFamily.block_of / block_of_key):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_lint_actually_catches_an_offender(tmp_path):
+    # Guard the guard: the forbidden pattern must match the historical
+    # idioms this repo used to contain.
+    for bad in (
+        "mask = np.isin(agg.dst_ips >> 8, blocks)",
+        "block = ip // 256",
+        "keys >> np.uint32(8)",
+    ):
+        assert FORBIDDEN.search(bad), bad
+    assert BLOCK_ANCHOR.search("anchors = np.unique(blocks >> 8)")
